@@ -1,0 +1,252 @@
+(* Command-line driver for the indirect-consensus atomic broadcast
+   simulator: run single experiments, regenerate the paper's figures, and
+   replay the adversarial scenarios. *)
+
+open Cmdliner
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Experiment = Ics_workload.Experiment
+module Figures = Ics_workload.Figures
+module Scenarios = Ics_workload.Scenarios
+module Table = Ics_prelude.Table
+module Stats = Ics_prelude.Stats
+
+(* Shared argument converters. *)
+
+let algo_conv =
+  Arg.enum [ ("ct", Stack.Ct); ("mr", Stack.Mr); ("lb", Stack.Lb) ]
+
+let ordering_conv =
+  Arg.enum
+    [
+      ("messages", Abcast.Consensus_on_messages);
+      ("ids-faulty", Abcast.Consensus_on_ids);
+      ("indirect", Abcast.Indirect_consensus);
+    ]
+
+let broadcast_conv =
+  Arg.enum
+    [ ("flood", Stack.Flood); ("fd-relay", Stack.Fd_relay); ("uniform", Stack.Uniform) ]
+
+let setup_conv =
+  Arg.enum
+    [
+      ("setup1", Stack.Setup1);
+      ("setup2", Stack.Setup2);
+      ("ideal", Stack.Ideal_lan { delay = 1.0; jitter = 0.1 });
+    ]
+
+(* `run` command: one configuration under one load. *)
+
+let run_cmd =
+  let exec n algo ordering broadcast setup tput size duration seed check =
+    let config =
+      { Stack.default_config with n; algo; ordering; broadcast; setup; seed }
+    in
+    let load =
+      {
+        Experiment.throughput = tput;
+        body_bytes = size;
+        duration = duration *. 1000.0;
+        warmup = Float.min 1000.0 (duration *. 100.0);
+      }
+    in
+    let r = Experiment.run ~check config load in
+    Format.printf "config: n=%d algo=%s ordering=%s broadcast=%s@." n
+      (match algo with Stack.Ct -> "ct" | Stack.Mr -> "mr" | Stack.Lb -> "lb")
+      (match ordering with
+      | Abcast.Consensus_on_messages -> "messages"
+      | Abcast.Consensus_on_ids -> "ids-faulty"
+      | Abcast.Indirect_consensus -> "indirect")
+      (match broadcast with
+      | Stack.Flood -> "flood"
+      | Stack.Fd_relay -> "fd-relay"
+      | Stack.Uniform -> "uniform");
+    Format.printf "load: %.0f msg/s, %d B payloads, %.1f s@." tput size duration;
+    Format.printf "latency: %a@." Stats.pp_summary r.Experiment.latency;
+    Format.printf "measured=%d abroadcasts=%d transport-messages=%d wire-bytes=%d@."
+      r.Experiment.measured r.Experiment.abroadcasts r.Experiment.sent_messages
+      r.Experiment.sent_bytes;
+    Format.printf "quiescent=%b (virtual time %.1f ms)@." r.Experiment.quiescent
+      r.Experiment.wall_clock;
+    (match r.Experiment.verdict with
+    | Some v -> Format.printf "checker: %a@." Ics_checker.Checker.pp_verdict v
+    | None -> ());
+    (match r.Experiment.utilization with
+    | [] -> ()
+    | util ->
+        let busiest =
+          List.sort (fun (_, a) (_, b) -> Float.compare b a) util
+          |> List.filteri (fun i _ -> i < 4)
+        in
+        Format.printf "busiest resources:%s@."
+          (String.concat ""
+             (List.map (fun (name, u) -> Printf.sprintf " %s=%.0f%%" name (u *. 100.0))
+                busiest)));
+    if not r.Experiment.quiescent then exit 2
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
+  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct or mr.") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Abcast.Indirect_consensus
+      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
+  in
+  let broadcast =
+    Arg.(
+      value & opt broadcast_conv Stack.Flood
+      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
+  in
+  let setup =
+    Arg.(value & opt setup_conv Stack.Setup1 & info [ "setup" ] ~doc:"setup1, setup2 or ideal.")
+  in
+  let tput =
+    Arg.(value & opt float 100.0 & info [ "throughput" ] ~doc:"Global rate, msgs/s.")
+  in
+  let size = Arg.(value & opt int 1 & info [ "size" ] ~doc:"Payload bytes.") in
+  let duration = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Seconds of arrivals.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Validate the trace against the formal properties.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one atomic-broadcast configuration under a synthetic load")
+    Term.(
+      const exec $ n $ algo $ ordering $ broadcast $ setup $ tput $ size $ duration $ seed
+      $ check)
+
+(* `figure` command: regenerate one of the paper's figures (or all). *)
+
+let figure_cmd =
+  let exec id quick csv seed seeds verbose =
+    let figures =
+      if id = "all" then Figures.all
+      else
+        match Figures.find id with
+        | Some f -> [ f ]
+        | None ->
+            Format.eprintf "unknown figure %s; available: %s@." id
+              (String.concat ", " (Figures.ids ()));
+            exit 1
+    in
+    List.iter
+      (fun f ->
+        let progress = if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> () in
+        let table = Figures.run ~quick ~seed ~seeds ~progress f in
+        if csv then print_string (Table.to_csv table) else Table.print table;
+        if not csv then
+          Format.printf "paper: %s@.@." f.Figures.paper_shape)
+      figures
+  in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc:"Figure id or 'all'.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Quarter-length runs.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let seeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~doc:"Pool results over this many seeds.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-cell progress on stderr.") in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a figure of the paper's evaluation")
+    Term.(const exec $ id $ quick $ csv $ seed $ seeds $ verbose)
+
+(* `violation` command: the adversarial scenarios. *)
+
+let violation_cmd =
+  let exec which =
+    let outcomes =
+      match which with
+      | "ct" ->
+          [
+            Scenarios.validity_scenario Scenarios.Faulty_ids;
+            Scenarios.validity_scenario Scenarios.Indirect;
+          ]
+      | "mr" ->
+          [ Scenarios.mr_scenario Scenarios.Naive; Scenarios.mr_scenario Scenarios.Indirect_mr ]
+      | _ ->
+          Format.eprintf "unknown scenario %s (ct or mr)@." which;
+          exit 1
+    in
+    List.iter (fun o -> Format.printf "%a@." Scenarios.pp_outcome o) outcomes
+  in
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"'ct' (S2.2) or 'mr' (S3.3.2).")
+  in
+  Cmd.v
+    (Cmd.info "violation"
+       ~doc:"Replay the paper's counterexamples (faulty vs indirect consensus)")
+    Term.(const exec $ which)
+
+(* `trace` command: run a small configuration and dump the full protocol
+   trace — invaluable for studying an execution step by step. *)
+
+let trace_cmd =
+  let exec n algo ordering messages crash csv =
+    let config =
+      {
+        Stack.default_config with
+        n;
+        algo;
+        ordering;
+        setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 };
+        fd_kind = Stack.Oracle 10.0;
+      }
+    in
+    let stack = Stack.create config in
+    let engine = stack.Stack.engine in
+    for i = 0 to messages - 1 do
+      Ics_sim.Engine.schedule engine ~at:(1.0 +. (5.0 *. float_of_int i)) (fun () ->
+          ignore (Stack.abroadcast stack ~src:(i mod n) ~body_bytes:16))
+    done;
+    (match crash with
+    | Some p -> Ics_sim.Engine.crash_at engine p ~at:10.0
+    | None -> ());
+    Stack.run ~until:10_000.0 stack;
+    let trace = Ics_sim.Engine.trace engine in
+    if csv then begin
+      print_endline "time_ms,pid,event";
+      List.iter
+        (fun (e : Ics_sim.Trace.event) ->
+          Printf.printf "%.3f,p%d,%s\n" e.time e.pid
+            (Format.asprintf "%a" Ics_sim.Trace.pp_kind e.kind))
+        (Ics_sim.Trace.events trace)
+    end
+    else begin
+      Format.printf "%a" Ics_sim.Trace.pp trace;
+      Format.printf "@.-- %d trace events, stack: %s@." (Ics_sim.Trace.length trace)
+        (Stack.describe stack)
+    end
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
+  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Abcast.Indirect_consensus
+      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
+  in
+  let messages = Arg.(value & opt int 2 & info [ "messages" ] ~doc:"How many abroadcasts.") in
+  let crash =
+    Arg.(value & opt (some int) None & info [ "crash" ] ~doc:"Crash this process at t=10ms.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the full protocol trace of a small execution")
+    Term.(const exec $ n $ algo $ ordering $ messages $ crash $ csv)
+
+let list_cmd =
+  let exec () =
+    List.iter
+      (fun f -> Format.printf "%-6s %s@." f.Figures.id f.Figures.title)
+      Figures.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the figures this tool can regenerate") Term.(const exec $ const ())
+
+let () =
+  let doc = "Atomic broadcast with indirect consensus (Ekwall & Schiper, DSN 2006) simulator" in
+  let info = Cmd.info "ics-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; violation_cmd; trace_cmd; list_cmd ]))

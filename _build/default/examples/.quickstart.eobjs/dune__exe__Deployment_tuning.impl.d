@@ -1,0 +1,1 @@
+examples/deployment_tuning.ml: Float Format Ics_core Ics_prelude Ics_workload List Printf String

@@ -1,0 +1,1 @@
+examples/fd_tuning.ml: Format Ics_core Ics_net Ics_prelude Ics_sim List Printf

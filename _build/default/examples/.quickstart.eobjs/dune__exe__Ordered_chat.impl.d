@@ -1,0 +1,1 @@
+examples/ordered_chat.ml: Array Format Ics_broadcast Ics_core Ics_net Ics_sim List String

@@ -1,0 +1,1 @@
+examples/ordered_chat.mli:

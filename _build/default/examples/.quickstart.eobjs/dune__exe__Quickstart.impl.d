@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ics_checker Ics_core Ics_net Ics_sim List String

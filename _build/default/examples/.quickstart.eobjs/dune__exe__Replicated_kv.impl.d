@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Format Hashtbl Ics_core Ics_net Ics_sim List String

@@ -1,0 +1,1 @@
+examples/validity_violation.ml: Format Ics_workload

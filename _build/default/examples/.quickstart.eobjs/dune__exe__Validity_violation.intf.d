@@ -1,0 +1,1 @@
+examples/validity_violation.mli:

@@ -1,0 +1,80 @@
+(* Deployment tuning study: which stack should you run?
+
+   The paper's §4 answers a practical question: given a broadcast-heavy
+   workload, should the group-communication stack order (a) full messages,
+   (b) bare identifiers over uniform reliable broadcast, or (c) bare
+   identifiers with indirect consensus?  This example runs a realistic
+   replicated-service profile (mixed payload sizes, moderate rate) through
+   all candidate stacks on both testbed models and prints a decision
+   table: latency, wire bytes per delivered message, and transport message
+   counts.
+
+   Run with: dune exec examples/deployment_tuning.exe *)
+
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Experiment = Ics_workload.Experiment
+module Table = Ics_prelude.Table
+module Stats = Ics_prelude.Stats
+
+let candidates ~setup =
+  [
+    ("indirect + RB O(n^2)", { Stack.abcast_indirect with Stack.setup });
+    ( "indirect + RB O(n)",
+      { Stack.abcast_indirect with Stack.setup; broadcast = Stack.Fd_relay } );
+    ("on-messages + RB", { Stack.abcast_msgs with Stack.setup });
+    ("on-ids + URB", { Stack.abcast_urb with Stack.setup });
+  ]
+
+let profile ~throughput ~body_bytes =
+  { Experiment.throughput; body_bytes; duration = 4_000.0; warmup = 500.0 }
+
+let run_setup ~name ~setup ~throughput ~body_bytes =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s — %.0f msg/s, %d B payloads, n=3" name throughput body_bytes)
+      ~columns:
+        [ "stack"; "mean[ms]"; "p99[ms]"; "wire-bytes/msg"; "msgs/abcast"; "max-cpu"; "max-link" ]
+  in
+  List.iter
+    (fun (label, config) ->
+      let r = Experiment.run config (profile ~throughput ~body_bytes) in
+      let per_msg denom v = float_of_int v /. float_of_int (max 1 denom) in
+      let max_util prefix =
+        List.fold_left
+          (fun acc (name, u) ->
+            if String.length name >= String.length prefix
+               && String.sub name 0 (String.length prefix) = prefix
+            then Float.max acc u
+            else acc)
+          0.0 r.Experiment.utilization
+      in
+      let link = Float.max (max_util "uplink") (Float.max (max_util "downlink") (max_util "bus")) in
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.3f%s" r.Experiment.latency.Stats.mean
+            (if r.Experiment.quiescent then "" else " (saturated)");
+          Printf.sprintf "%.3f" r.Experiment.latency.Stats.p99;
+          Printf.sprintf "%.0f" (per_msg r.Experiment.abroadcasts r.Experiment.sent_bytes);
+          Printf.sprintf "%.1f" (per_msg r.Experiment.abroadcasts r.Experiment.sent_messages);
+          Printf.sprintf "%.0f%%" (100.0 *. max_util "cpu");
+          Printf.sprintf "%.0f%%" (100.0 *. link);
+        ])
+    (candidates ~setup);
+  Table.print table
+
+let () =
+  Format.printf "Deployment tuning: choosing an atomic broadcast stack@.@.";
+  (* A chatty replicated service on ageing 100 Mbit hardware. *)
+  run_setup ~name:"Setup 1 (P-III, switched 100 Mbit/s)" ~setup:Stack.Setup1 ~throughput:300.0
+    ~body_bytes:1024;
+  (* The same service moved to a modern switched gigabit cluster. *)
+  run_setup ~name:"Setup 2 (P4, switched GigE)" ~setup:Stack.Setup2 ~throughput:1500.0
+    ~body_bytes:1024;
+  Format.printf
+    "@.Reading the tables: consensus on full messages pays the payload price twice@.\
+     (broadcast + ordering); URB pays an extra communication step and an O(n^2) ack@.\
+     storm; indirect consensus keeps ordering traffic flat in the payload size,@.\
+     which is the paper's recommendation — and the gap widens with throughput.@."

@@ -1,0 +1,111 @@
+(* Failure-detector tuning: the timeout dilemma, measured.
+
+   The ◇S abstraction hides a very practical knob: the heartbeat timeout.
+   Set it too low and congestion causes false suspicions — wasted relays,
+   abandoned consensus rounds, extra latency.  Set it too high and a real
+   crash blocks every in-flight consensus instance until the detector
+   finally speaks (the paper's algorithms wait on "received from
+   coordinator OR coordinator suspected").
+
+   This example runs the indirect stack under (a) a crash-free loaded run
+   and (b) a coordinator crash, across a range of timeouts, and prints
+   false suspicions, mean latency, and crash-recovery time.
+
+   Run with: dune exec examples/fd_tuning.exe *)
+
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Engine = Ics_sim.Engine
+module Trace = Ics_sim.Trace
+module Table = Ics_prelude.Table
+module Stats = Ics_prelude.Stats
+
+let n = 3
+let period = 5.0
+
+let config timeout =
+  {
+    Stack.abcast_indirect with
+    Stack.n;
+    fd_kind = Stack.Heartbeat { period; timeout };
+  }
+
+(* Crash-free run under a bursty load: every 400 ms each process emits a
+   salvo of large messages, spiking the CPU queues that heartbeats share. *)
+let good_run timeout =
+  let latencies = ref [] in
+  let stack_ref = ref None in
+  let on_deliver _ (m : Ics_net.App_msg.t) =
+    match !stack_ref with
+    | Some stack ->
+        latencies := (Engine.now stack.Stack.engine -. m.created_at) :: !latencies
+    | None -> ()
+  in
+  let stack = Stack.create ~on_deliver (config timeout) in
+  stack_ref := Some stack;
+  let engine = stack.Stack.engine in
+  for burst = 0 to 9 do
+    for i = 0 to 149 do
+      let at = (400.0 *. float_of_int burst) +. (0.02 *. float_of_int i) in
+      Engine.schedule engine ~at (fun () ->
+          ignore (Stack.abroadcast stack ~src:(i mod n) ~body_bytes:4000))
+    done
+  done;
+  Stack.run ~until:20_000.0 stack;
+  let suspicions =
+    List.length
+      (Trace.filter (Engine.trace engine) (fun e ->
+           match e.Trace.kind with Trace.Suspect _ -> true | _ -> false))
+  in
+  (suspicions, Stats.summarize !latencies)
+
+(* Crash run: p0 (the perpetual round-1 coordinator) dies at t=100; a
+   message broadcast just after must wait for suspicion before it can be
+   ordered.  Recovery = its abroadcast->adeliver latency at p1. *)
+let crash_run timeout =
+  let recovered_at = ref None in
+  let stack_ref = ref None in
+  let on_deliver p (m : Ics_net.App_msg.t) =
+    match !stack_ref with
+    | Some stack
+      when p = 1 && m.id.Ics_net.Msg_id.origin = 1 && !recovered_at = None ->
+        recovered_at := Some (Engine.now stack.Stack.engine -. m.created_at)
+    | _ -> ()
+  in
+  let stack = Stack.create ~on_deliver (config timeout) in
+  stack_ref := Some stack;
+  let engine = stack.Stack.engine in
+  Engine.crash_at engine 0 ~at:100.0;
+  Engine.schedule engine ~at:110.0 (fun () ->
+      ignore (Stack.abroadcast stack ~src:1 ~body_bytes:100));
+  Stack.run ~until:10_000.0 stack;
+  !recovered_at
+
+let () =
+  Format.printf "Heartbeat tuning for the indirect-consensus stack (n=%d, period=%.0fms)@.@."
+    n period;
+  let table =
+    Table.create ~title:"timeout sweep"
+      ~columns:
+        [ "timeout[ms]"; "false-suspicions"; "mean-latency[ms]"; "p99[ms]"; "crash-recovery[ms]" ]
+  in
+  List.iter
+    (fun timeout ->
+      let suspicions, summary = good_run timeout in
+      let recovery = crash_run timeout in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" timeout;
+          string_of_int suspicions;
+          Printf.sprintf "%.3f" summary.Stats.mean;
+          Printf.sprintf "%.3f" summary.Stats.p99;
+          (match recovery with Some r -> Printf.sprintf "%.1f" r | None -> "never");
+        ])
+    [ 8.0; 15.0; 30.0; 60.0; 120.0; 250.0 ];
+  Table.print table;
+  Format.printf
+    "@.Reading the table: short timeouts suspect healthy processes under load@.\
+     (suspicions > 0 in a crash-free run) yet recover from the real crash fast;@.\
+     long timeouts are quiet but every consensus instance led by the dead@.\
+     coordinator stalls for the full timeout.  The sweet spot sits just above@.\
+     the congested heartbeat round-trip.@."

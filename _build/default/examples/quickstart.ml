@@ -1,0 +1,63 @@
+(* Quickstart: totally ordered broadcast among five simulated processes.
+
+   Builds the paper's recommended stack — reliable broadcast + indirect
+   Chandra–Toueg consensus — over a simulated 100 Mbit/s LAN, has every
+   process broadcast a handful of messages concurrently, and shows that
+   all five deliver exactly the same sequence.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Engine = Ics_sim.Engine
+module Msg_id = Ics_net.Msg_id
+
+let () =
+  let config = { Stack.abcast_indirect with Stack.n = 5 } in
+  (* Observe deliveries as they happen at process 0. *)
+  let stack_ref = ref None in
+  let on_deliver p (m : Ics_net.App_msg.t) =
+    match !stack_ref with
+    | Some stack when p = 0 ->
+        Format.printf "  t=%6.2fms  p0 adelivers %a (sent at t=%.2fms)@."
+          (Engine.now stack.Stack.engine) Msg_id.pp m.id m.created_at
+    | _ -> ()
+  in
+  let stack = Stack.create ~on_deliver config in
+  stack_ref := Some stack;
+  let engine = stack.Stack.engine in
+
+  (* Every process broadcasts 4 messages at slightly staggered times. *)
+  for round = 0 to 3 do
+    for p = 0 to 4 do
+      let at = (float_of_int round *. 5.0) +. (0.7 *. float_of_int p) in
+      Engine.schedule engine ~at (fun () ->
+          ignore (Stack.abroadcast stack ~src:p ~body_bytes:100))
+    done
+  done;
+
+  Stack.run stack;
+
+  Format.printf "stack: %s@.@." (Stack.describe stack);
+  List.iter
+    (fun p ->
+      let seq = Abcast.delivered_sequence stack.Stack.abcast p in
+      Format.printf "p%d delivered %2d messages: %s@." p (List.length seq)
+        (String.concat " " (List.map Msg_id.to_string seq)))
+    [ 0; 1; 2; 3; 4 ];
+
+  (* All five sequences are identical — that is atomic broadcast. *)
+  let reference = Abcast.delivered_sequence stack.Stack.abcast 0 in
+  let all_equal =
+    List.for_all
+      (fun p -> Abcast.delivered_sequence stack.Stack.abcast p = reference)
+      [ 1; 2; 3; 4 ]
+  in
+  Format.printf "@.total order identical at all processes: %b@." all_equal;
+
+  (* And the trace satisfies the formal spec. *)
+  let run =
+    Ics_checker.Checker.Run.of_trace (Engine.trace engine) ~n:5
+  in
+  Format.printf "checker: %a@." Ics_checker.Checker.pp_verdict
+    (Ics_checker.Checker.check_all_abcast run)

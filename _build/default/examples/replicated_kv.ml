@@ -1,0 +1,107 @@
+(* Replicated key-value store — state machine replication over atomic
+   broadcast.
+
+   Each of the n processes hosts a replica of a string key-value store.
+   Clients submit operations (PUT / DEL) at any replica; the operation is
+   atomically broadcast, and every replica applies operations in delivery
+   order.  Because atomic broadcast gives an identical total order, all
+   replicas reach identical states — even with concurrent conflicting
+   writes, and even when a replica crashes mid-run.
+
+   The simulator carries only message identifiers and sizes on the wire,
+   so operations live in a shared registry keyed by message id (the "what
+   would have been the payload" table); replicas look them up at delivery
+   time.  Wire costs still reflect the encoded operation size.
+
+   Run with: dune exec examples/replicated_kv.exe *)
+
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Engine = Ics_sim.Engine
+module Msg_id = Ics_net.Msg_id
+
+type op = Put of string * string | Del of string
+
+let op_bytes = function
+  | Put (k, v) -> 2 + String.length k + String.length v
+  | Del k -> 2 + String.length k
+
+let pp_op ppf = function
+  | Put (k, v) -> Format.fprintf ppf "PUT %s=%s" k v
+  | Del k -> Format.fprintf ppf "DEL %s" k
+
+module Replica = struct
+  type t = { store : (string, string) Hashtbl.t; mutable applied : int }
+
+  let create () = { store = Hashtbl.create 16; applied = 0 }
+
+  let apply t = function
+    | Put (k, v) ->
+        Hashtbl.replace t.store k v;
+        t.applied <- t.applied + 1
+    | Del k ->
+        Hashtbl.remove t.store k;
+        t.applied <- t.applied + 1
+
+  let snapshot t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+    |> List.sort compare
+
+  let digest t =
+    String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) (snapshot t))
+end
+
+let () =
+  let n = 4 in
+  let ops_registry : op Msg_id.Table.t = Msg_id.Table.create 64 in
+  let replicas = Array.init n (fun _ -> Replica.create ()) in
+  let on_deliver p (m : Ics_net.App_msg.t) =
+    Replica.apply replicas.(p) (Msg_id.Table.find ops_registry m.Ics_net.App_msg.id)
+  in
+  let config =
+    { Stack.abcast_indirect with Stack.n; fd_kind = Stack.Oracle 50.0 }
+  in
+  let stack = Stack.create ~on_deliver config in
+  let engine = stack.Stack.engine in
+
+  let submit ~at ~replica op =
+    Engine.schedule engine ~at (fun () ->
+        if Engine.is_alive engine replica then begin
+          let m = Stack.abroadcast stack ~src:replica ~body_bytes:(op_bytes op) in
+          Msg_id.Table.replace ops_registry m.Ics_net.App_msg.id op;
+          Format.printf "  t=%6.1fms  client at p%d submits %a@." at replica pp_op op
+        end)
+  in
+
+  (* Concurrent conflicting writes from different replicas. *)
+  submit ~at:1.0 ~replica:0 (Put ("user:42", "alice"));
+  submit ~at:1.2 ~replica:1 (Put ("user:42", "bob"));
+  submit ~at:1.4 ~replica:2 (Put ("balance:42", "100"));
+  submit ~at:6.0 ~replica:3 (Put ("balance:42", "250"));
+  submit ~at:8.0 ~replica:0 (Del ("user:43"));
+  submit ~at:9.0 ~replica:1 (Put ("user:43", "carol"));
+  (* Replica 3 crashes; the system keeps going (f=1 < n/2). *)
+  Engine.crash_at engine 3 ~at:12.0;
+  submit ~at:15.0 ~replica:0 (Put ("user:44", "dave"));
+  submit ~at:16.0 ~replica:2 (Put ("epoch", "2"));
+
+  Stack.run stack;
+
+  Format.printf "@.replica states after quiescence:@.";
+  for p = 0 to n - 1 do
+    Format.printf "  p%d%s: applied=%d  {%s}@." p
+      (if Engine.is_alive engine p then "      " else " (dead)")
+      replicas.(p).Replica.applied (Replica.digest replicas.(p))
+  done;
+
+  let alive = List.filter (Engine.is_alive engine) (List.init n (fun i -> i)) in
+  let reference = Replica.digest replicas.(List.hd alive) in
+  let converged =
+    List.for_all (fun p -> Replica.digest replicas.(p) = reference) alive
+  in
+  Format.printf "@.all live replicas converged: %b@." converged;
+  Format.printf "conflict resolution is by delivery order, identical everywhere:@.";
+  Format.printf "  user:42 = %s (last writer in the total order wins)@."
+    (match List.assoc_opt "user:42" (Replica.snapshot replicas.(0)) with
+    | Some v -> v
+    | None -> "<absent>")

@@ -1,0 +1,1 @@
+lib/broadcast/broadcast_intf.mli: Ics_net Ics_sim

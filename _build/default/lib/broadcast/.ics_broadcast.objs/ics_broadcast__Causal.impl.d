@@ -1,0 +1,1 @@
+lib/broadcast/causal.ml: Array Broadcast_intf Ics_net Ics_sim List

@@ -1,0 +1,1 @@
+lib/broadcast/causal.mli: Broadcast_intf Ics_net

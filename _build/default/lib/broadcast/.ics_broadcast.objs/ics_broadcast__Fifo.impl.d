@@ -1,0 +1,1 @@
+lib/broadcast/fifo.ml: Broadcast_intf Hashtbl Ics_net Ics_sim

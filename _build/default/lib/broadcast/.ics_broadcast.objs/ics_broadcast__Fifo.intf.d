@@ -1,0 +1,1 @@
+lib/broadcast/fifo.mli: Broadcast_intf

@@ -1,0 +1,1 @@
+lib/broadcast/rb_fd.ml: Array Broadcast_intf Hashtbl Ics_fd Ics_net Ics_sim List

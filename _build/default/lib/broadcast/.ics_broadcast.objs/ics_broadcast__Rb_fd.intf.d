@@ -1,0 +1,1 @@
+lib/broadcast/rb_fd.mli: Broadcast_intf Ics_fd Ics_net

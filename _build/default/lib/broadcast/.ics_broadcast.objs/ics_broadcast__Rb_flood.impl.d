@@ -1,0 +1,1 @@
+lib/broadcast/rb_flood.ml: Array Broadcast_intf Ics_net Ics_sim List

@@ -1,0 +1,1 @@
+lib/broadcast/rb_flood.mli: Broadcast_intf Ics_net

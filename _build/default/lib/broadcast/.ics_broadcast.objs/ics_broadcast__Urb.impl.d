@@ -1,0 +1,1 @@
+lib/broadcast/urb.ml: Array Broadcast_intf Ics_net Ics_sim List

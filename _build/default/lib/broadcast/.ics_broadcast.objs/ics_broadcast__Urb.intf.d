@@ -1,0 +1,1 @@
+lib/broadcast/urb.mli: Broadcast_intf Ics_net

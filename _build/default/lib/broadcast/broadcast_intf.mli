@@ -1,0 +1,24 @@
+(** Common shape of the broadcast layers.
+
+    A broadcast layer object manages all [n] simulated processes at once
+    (which is natural in a discrete-event simulation); the [src] argument of
+    {!handle.broadcast} selects the broadcasting process.  Deliveries are
+    reported through the callback supplied at creation, once per (process,
+    message). *)
+
+module Pid = Ics_sim.Pid
+module App_msg = Ics_net.App_msg
+
+type handle = {
+  name : string;  (** e.g. ["rb-flood(O(n^2))"] *)
+  broadcast : src:Pid.t -> App_msg.t -> unit;
+      (** Invoke the broadcast primitive at process [src].  No-op if [src]
+          has crashed. *)
+  holds : Pid.t -> Ics_net.Msg_id.t -> bool;
+      (** Does this process currently hold the payload of the given
+          identifier?  This is the substrate of the [rcv] function that
+          atomic broadcast hands to indirect consensus. *)
+}
+
+type deliver = Pid.t -> App_msg.t -> unit
+(** [deliver p m]: process [p] delivers message [m]. *)

@@ -1,0 +1,103 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+
+type Message.payload += Data of App_msg.t * int array  (* message + sender VC *)
+
+let layer = "cb"
+
+let vc_bytes n = 4 * n
+
+type proc_state = {
+  vc : int array;  (* vc.(q) = number of q's messages delivered here *)
+  mutable pending : (App_msg.t * int array) list;
+  delivered : unit Msg_id.Table.t;
+  relayed : unit Msg_id.Table.t;
+}
+
+let create transport ~deliver =
+  let engine = Transport.engine transport in
+  let n = Transport.n transport in
+  let states =
+    Array.init n (fun _ ->
+        {
+          vc = Array.make n 0;
+          pending = [];
+          delivered = Msg_id.Table.create 64;
+          relayed = Msg_id.Table.create 64;
+        })
+  in
+  let holds p id = Msg_id.Table.mem states.(p).delivered id in
+  let body_bytes m = App_msg.rb_body_bytes m + vc_bytes n in
+  let deliverable st (m : App_msg.t) (vc : int array) =
+    let origin = App_msg.origin m in
+    let ok = ref (vc.(origin) = st.vc.(origin) + 1) in
+    Array.iteri (fun i v -> if i <> origin && v > st.vc.(i) then ok := false) vc;
+    !ok
+  in
+  let rec try_deliver p =
+    let st = states.(p) in
+    match List.find_opt (fun (m, vc) -> deliverable st m vc) st.pending with
+    | None -> ()
+    | Some ((m, vc) as entry) ->
+        st.pending <- List.filter (fun e -> e != entry) st.pending;
+        ignore vc;
+        Msg_id.Table.add st.delivered m.App_msg.id ();
+        st.vc.(App_msg.origin m) <- st.vc.(App_msg.origin m) + 1;
+        Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.App_msg.id));
+        deliver p m;
+        try_deliver p
+  in
+  let accept p (m : App_msg.t) (vc : int array) ~relay_from =
+    let st = states.(p) in
+    if
+      (not (Msg_id.Table.mem st.delivered m.id))
+      && not (List.exists (fun (m', _) -> Msg_id.equal m'.App_msg.id m.id) st.pending)
+    then begin
+      (* Relay once (flood), then buffer until causally deliverable. *)
+      if not (Msg_id.Table.mem st.relayed m.id) then begin
+        Msg_id.Table.add st.relayed m.id ();
+        let dsts =
+          List.filter
+            (fun q ->
+              (not (Pid.equal q (App_msg.origin m)))
+              && match relay_from with Some s -> not (Pid.equal q s) | None -> true)
+            (Pid.others ~n p)
+        in
+        Transport.multicast transport ~src:p ~dsts ~layer ~body_bytes:(body_bytes m)
+          (Data (m, vc))
+      end;
+      st.pending <- (m, vc) :: st.pending;
+      try_deliver p
+    end
+  in
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (fun msg ->
+          match msg.Message.payload with
+          | Data (m, vc) -> accept p m vc ~relay_from:(Some msg.Message.src)
+          | _ -> ()))
+    (Pid.all ~n);
+  let broadcast ~src (m : App_msg.t) =
+    if Engine.is_alive engine src then begin
+      let st = states.(src) in
+      (* The sender's VC stamped with its own next slot. *)
+      let vc = Array.copy st.vc in
+      vc.(src) <- vc.(src) + 1;
+      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Transport.send_to_others transport ~src ~layer ~body_bytes:(body_bytes m)
+        (Data (m, vc));
+      (* Local delivery is immediate: nothing can causally precede a
+         message at its own origin that the origin has not delivered. *)
+      Msg_id.Table.add st.delivered m.id ();
+      Msg_id.Table.add st.relayed m.id ();
+      st.vc.(src) <- st.vc.(src) + 1;
+      Engine.record engine src (Trace.Rdeliver (Msg_id.to_string m.id));
+      deliver src m
+    end
+  in
+  { Broadcast_intf.name = "causal(O(n^2))"; broadcast; holds }

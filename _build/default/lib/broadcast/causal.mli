@@ -1,0 +1,19 @@
+(** Causal-order reliable broadcast (Birman–Schiper–Stephenson style).
+
+    Messages carry the sender's vector clock; a receiver delivers [m]
+    broadcast by [q] only once it has delivered every message that
+    causally precedes [m]: [VC_m(q) = local(q) + 1] and
+    [VC_m(i) <= local(i)] for [i ≠ q].  Dissemination is the O(n²) flood
+    of {!Rb_flood}; the vector adds [4·n] bytes to every wire message,
+    which the byte accounting reflects.
+
+    Causal order implies FIFO order; it does {e not} imply total order —
+    concurrent messages may be delivered in different relative orders at
+    different processes, which is exactly the gap atomic broadcast (the
+    paper's subject) closes. *)
+
+val layer : string
+(** ["cb"]. *)
+
+val create :
+  Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle

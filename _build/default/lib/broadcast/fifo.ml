@@ -1,0 +1,43 @@
+module Pid = Ics_sim.Pid
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+
+type origin_state = { mutable next : int; pending : (int, App_msg.t) Hashtbl.t }
+
+type proc_state = { by_origin : (Pid.t, origin_state) Hashtbl.t }
+
+let origin_state st origin =
+  match Hashtbl.find_opt st.by_origin origin with
+  | Some s -> s
+  | None ->
+      let s = { next = 0; pending = Hashtbl.create 8 } in
+      Hashtbl.add st.by_origin origin s;
+      s
+
+let create ~inner ~deliver =
+  (* One reordering buffer per (receiver, origin) pair; sized lazily. *)
+  let states : (Pid.t, proc_state) Hashtbl.t = Hashtbl.create 8 in
+  let proc_state p =
+    match Hashtbl.find_opt states p with
+    | Some s -> s
+    | None ->
+        let s = { by_origin = Hashtbl.create 8 } in
+        Hashtbl.add states p s;
+        s
+  in
+  let reorder p (m : App_msg.t) =
+    let os = origin_state (proc_state p) (App_msg.origin m) in
+    Hashtbl.replace os.pending m.id.Msg_id.seq m;
+    let rec flush () =
+      match Hashtbl.find_opt os.pending os.next with
+      | Some m' ->
+          Hashtbl.remove os.pending os.next;
+          os.next <- os.next + 1;
+          deliver p m';
+          flush ()
+      | None -> ()
+    in
+    flush ()
+  in
+  let handle = inner ~deliver:reorder in
+  { handle with Broadcast_intf.name = "fifo(" ^ handle.Broadcast_intf.name ^ ")" }

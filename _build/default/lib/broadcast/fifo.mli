@@ -1,0 +1,21 @@
+(** FIFO-order reliable broadcast.
+
+    A standard layer of the group-communication stacks the paper situates
+    itself in ([3], [9]): messages from the same origin are delivered in
+    the order they were broadcast.  Built by sequencing on top of any
+    reliable broadcast implementation — the identifier's per-origin
+    sequence number ({!Ics_net.Msg_id.t.seq}) is the FIFO index, so
+    messages from origin [q] are held back until all of [q]'s earlier
+    messages have been delivered.
+
+    Senders must allocate consecutive sequence numbers per origin
+    (starting at 0), which is what {!Ics_core.Abcast.abroadcast} and the
+    tests do. *)
+
+val create :
+  inner:(deliver:Broadcast_intf.deliver -> Broadcast_intf.handle) ->
+  deliver:Broadcast_intf.deliver ->
+  Broadcast_intf.handle
+(** [create ~inner ~deliver] builds the underlying broadcast with a
+    reordering buffer in between.  [holds] reflects the {e inner} layer
+    (payload possession, not FIFO deliverability). *)

@@ -1,0 +1,84 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Failure_detector = Ics_fd.Failure_detector
+
+type Message.payload += Data of App_msg.t
+
+let layer = "rb"
+
+type proc_state = {
+  delivered : App_msg.t Msg_id.Table.t;  (* id -> message, also the store *)
+  relayed : unit Msg_id.Table.t;
+  by_origin : (Pid.t, App_msg.t list ref) Hashtbl.t;
+}
+
+let create transport ~fd ~deliver =
+  let engine = Transport.engine transport in
+  let n = Transport.n transport in
+  let states =
+    Array.init n (fun _ ->
+        {
+          delivered = Msg_id.Table.create 64;
+          relayed = Msg_id.Table.create 16;
+          by_origin = Hashtbl.create 8;
+        })
+  in
+  let holds p id = Msg_id.Table.mem states.(p).delivered id in
+  let remember p (m : App_msg.t) =
+    let origin = App_msg.origin m in
+    let bucket =
+      match Hashtbl.find_opt states.(p).by_origin origin with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add states.(p).by_origin origin b;
+          b
+    in
+    bucket := m :: !bucket
+  in
+  let deliver_local p (m : App_msg.t) =
+    let st = states.(p) in
+    if not (Msg_id.Table.mem st.delivered m.id) then begin
+      Msg_id.Table.add st.delivered m.id m;
+      remember p m;
+      Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.id));
+      deliver p m
+    end
+  in
+  let relay p (m : App_msg.t) =
+    let st = states.(p) in
+    if not (Msg_id.Table.mem st.relayed m.id) then begin
+      Msg_id.Table.add st.relayed m.id ();
+      Transport.send_to_others transport ~src:p ~layer
+        ~body_bytes:(App_msg.rb_body_bytes m) (Data m)
+    end
+  in
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (fun msg ->
+          match msg.Message.payload with
+          | Data m ->
+              deliver_local p m;
+              (* If the origin is already suspected when its message shows
+                 up (e.g. it crashed mid-multicast), relay right away. *)
+              if Failure_detector.is_suspected fd ~by:p (App_msg.origin m) then relay p m
+          | _ -> ());
+      Failure_detector.on_suspect fd ~observer:p (fun suspect ->
+          match Hashtbl.find_opt states.(p).by_origin suspect with
+          | None -> ()
+          | Some bucket -> List.iter (relay p) !bucket))
+    (Pid.all ~n);
+  let broadcast ~src (m : App_msg.t) =
+    if Engine.is_alive engine src then begin
+      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
+        (Data m);
+      deliver_local src m
+    end
+  in
+  { Broadcast_intf.name = "rb-fd(O(n))"; broadcast; holds }

@@ -1,0 +1,24 @@
+(** Reliable broadcast with failure-detector-triggered relay — O(n)
+    messages per broadcast in good runs (§4.4, Figure 6).
+
+    The origin sends [m] to all other processes; receivers deliver
+    immediately and {e remember} [m].  A receiver relays the messages it
+    holds from origin [q] only when its failure detector suspects [q]
+    (each message is relayed at most once per process).  In failure- and
+    suspicion-free runs each broadcast therefore costs exactly [n-1]
+    messages; agreement under crashes is restored by the suspicion relays,
+    because strong completeness guarantees every crashed origin is
+    eventually suspected by every correct process.
+
+    A false suspicion merely causes redundant relays (duplicates are
+    filtered by first-receipt delivery), never a safety violation. *)
+
+val layer : string
+(** ["rb"] — same layer name as {!Rb_flood}; a stack installs one or the
+    other, never both. *)
+
+val create :
+  Ics_net.Transport.t ->
+  fd:Ics_fd.Failure_detector.t ->
+  deliver:Broadcast_intf.deliver ->
+  Broadcast_intf.handle

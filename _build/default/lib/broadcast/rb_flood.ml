@@ -1,0 +1,53 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+
+type Message.payload += Data of App_msg.t
+
+let layer = "rb"
+
+type proc_state = { delivered : unit Msg_id.Table.t }
+
+let create transport ~deliver =
+  let engine = Transport.engine transport in
+  let n = Transport.n transport in
+  let states = Array.init n (fun _ -> { delivered = Msg_id.Table.create 64 }) in
+  let holds p id = Msg_id.Table.mem states.(p).delivered id in
+  let deliver_local p (m : App_msg.t) =
+    let st = states.(p) in
+    if not (Msg_id.Table.mem st.delivered m.id) then begin
+      Msg_id.Table.add st.delivered m.id ();
+      Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.id));
+      deliver p m
+    end
+  in
+  let relay p (m : App_msg.t) =
+    let origin = App_msg.origin m in
+    let dsts = List.filter (fun q -> not (Pid.equal q origin)) (Pid.others ~n p) in
+    Transport.multicast transport ~src:p ~dsts ~layer ~body_bytes:(App_msg.rb_body_bytes m)
+      (Data m)
+  in
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (fun msg ->
+          match msg.Message.payload with
+          | Data m ->
+              if not (holds p m.App_msg.id) then begin
+                relay p m;
+                deliver_local p m
+              end
+          | _ -> ()))
+    (Pid.all ~n);
+  let broadcast ~src (m : App_msg.t) =
+    if Engine.is_alive engine src then begin
+      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
+        (Data m);
+      deliver_local src m
+    end
+  in
+  { Broadcast_intf.name = "rb-flood(O(n^2))"; broadcast; holds }

@@ -1,0 +1,24 @@
+(** Reliable broadcast by flooding — the O(n²) algorithm of Chandra &
+    Toueg [2].
+
+    To R-broadcast [m], the origin sends [m] to all other processes and
+    delivers it locally.  On the first receipt of [m], a process relays it
+    to every process other than itself and the origin, then delivers.  Each
+    broadcast thus costs [(n-1) + (n-1)(n-2) = O(n²)] messages but a single
+    communication step of delivery latency in good runs.
+
+    Properties (all proved by the relay-on-first-receipt structure, assuming
+    reliable channels and crash-stop faults): Validity, Uniform integrity,
+    and Agreement — if a {e correct} process delivers [m], every correct
+    process eventually delivers [m].  Note the agreement is {e not} uniform:
+    a process that delivers [m] and crashes before relaying may be the only
+    one that ever saw [m].  That gap is precisely what breaks atomic
+    broadcast when consensus runs on raw identifiers (§2.2). *)
+
+val layer : string
+(** Transport layer name, ["rb"]. *)
+
+val create :
+  Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle
+(** Installs handlers for every process.  [deliver] is called exactly once
+    per (alive process, message), in a zero-time event after receipt. *)

@@ -1,0 +1,111 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Wire = Ics_net.Wire
+
+type Message.payload +=
+  | Data of App_msg.t
+  | Ack of Msg_id.t
+  | Pull of Msg_id.t
+
+let layer = "urb"
+
+type entry = {
+  mutable payload : App_msg.t option;
+  mutable ackers : Pid.t list;  (* distinct processes whose ack we counted *)
+  mutable acked : bool;  (* did we ack ourselves *)
+  mutable pulled : bool;  (* did we already issue a pull *)
+  mutable delivered : bool;
+}
+
+type proc_state = { entries : entry Msg_id.Table.t }
+
+let create transport ~deliver =
+  let engine = Transport.engine transport in
+  let n = Transport.n transport in
+  let majority = (n + 2) / 2 in
+  (* ⌈(n+1)/2⌉ *)
+  let states = Array.init n (fun _ -> { entries = Msg_id.Table.create 64 }) in
+  let entry p id =
+    match Msg_id.Table.find_opt states.(p).entries id with
+    | Some e -> e
+    | None ->
+        let e =
+          { payload = None; ackers = []; acked = false; pulled = false; delivered = false }
+        in
+        Msg_id.Table.add states.(p).entries id e;
+        e
+  in
+  let holds p id =
+    match Msg_id.Table.find_opt states.(p).entries id with
+    | Some { payload = Some _; _ } -> true
+    | _ -> false
+  in
+  let try_deliver p id e =
+    match e.payload with
+    | Some m when (not e.delivered) && List.length e.ackers >= majority ->
+        e.delivered <- true;
+        Engine.record engine p (Trace.Urb_deliver (Msg_id.to_string id));
+        deliver p m
+    | _ -> ()
+  in
+  let count_ack p id e q =
+    if not (List.exists (Pid.equal q) e.ackers) then begin
+      e.ackers <- q :: e.ackers;
+      try_deliver p id e
+    end
+  in
+  let ack_out p id e =
+    if not e.acked then begin
+      e.acked <- true;
+      Transport.send_to_others transport ~src:p ~layer ~body_bytes:Wire.ack_bytes (Ack id);
+      count_ack p id e p
+    end
+  in
+  let store p (m : App_msg.t) =
+    let e = entry p m.id in
+    if e.payload = None then begin
+      e.payload <- Some m;
+      ack_out p m.id e
+    end
+  in
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (fun msg ->
+          match msg.Message.payload with
+          | Data m -> store p m
+          | Ack id ->
+              let e = entry p id in
+              let fresh = not (List.exists (Pid.equal msg.Message.src) e.ackers) in
+              count_ack p id e msg.Message.src;
+              (* Missing payload but the acker has it: fetch.  Pulling from
+                 every distinct acker (at most n-1 of them) keeps liveness
+                 even if some pull targets crash before responding — the
+                 majority rule guarantees a correct acker exists once
+                 delivery is possible anywhere. *)
+              if fresh && e.payload = None then begin
+                e.pulled <- true;
+                Transport.send transport ~src:p ~dst:msg.Message.src ~layer
+                  ~body_bytes:Wire.ack_bytes (Pull id)
+              end
+          | Pull id -> (
+              match Msg_id.Table.find_opt states.(p).entries id with
+              | Some { payload = Some m; _ } ->
+                  Transport.send transport ~src:p ~dst:msg.Message.src ~layer
+                    ~body_bytes:(App_msg.rb_body_bytes m) (Data m)
+              | _ -> ())
+          | _ -> ()))
+    (Pid.all ~n);
+  let broadcast ~src (m : App_msg.t) =
+    if Engine.is_alive engine src then begin
+      Engine.record engine src (Trace.Urb_broadcast (Msg_id.to_string m.id));
+      Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
+        (Data m);
+      store src m
+    end
+  in
+  { Broadcast_intf.name = "urb(O(n^2))"; broadcast; holds }

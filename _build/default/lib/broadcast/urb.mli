@@ -1,0 +1,29 @@
+(** Uniform reliable broadcast — the all-ack algorithm the paper benchmarks
+    against in §4.4.
+
+    To URB-broadcast [m], the origin sends [m] to all other processes.  On
+    first learning of [m] (by receiving its payload), a process acknowledges
+    [m]'s identifier to everybody.  A process {e urb-delivers} [m] once it
+    holds the payload and has counted acknowledgements from a majority
+    [⌈(n+1)/2⌉] of processes — hence a decision to deliver implies at least
+    one {e correct} process holds [m], which is what makes agreement
+    uniform: even a process that delivers and immediately crashes is
+    guaranteed that all correct processes eventually deliver [m] too.
+
+    A process that sees acknowledgements for an identifier whose payload it
+    is missing (origin crashed mid-multicast) pulls the payload from an
+    acknowledger, then acknowledges in turn — completing agreement without
+    shipping payloads inside every ack.
+
+    Cost in good runs: [n-1] payload messages plus [n(n-1)] acks = O(n²)
+    messages, and 2 communication steps before delivery — one step more
+    than reliable broadcast, which is the latency gap Figures 5–7
+    measure.  Tolerates [f < n/2] crashes. *)
+
+val layer : string
+(** ["urb"]. *)
+
+val create :
+  Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle
+(** [holds] on the returned handle reports payload possession (not
+    delivery), which is what an [rcv]-style predicate needs. *)

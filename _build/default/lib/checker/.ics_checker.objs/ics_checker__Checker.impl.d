@@ -1,0 +1,1 @@
+lib/checker/checker.ml: Array Format Hashtbl Ics_sim Int List Printf Set String

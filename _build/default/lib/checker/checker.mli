@@ -1,0 +1,112 @@
+(** Trace-based property checking.
+
+    Every run of the simulator produces a {!Ics_sim.Trace.t}; this module
+    replays a trace against the formal specifications of §2 of the paper
+    and reports violations with enough detail to debug.  Checks are
+    end-of-run (the "eventually" of liveness properties is interpreted as
+    "by the quiescent end of the run", so liveness checks are only
+    meaningful for runs that reached quiescence).
+
+    Checked abstractions:
+    - {e reliable broadcast}: Validity, Uniform integrity, Agreement;
+    - {e uniform reliable broadcast}: the above plus Uniform agreement;
+    - {e consensus / indirect consensus}: Uniform integrity, Uniform
+      agreement, Uniform validity, Termination, and the {b No loss}
+      property (every decided identifier is eventually held by some
+      correct process — approximated on traces as: some correct process
+      eventually rdelivers it);
+    - {e atomic broadcast}: Validity, Uniform integrity, Uniform
+      agreement, Uniform total order. *)
+
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+
+type violation = {
+  property : string;  (** e.g. ["abcast.validity"] *)
+  culprit : Pid.t option;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type verdict = { violations : violation list; checked : string list }
+
+val ok : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** The crash/correctness view extracted from a trace. *)
+module Run : sig
+  type t
+
+  val of_trace : Trace.t -> n:int -> t
+  val n : t -> int
+  val correct : t -> Pid.t list
+  (** Processes with no [Crash] event in the trace. *)
+
+  val crashed : t -> Pid.t list
+  val crash_time : t -> Pid.t -> Time.t option
+
+  val abroadcasts : t -> (Pid.t * string * Time.t) list
+  val adeliveries : t -> Pid.t -> string list
+  (** Identifiers in delivery order at one process. *)
+
+  val rdeliveries : t -> Pid.t -> string list
+  val decisions : t -> (Pid.t * int * string list) list
+
+  val rbroadcasts : t -> (Pid.t * string) list
+  (** Broadcast-layer send events, chronological. *)
+
+  val local_events : t -> Pid.t -> [ `Bcast of string | `Deliv of string ] list
+  (** One process's broadcast-layer events in local order. *)
+end
+
+val check_reliable_broadcast : Run.t -> verdict
+(** Validity (a correct broadcaster delivers its own message), Uniform
+    integrity (at most once, only if broadcast), Agreement (a delivery by a
+    correct process implies delivery by all correct processes). *)
+
+val check_uniform_broadcast : Run.t -> verdict
+(** As above with {e uniform} agreement: any delivery (even by a process
+    that later crashed) implies delivery by all correct processes. *)
+
+val check_consensus : Run.t -> verdict
+(** Per instance: Uniform integrity (one decision per process), Uniform
+    agreement (all decisions equal), Uniform validity (the decision was
+    proposed, id-wise: every decided identifier appeared in some
+    proposal), Termination (every correct process that proposed or that
+    saw any proposal decides). *)
+
+val check_no_loss : ?strict:bool -> Run.t -> verdict
+(** The indirect-consensus No-loss property, §2.3.
+
+    Default (eventual) reading: every identifier in any decision is
+    eventually rdelivered (payload held) by at least one correct process.
+
+    With [~strict:true], the paper's exact statement is checked: {e at the
+    time of the first decision} on a value, some correct process already
+    held every payload — the v-stability the algorithms establish before
+    deciding (§3.1).  The correct indirect algorithms satisfy the strict
+    reading; a stack that merely repairs payloads after the fact would
+    pass the eventual check and fail the strict one. *)
+
+val check_fifo_order : Run.t -> verdict
+(** FIFO broadcast order: each process delivers any origin's messages as a
+    prefix of that origin's broadcast order. *)
+
+val check_causal_order : Run.t -> verdict
+(** Causal broadcast order: if [m1] was broadcast or delivered at [m2]'s
+    origin before [m2] was broadcast, every process delivers [m1] before
+    [m2] (and never [m2] without [m1]).  Implies {!check_fifo_order}. *)
+
+val check_atomic_broadcast : Run.t -> verdict
+(** Validity (correct broadcasters' messages are delivered by all correct
+    processes), Uniform integrity (each delivery happens at most once and
+    only for broadcast messages), Uniform agreement (any process's
+    delivery is eventually delivered by all correct processes), Uniform
+    total order (all delivery sequences are prefix-compatible, crashed
+    processes included). *)
+
+val check_all_abcast : Run.t -> verdict
+(** Union of {!check_atomic_broadcast}, {!check_consensus} and
+    {!check_no_loss} in both readings (eventual and strict). *)

@@ -1,0 +1,1 @@
+lib/consensus/consensus_intf.mli: Ics_net Ics_sim Proposal

@@ -1,0 +1,1 @@
+lib/consensus/ct.ml: Array Consensus_intf Hashtbl Ics_fd Ics_net Ics_sim List Proposal Quorum

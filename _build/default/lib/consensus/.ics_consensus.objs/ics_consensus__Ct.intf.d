@@ -1,0 +1,1 @@
+lib/consensus/ct.mli: Consensus_intf Ics_fd Ics_net

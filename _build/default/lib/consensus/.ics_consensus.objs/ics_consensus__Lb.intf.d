@@ -1,0 +1,1 @@
+lib/consensus/lb.mli: Consensus_intf Ics_fd Ics_net

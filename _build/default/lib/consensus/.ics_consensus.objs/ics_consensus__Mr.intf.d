@@ -1,0 +1,1 @@
+lib/consensus/mr.mli: Consensus_intf Ics_fd Ics_net

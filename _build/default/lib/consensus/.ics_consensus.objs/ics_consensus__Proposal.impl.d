@@ -1,0 +1,1 @@
+lib/consensus/proposal.ml: Format Ics_net List String

@@ -1,0 +1,1 @@
+lib/consensus/proposal.mli: Format Ics_net

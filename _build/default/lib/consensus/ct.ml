@@ -1,0 +1,291 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Host = Ics_net.Host
+module Wire = Ics_net.Wire
+module Failure_detector = Ics_fd.Failure_detector
+
+type Message.payload +=
+  | Est of { k : int; r : int; est : Proposal.t; ts : int }
+  | Prop of { k : int; r : int; est : Proposal.t }
+  | Ack of { k : int; r : int; ok : bool }
+  | Decide of { k : int; est : Proposal.t }
+
+type config = { layer : string; rcv : Consensus_intf.rcv option }
+
+(* Coordinator-side state of the round the process currently leads. *)
+type coord_phase =
+  | Not_coordinator
+  | Collecting  (* Phase 2, r > 1: gathering estimates *)
+  | Waiting_acks of Proposal.t  (* Phase 4: proposal sent, counting replies *)
+
+type inst = {
+  k : int;
+  mutable estimate : Proposal.t;  (* estimate_p *)
+  mutable ts : int;
+  mutable r : int;
+  mutable coord : coord_phase;
+  mutable waiting_prop : bool;  (* Phase 3 *)
+  mutable decided : bool;
+  est_in : (int, (Pid.t * int * Proposal.t) list ref) Hashtbl.t;
+  prop_in : (int, Proposal.t) Hashtbl.t;
+  acks_in : (int, (int ref * int ref)) Hashtbl.t;  (* round -> acks, nacks *)
+}
+
+type proc = { pid : Pid.t; instances : (int, inst) Hashtbl.t }
+
+let get_list tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add tbl key l;
+      l
+
+let get_counts tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.add tbl key c;
+      c
+
+let create transport fd config (cb : Consensus_intf.callbacks) =
+  let engine = Transport.engine transport in
+  let host = Transport.host transport in
+  let n = Transport.n transport in
+  let majority = Quorum.majority ~n in
+  let layer = config.layer in
+  let procs =
+    Array.init n (fun pid -> { pid; instances = Hashtbl.create 16 })
+  in
+  let send ~src ~dst ~bytes payload =
+    Transport.send transport ~src ~dst ~layer ~body_bytes:bytes payload
+  in
+  let send_all ~src ~bytes payload =
+    Transport.send_to_all transport ~src ~layer ~body_bytes:bytes payload
+  in
+
+  (* Evaluate the rcv predicate (indirect variant), charging its CPU cost;
+     the original variant adopts unconditionally and costs nothing. *)
+  let accepts p (est : Proposal.t) =
+    match config.rcv with
+    | None -> true
+    | Some rcv ->
+        let ids = Proposal.ids est in
+        Transport.charge_cpu transport p (Host.rcv_check_cost host ~ids:(List.length ids));
+        rcv p ids
+  in
+
+  let decide_flood p inst est ~relay_from =
+    if not inst.decided then begin
+      inst.decided <- true;
+      inst.waiting_prop <- false;
+      inst.coord <- Not_coordinator;
+      let dsts =
+        List.filter
+          (fun q -> match relay_from with Some src -> not (Pid.equal q src) | None -> true)
+          (Pid.others ~n p)
+      in
+      Transport.multicast transport ~src:p ~dsts ~layer
+        ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes est))
+        (Decide { k = inst.k; est });
+      Engine.record engine p (Trace.Decide (inst.k, Proposal.describe est));
+      cb.on_decide p inst.k est
+    end
+  in
+
+  (* Phase 4 check: the coordinator decides on a majority of acks and gives
+     up the round on the first nack. *)
+  let rec coord_check_acks p inst =
+    match inst.coord with
+    | Waiting_acks proposal ->
+        let acks, nacks = get_counts inst.acks_in inst.r in
+        if !acks >= majority then decide_flood p inst proposal ~relay_from:None
+        else if !nacks >= 1 then advance_round p inst
+    | Not_coordinator | Collecting -> ()
+
+  (* Phase 2, rounds > 1: with a majority of estimates in hand, propose one
+     carrying the largest timestamp. *)
+  and coord_check_estimates p inst =
+    match inst.coord with
+    | Collecting ->
+        let ests = !(get_list inst.est_in inst.r) in
+        if List.length ests >= majority then begin
+          let _, _, best =
+            List.fold_left
+              (fun ((_, bts, _) as acc) ((_, ts, _) as e) ->
+                if ts > bts then e else acc)
+              (List.hd ests) (List.tl ests)
+          in
+          inst.coord <- Waiting_acks best;
+          send_all ~src:p ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes best))
+            (Prop { k = inst.k; r = inst.r; est = best });
+          coord_check_acks p inst
+        end
+    | Not_coordinator | Waiting_acks _ -> ()
+
+  (* Phase 3: react to the coordinator's proposal for the current round. *)
+  and handle_prop p inst (est : Proposal.t) =
+    if inst.waiting_prop then begin
+      inst.waiting_prop <- false;
+      let c = Pid.coordinator ~n ~round:inst.r in
+      let ok = accepts p est in
+      if ok then begin
+        inst.estimate <- est;
+        inst.ts <- inst.r
+      end;
+      send ~src:p ~dst:c ~bytes:Wire.ack_bytes (Ack { k = inst.k; r = inst.r; ok });
+      if not (Pid.equal p c) then advance_round p inst
+    end
+
+  and enter_phase3 p inst =
+    inst.waiting_prop <- true;
+    let c = Pid.coordinator ~n ~round:inst.r in
+    match Hashtbl.find_opt inst.prop_in inst.r with
+    | Some est -> handle_prop p inst est
+    | None ->
+        if Failure_detector.is_suspected fd ~by:p c then begin
+          inst.waiting_prop <- false;
+          send ~src:p ~dst:c ~bytes:Wire.ack_bytes (Ack { k = inst.k; r = inst.r; ok = false });
+          if not (Pid.equal p c) then advance_round p inst
+        end
+
+  and start_round p inst =
+    if not inst.decided then begin
+      let c = Pid.coordinator ~n ~round:inst.r in
+      (* Phase 1: send the timestamped estimate to the coordinator. *)
+      if inst.r > 1 then
+        send ~src:p ~dst:c
+          ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+          (Est { k = inst.k; r = inst.r; est = inst.estimate; ts = inst.ts });
+      (* Phase 2 entry for the coordinator. *)
+      if Pid.equal p c then begin
+        if inst.r = 1 then begin
+          (* First round: the coordinator proposes its own estimate without
+             gathering (Algorithm 2 line 20). *)
+          inst.coord <- Waiting_acks inst.estimate;
+          send_all ~src:p
+            ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+            (Prop { k = inst.k; r = 1; est = inst.estimate })
+        end
+        else begin
+          inst.coord <- Collecting;
+          coord_check_estimates p inst
+        end
+      end
+      else inst.coord <- Not_coordinator;
+      enter_phase3 p inst;
+      (* Replies may already be buffered if this process lags behind. *)
+      coord_check_acks p inst
+    end
+
+  and advance_round p inst =
+    if not inst.decided then begin
+      inst.r <- inst.r + 1;
+      inst.coord <- Not_coordinator;
+      inst.waiting_prop <- false;
+      start_round p inst
+    end
+  in
+
+  let new_instance p k estimate =
+    let inst =
+      {
+        k;
+        estimate;
+        ts = 0;
+        r = 1;
+        coord = Not_coordinator;
+        waiting_prop = false;
+        decided = false;
+        est_in = Hashtbl.create 8;
+        prop_in = Hashtbl.create 8;
+        acks_in = Hashtbl.create 8;
+      }
+    in
+    Hashtbl.add procs.(p).instances k inst;
+    Engine.record engine p (Trace.Propose (k, Proposal.describe estimate));
+    inst
+  in
+
+  (* Find the instance, joining it (with the AB layer's current candidate
+     value) if an instance-k message reaches a process that has not proposed
+     yet — required for quorum liveness. *)
+  let get_inst p k =
+    match Hashtbl.find_opt procs.(p).instances k with
+    | Some inst -> inst
+    | None ->
+        let inst = new_instance p k (cb.join p k) in
+        start_round p inst;
+        inst
+  in
+
+  let on_message p (msg : Message.t) =
+    match msg.payload with
+    | Est { k; r; est; ts } ->
+        let inst = get_inst p k in
+        if (not inst.decided) && r >= inst.r then begin
+          let l = get_list inst.est_in r in
+          l := (msg.src, ts, est) :: !l;
+          if r = inst.r then coord_check_estimates p inst
+        end
+    | Prop { k; r; est } ->
+        let inst = get_inst p k in
+        if (not inst.decided) && r >= inst.r then begin
+          Hashtbl.replace inst.prop_in r est;
+          if r = inst.r then handle_prop p inst est
+        end
+    | Ack { k; r; ok } ->
+        let inst = get_inst p k in
+        if (not inst.decided) && r >= inst.r then begin
+          let acks, nacks = get_counts inst.acks_in r in
+          if ok then incr acks else incr nacks;
+          if r = inst.r then coord_check_acks p inst
+        end
+    | Decide { k; est } ->
+        let inst =
+          match Hashtbl.find_opt procs.(p).instances k with
+          | Some inst -> inst
+          | None ->
+              (* A decision can reach a process that never participated:
+                 adopt it without running any round. *)
+              let inst = new_instance p k est in
+              inst
+        in
+        decide_flood p inst est ~relay_from:(Some msg.src)
+    | _ -> ()
+  in
+
+  let on_suspect p suspect =
+    Hashtbl.iter
+      (fun _ inst ->
+        if
+          (not inst.decided) && inst.waiting_prop
+          && Pid.equal (Pid.coordinator ~n ~round:inst.r) suspect
+        then begin
+          inst.waiting_prop <- false;
+          send ~src:p ~dst:suspect ~bytes:Wire.ack_bytes
+            (Ack { k = inst.k; r = inst.r; ok = false });
+          advance_round p inst
+        end)
+      procs.(p).instances
+  in
+
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (on_message p);
+      Failure_detector.on_suspect fd ~observer:p (on_suspect p))
+    (Pid.all ~n);
+
+  let propose p k value =
+    if Engine.is_alive engine p && not (Hashtbl.mem procs.(p).instances k) then begin
+      let inst = new_instance p k value in
+      start_round p inst
+    end
+  in
+  let has_instance p k = Hashtbl.mem procs.(p).instances k in
+  let name = match config.rcv with None -> "ct" | Some _ -> "ct-indirect" in
+  { Consensus_intf.name; propose; has_instance }

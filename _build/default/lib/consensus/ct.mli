@@ -1,0 +1,48 @@
+(** Chandra–Toueg ◇S consensus (original and indirect — Algorithm 2).
+
+    The algorithm proceeds in asynchronous rounds with a rotating
+    coordinator and requires a majority of correct processes ([f < n/2]).
+    Round [r] at process [p]:
+
+    + {e Phase 1} (if [r > 1]): [p] sends its timestamped estimate to the
+      round's coordinator.
+    + {e Phase 2} (coordinator): in round 1 the coordinator proposes its own
+      estimate; in later rounds it gathers ⌈(n+1)/2⌉ estimates and proposes
+      one with the largest timestamp.  The proposal is sent to all
+      (including itself).
+    + {e Phase 3}: [p] waits for the coordinator's proposal or a suspicion
+      from its failure detector.  On a proposal: the {b original} variant
+      always adopts it (estimate ← proposal, timestamp ← r) and acks; the
+      {b indirect} variant first evaluates [rcv] on the proposal and nacks
+      without adopting when payloads are missing (Algorithm 2 lines
+      25–30) — the coordinator's selected value ({e estimate_c}) thus stays
+      distinct from each process's own estimate ({e estimate_p}).  On a
+      suspicion: nack.  Non-coordinators then move to round [r+1].
+    + {e Phase 4} (coordinator): wait for ⌈(n+1)/2⌉ acks (then R-broadcast
+      the decision) or a single nack (then move to round [r+1]).
+
+    Decisions are disseminated by flooding ("R-broadcast the decide
+    message"), so a coordinator crash after deciding cannot block anyone.
+
+    The indirect variant preserves the original resilience [f < n/2]: a
+    v-valent configuration requires a majority holding estimate [v], each
+    of which either started with [v] (and holds [msgs(v)] by construction
+    of the atomic broadcast layer) or passed the [rcv] check — so the
+    configuration is v-stable (§3.2.3). *)
+
+module Transport = Ics_net.Transport
+module Failure_detector = Ics_fd.Failure_detector
+
+type config = {
+  layer : string;  (** transport layer name, e.g. ["consensus"] *)
+  rcv : Consensus_intf.rcv option;
+      (** [None]: original algorithm (always adopt — used both for
+          consensus on messages and for the {e faulty} consensus on raw
+          identifiers).  [Some rcv]: the indirect algorithm; each [rcv]
+          evaluation also charges its CPU cost
+          ({!Ics_net.Host.rcv_check_cost}). *)
+}
+
+val create :
+  Transport.t -> Failure_detector.t -> config -> Consensus_intf.callbacks ->
+  Consensus_intf.handle

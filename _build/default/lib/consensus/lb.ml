@@ -1,0 +1,259 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Host = Ics_net.Host
+module Wire = Ics_net.Wire
+module Failure_detector = Ics_fd.Failure_detector
+
+type Message.payload +=
+  | Kick of { k : int }  (* non-leader proposer nudges the leader *)
+  | Prepare of { k : int; b : int }
+  | Promise of { k : int; b : int; accepted : (int * Proposal.t) option }
+  | Accept of { k : int; b : int; v : Proposal.t }
+  | Accepted of { k : int; b : int }
+  | Nack of { k : int; b : int; promised : int }
+  | Decide of { k : int; v : Proposal.t }
+
+type config = { layer : string; rcv : Consensus_intf.rcv option }
+
+type leader_phase = Idle | Preparing | Accepting of Proposal.t
+
+type inst = {
+  k : int;
+  mutable estimate : Proposal.t;
+  mutable promised : int;  (* highest ballot promised; -1 = none *)
+  mutable accepted : (int * Proposal.t) option;
+  mutable decided : bool;
+  mutable highest_seen : int;  (* highest ballot observed anywhere *)
+  (* leader-side state for the ballot this process currently drives *)
+  mutable my_ballot : int;  (* -1 = never initiated *)
+  mutable phase : leader_phase;
+  mutable promises : (int * Proposal.t) option list;
+  mutable accepts : int;
+}
+
+type proc = { pid : Pid.t; instances : (int, inst) Hashtbl.t }
+
+(* Smallest ballot owned by [p] strictly greater than [above]. *)
+let next_ballot ~n ~p ~above =
+  let b0 = above + 1 in
+  let off = (((p - b0) mod n) + n) mod n in
+  b0 + off
+
+let create transport fd config (cb : Consensus_intf.callbacks) =
+  let engine = Transport.engine transport in
+  let host = Transport.host transport in
+  let n = Transport.n transport in
+  let majority = Quorum.majority ~n in
+  let layer = config.layer in
+  let procs = Array.init n (fun pid -> { pid; instances = Hashtbl.create 16 }) in
+
+  let send ~src ~dst ~bytes payload =
+    Transport.send transport ~src ~dst ~layer ~body_bytes:bytes payload
+  in
+  let send_all ~src ~bytes payload =
+    Transport.send_to_all transport ~src ~layer ~body_bytes:bytes payload
+  in
+
+  let rcv_holds p (v : Proposal.t) =
+    match config.rcv with
+    | None -> true
+    | Some rcv ->
+        let ids = Proposal.ids v in
+        Transport.charge_cpu transport p (Host.rcv_check_cost host ~ids:(List.length ids));
+        rcv p ids
+  in
+
+  let decide_flood p inst v ~relay_from =
+    if not inst.decided then begin
+      inst.decided <- true;
+      inst.phase <- Idle;
+      let dsts =
+        List.filter
+          (fun q -> match relay_from with Some src -> not (Pid.equal q src) | None -> true)
+          (Pid.others ~n p)
+      in
+      Transport.multicast transport ~src:p ~dsts ~layer
+        ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes v))
+        (Decide { k = inst.k; v });
+      Engine.record engine p (Trace.Decide (inst.k, Proposal.describe v));
+      cb.on_decide p inst.k v
+    end
+  in
+
+  let start_ballot p inst =
+    if not inst.decided then begin
+      let b = next_ballot ~n ~p ~above:(max inst.highest_seen inst.my_ballot) in
+      inst.my_ballot <- b;
+      inst.highest_seen <- max inst.highest_seen b;
+      inst.promises <- [];
+      inst.accepts <- 0;
+      if b = 0 then begin
+        (* Nothing can have been accepted below ballot 0: go straight to
+           the accept phase with our own estimate. *)
+        inst.phase <- Accepting inst.estimate;
+        send_all ~src:p
+          ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+          (Accept { k = inst.k; b; v = inst.estimate })
+      end
+      else begin
+        inst.phase <- Preparing;
+        send_all ~src:p ~bytes:Wire.ack_bytes (Prepare { k = inst.k; b })
+      end
+    end
+  in
+
+  let new_instance p k estimate =
+    let inst =
+      {
+        k;
+        estimate;
+        promised = -1;
+        accepted = None;
+        decided = false;
+        highest_seen = -1;
+        my_ballot = -1;
+        phase = Idle;
+        promises = [];
+        accepts = 0;
+      }
+    in
+    Hashtbl.add procs.(p).instances k inst;
+    Engine.record engine p (Trace.Propose (k, Proposal.describe estimate));
+    inst
+  in
+
+  (* Drive or delegate: leaders start a ballot, everyone else nudges the
+     process they currently believe to be the leader. *)
+  let engage p inst =
+    if not inst.decided then begin
+      let l = Failure_detector.leader fd ~observer:p in
+      if Pid.equal l p then begin
+        if inst.phase = Idle then start_ballot p inst
+      end
+      else send ~src:p ~dst:l ~bytes:Wire.ack_bytes (Kick { k = inst.k })
+    end
+  in
+
+  let get_inst p k =
+    match Hashtbl.find_opt procs.(p).instances k with
+    | Some inst -> inst
+    | None ->
+        let inst = new_instance p k (cb.join p k) in
+        engage p inst;
+        inst
+  in
+
+  let leader_pick_value inst =
+    let best =
+      List.fold_left
+        (fun acc promise ->
+          match (acc, promise) with
+          | None, p -> p
+          | Some (ab, _), Some (pb, pv) when pb > ab -> Some (pb, pv)
+          | acc, _ -> acc)
+        None inst.promises
+    in
+    match best with Some (_, v) -> v | None -> inst.estimate
+  in
+
+  let on_message p (msg : Message.t) =
+    match msg.payload with
+    | Kick { k } ->
+        let inst = get_inst p k in
+        if Failure_detector.leader fd ~observer:p = p && inst.phase = Idle then
+          start_ballot p inst
+    | Prepare { k; b } ->
+        let inst = get_inst p k in
+        if not inst.decided then begin
+          inst.highest_seen <- max inst.highest_seen b;
+          if b >= inst.promised then begin
+            inst.promised <- b;
+            send ~src:p ~dst:msg.src
+              ~bytes:
+                (Wire.estimate_bytes
+                   (match inst.accepted with
+                   | Some (_, v) -> Proposal.wire_bytes v
+                   | None -> 0))
+              (Promise { k; b; accepted = inst.accepted })
+          end
+          else
+            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes
+              (Nack { k; b; promised = inst.promised })
+        end
+    | Promise { k; b; accepted } ->
+        let inst = get_inst p k in
+        if (not inst.decided) && inst.phase = Preparing && b = inst.my_ballot then begin
+          inst.promises <- accepted :: inst.promises;
+          if List.length inst.promises >= majority then begin
+            let v = leader_pick_value inst in
+            inst.phase <- Accepting v;
+            inst.accepts <- 0;
+            send_all ~src:p
+              ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes v))
+              (Accept { k; b; v })
+          end
+        end
+    | Accept { k; b; v } ->
+        let inst = get_inst p k in
+        if not inst.decided then begin
+          inst.highest_seen <- max inst.highest_seen b;
+          if b >= inst.promised && rcv_holds p v then begin
+            inst.promised <- b;
+            inst.accepted <- Some (b, v);
+            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes (Accepted { k; b })
+          end
+          else
+            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes
+              (Nack { k; b; promised = inst.promised })
+        end
+    | Accepted { k; b } ->
+        let inst = get_inst p k in
+        (match inst.phase with
+        | Accepting v when (not inst.decided) && b = inst.my_ballot ->
+            inst.accepts <- inst.accepts + 1;
+            if inst.accepts >= majority then decide_flood p inst v ~relay_from:None
+        | Accepting _ | Idle | Preparing -> ())
+    | Nack { k; b; promised } ->
+        let inst = get_inst p k in
+        if (not inst.decided) && b = inst.my_ballot && inst.phase <> Idle then begin
+          inst.highest_seen <- max inst.highest_seen promised;
+          inst.phase <- Idle;
+          (* Retry while we still believe we lead; otherwise defer to the
+             real leader (it will be kicked by the suspicion handler or by
+             other proposers). *)
+          if Failure_detector.leader fd ~observer:p = p then start_ballot p inst
+        end
+    | Decide { k; v } ->
+        let inst =
+          match Hashtbl.find_opt procs.(p).instances k with
+          | Some inst -> inst
+          | None -> new_instance p k v
+        in
+        decide_flood p inst v ~relay_from:(Some msg.src)
+    | _ -> ()
+  in
+
+  (* Leadership changes: every undecided instance re-engages. *)
+  let on_fd_change p _target =
+    Hashtbl.iter (fun _ inst -> if not inst.decided then engage p inst) procs.(p).instances
+  in
+
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer (on_message p);
+      Failure_detector.on_suspect fd ~observer:p (on_fd_change p);
+      Failure_detector.on_trust fd ~observer:p (on_fd_change p))
+    (Pid.all ~n);
+
+  let propose p k value =
+    if Engine.is_alive engine p && not (Hashtbl.mem procs.(p).instances k) then begin
+      let inst = new_instance p k value in
+      engage p inst
+    end
+  in
+  let has_instance p k = Hashtbl.mem procs.(p).instances k in
+  let name = match config.rcv with None -> "lb" | Some _ -> "lb-indirect" in
+  { Consensus_intf.name; propose; has_instance }

@@ -1,0 +1,32 @@
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Wire = Ics_net.Wire
+
+type t = { ids : Msg_id.t list; wire_bytes : int }
+
+let normalize ids = Msg_id.Set.elements (Msg_id.Set.of_list ids)
+
+let on_ids raw =
+  let ids = normalize raw in
+  { ids; wire_bytes = Wire.id_set_bytes (List.length ids) }
+
+let on_messages msgs =
+  let module T = Msg_id.Table in
+  let by_id = T.create (List.length msgs) in
+  List.iter (fun (m : App_msg.t) -> T.replace by_id m.id m) msgs;
+  let ids = normalize (List.map (fun (m : App_msg.t) -> m.id) msgs) in
+  let payload_bytes =
+    List.fold_left (fun acc id -> acc + (T.find by_id id).App_msg.body_bytes) 0 ids
+  in
+  { ids; wire_bytes = Wire.id_set_bytes (List.length ids) + payload_bytes }
+
+let empty = { ids = []; wire_bytes = Wire.id_set_bytes 0 }
+let is_empty t = t.ids = []
+let cardinal t = List.length t.ids
+let equal a b = List.equal Msg_id.equal a.ids b.ids
+let ids t = t.ids
+let wire_bytes t = t.wire_bytes
+let describe t = List.map Msg_id.to_string t.ids
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}/%dB" (String.concat ", " (describe t)) t.wire_bytes

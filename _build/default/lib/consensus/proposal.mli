@@ -1,0 +1,35 @@
+(** Consensus proposal values.
+
+    The reduction runs consensus on {e sets of message identifiers} (or on
+    sets of full messages, for the baseline of Figure 1).  Because the
+    simulator never materializes payload bytes, both cases are represented
+    the same way: the sorted identifier list plus the encoded wire size the
+    value would occupy inside a consensus message.  Ordering consensus on
+    identifiers makes [wire_bytes] independent of payload size — that
+    decoupling is the paper's performance argument. *)
+
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+
+type t = private { ids : Msg_id.t list; wire_bytes : int }
+(** [ids] is sorted by {!Msg_id.compare} and duplicate-free. *)
+
+val on_ids : Msg_id.t list -> t
+(** A set-of-identifiers value: wire size is {!Ics_net.Wire.id_set_bytes}
+    of the cardinality.  Input may be unsorted and contain duplicates. *)
+
+val on_messages : App_msg.t list -> t
+(** A set-of-messages value: wire size additionally counts every payload
+    byte — consensus traffic then grows with message size. *)
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val ids : t -> Msg_id.t list
+val wire_bytes : t -> int
+
+val describe : t -> string list
+(** Identifier strings for trace events. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+let ceil_div a b = (a + b - 1) / b
+let majority ~n = ceil_div (n + 1) 2
+let two_thirds ~n = ceil_div ((2 * n) + 1) 3
+let one_third ~n = ceil_div (n + 1) 3
+let max_faults_majority ~n = (n - 1) / 2
+let max_faults_two_thirds ~n = if n mod 3 = 0 then (n / 3) - 1 else n / 3

@@ -1,0 +1,22 @@
+(** Quorum arithmetic used across the consensus algorithms.
+
+    All formulas are the paper's, with integer ceilings:
+    - CT and original MR need a majority of correct processes
+      ([f < n/2]) and use ⌈(n+1)/2⌉-sized quorums;
+    - indirect MR needs [f < n/3] and uses ⌈(2n+1)/3⌉-sized quorums with
+      the ⌈(n+1)/3⌉ adoption threshold of Algorithm 3 line 28. *)
+
+val majority : n:int -> int
+(** ⌈(n+1)/2⌉. *)
+
+val two_thirds : n:int -> int
+(** ⌈(2n+1)/3⌉. *)
+
+val one_third : n:int -> int
+(** ⌈(n+1)/3⌉. *)
+
+val max_faults_majority : n:int -> int
+(** Largest [f] with [f < n/2]. *)
+
+val max_faults_two_thirds : n:int -> int
+(** Largest [f] with [f < n/3]. *)

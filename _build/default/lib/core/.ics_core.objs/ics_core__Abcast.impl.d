@@ -1,0 +1,1 @@
+lib/core/abcast.ml: Array Hashtbl Ics_broadcast Ics_consensus Ics_net Ics_sim List Queue

@@ -1,0 +1,1 @@
+lib/core/abcast.mli: Ics_broadcast Ics_consensus Ics_net Ics_sim

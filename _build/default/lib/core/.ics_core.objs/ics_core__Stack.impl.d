@@ -1,0 +1,1 @@
+lib/core/stack.ml: Abcast Ics_broadcast Ics_consensus Ics_fd Ics_net Ics_sim Int64 List Printf

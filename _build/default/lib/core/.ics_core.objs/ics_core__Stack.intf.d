@@ -1,0 +1,1 @@
+lib/core/stack.mli: Abcast Ics_fd Ics_net Ics_sim

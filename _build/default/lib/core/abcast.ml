@@ -1,0 +1,180 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Transport = Ics_net.Transport
+module Broadcast_intf = Ics_broadcast.Broadcast_intf
+module Consensus_intf = Ics_consensus.Consensus_intf
+module Proposal = Ics_consensus.Proposal
+
+type ordering = Consensus_on_messages | Consensus_on_ids | Indirect_consensus
+
+type pstate = {
+  received : App_msg.t Msg_id.Table.t;
+  mutable unordered : Msg_id.Set.t;
+  ordered_pending : Msg_id.t Queue.t;
+  ordered_ever : unit Msg_id.Table.t;
+  decisions : (int, Proposal.t) Hashtbl.t;
+  mutable applied : int;  (* highest instance whose decision is applied *)
+  mutable next_seq : int;
+  mutable delivered_rev : Msg_id.t list;
+}
+
+type t = {
+  engine : Engine.t;
+  ordering : ordering;
+  states : pstate array;
+  mutable broadcast : Broadcast_intf.handle;
+  mutable consensus : Consensus_intf.handle;
+  deliver : Pid.t -> App_msg.t -> unit;
+}
+
+let holds t p id = Msg_id.Table.mem t.states.(p).received id
+
+let make_proposal t p =
+  let st = t.states.(p) in
+  let ids = Msg_id.Set.elements st.unordered in
+  match t.ordering with
+  | Consensus_on_messages ->
+      Proposal.on_messages (List.map (Msg_id.Table.find st.received) ids)
+  | Consensus_on_ids | Indirect_consensus -> Proposal.on_ids ids
+
+let try_deliver t p =
+  let st = t.states.(p) in
+  let rec loop () =
+    match Queue.peek_opt st.ordered_pending with
+    | Some id when Msg_id.Table.mem st.received id ->
+        ignore (Queue.pop st.ordered_pending);
+        let m = Msg_id.Table.find st.received id in
+        st.delivered_rev <- id :: st.delivered_rev;
+        Engine.record t.engine p (Trace.Adeliver (Msg_id.to_string id));
+        t.deliver p m;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let try_propose t p =
+  let st = t.states.(p) in
+  if not (Msg_id.Set.is_empty st.unordered) then begin
+    let k = st.applied + 1 in
+    if not (t.consensus.has_instance p k) then
+      t.consensus.propose p k (make_proposal t p)
+  end
+
+let apply_decisions t p =
+  let st = t.states.(p) in
+  let progressed = ref false in
+  let rec loop () =
+    match Hashtbl.find_opt st.decisions (st.applied + 1) with
+    | None -> ()
+    | Some v ->
+        let k = st.applied + 1 in
+        Hashtbl.remove st.decisions k;
+        st.applied <- k;
+        (* Proposal ids are sorted (deterministic order, Algorithm 1 line
+           20); skip anything already ordered by an earlier instance. *)
+        List.iter
+          (fun id ->
+            if not (Msg_id.Table.mem st.ordered_ever id) then begin
+              Msg_id.Table.add st.ordered_ever id ();
+              Queue.push id st.ordered_pending;
+              st.unordered <- Msg_id.Set.remove id st.unordered
+            end)
+          (Proposal.ids v);
+        progressed := true;
+        loop ()
+  in
+  loop ();
+  if !progressed then begin
+    try_deliver t p;
+    try_propose t p
+  end
+
+let on_decide t p k v =
+  Hashtbl.replace t.states.(p).decisions k v;
+  apply_decisions t p
+
+let on_broadcast_deliver t p (m : App_msg.t) =
+  let st = t.states.(p) in
+  if not (Msg_id.Table.mem st.received m.id) then begin
+    Msg_id.Table.add st.received m.id m;
+    if
+      (not (Msg_id.Table.mem st.ordered_ever m.id))
+      && not (Msg_id.Set.mem m.id st.unordered)
+    then st.unordered <- Msg_id.Set.add m.id st.unordered;
+    (* The payload may unblock an already ordered head. *)
+    try_deliver t p;
+    try_propose t p
+  end
+
+let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
+  let engine = Transport.engine transport in
+  let n = Transport.n transport in
+  let states =
+    Array.init n (fun _ ->
+        {
+          received = Msg_id.Table.create 256;
+          unordered = Msg_id.Set.empty;
+          ordered_pending = Queue.create ();
+          ordered_ever = Msg_id.Table.create 256;
+          decisions = Hashtbl.create 16;
+          applied = 0;
+          next_seq = 0;
+          delivered_rev = [];
+        })
+  in
+  let dummy_broadcast =
+    { Broadcast_intf.name = ""; broadcast = (fun ~src:_ _ -> ()); holds = (fun _ _ -> false) }
+  in
+  let dummy_consensus =
+    {
+      Consensus_intf.name = "";
+      propose = (fun _ _ _ -> ());
+      has_instance = (fun _ _ -> false);
+    }
+  in
+  let t =
+    { engine; ordering; states; broadcast = dummy_broadcast; consensus = dummy_consensus; deliver }
+  in
+  t.broadcast <- make_broadcast ~deliver:(on_broadcast_deliver t);
+  let rcv =
+    match ordering with
+    | Indirect_consensus ->
+        Some (fun q ids -> List.for_all (fun id -> holds t q id) ids)
+    | Consensus_on_messages | Consensus_on_ids -> None
+  in
+  let callbacks =
+    {
+      Consensus_intf.on_decide = on_decide t;
+      join = (fun p _k -> make_proposal t p);
+    }
+  in
+  t.consensus <- make_consensus ~rcv callbacks;
+  t
+
+let abroadcast t ~src ~body_bytes =
+  let st = t.states.(src) in
+  let id = Msg_id.make ~origin:src ~seq:st.next_seq in
+  st.next_seq <- st.next_seq + 1;
+  let m = App_msg.make ~id ~body_bytes ~created_at:(Engine.now t.engine) in
+  if Engine.is_alive t.engine src then begin
+    Engine.record t.engine src (Trace.Abroadcast (Msg_id.to_string id));
+    t.broadcast.broadcast ~src m
+  end;
+  m
+
+let delivered_sequence t p = List.rev t.states.(p).delivered_rev
+
+let unordered_count t p = Msg_id.Set.cardinal t.states.(p).unordered
+
+let blocked_head t p =
+  let st = t.states.(p) in
+  match Queue.peek_opt st.ordered_pending with
+  | Some id when not (Msg_id.Table.mem st.received id) -> Some id
+  | Some _ | None -> None
+
+let broadcast_name t = t.broadcast.Broadcast_intf.name
+let consensus_name t = t.consensus.Consensus_intf.name

@@ -1,0 +1,1 @@
+lib/fd/failure_detector.ml: Array Ics_net Ics_sim List

@@ -1,0 +1,1 @@
+lib/fd/failure_detector.mli: Ics_net Ics_sim

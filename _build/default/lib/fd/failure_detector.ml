@@ -1,0 +1,123 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+
+type t = {
+  engine : Engine.t;
+  suspected : bool array array;  (* suspected.(observer).(target) *)
+  mutable suspect_subs : (Pid.t -> unit) list array;
+  mutable trust_subs : (Pid.t -> unit) list array;
+}
+
+let make engine =
+  let n = Engine.n engine in
+  {
+    engine;
+    suspected = Array.init n (fun _ -> Array.make n false);
+    suspect_subs = Array.make n [];
+    trust_subs = Array.make n [];
+  }
+
+let is_suspected t ~by target = t.suspected.(by).(target)
+
+let on_suspect t ~observer f =
+  t.suspect_subs.(observer) <- t.suspect_subs.(observer) @ [ f ]
+
+let on_trust t ~observer f = t.trust_subs.(observer) <- t.trust_subs.(observer) @ [ f ]
+
+let set_suspected t ~observer target =
+  if (not t.suspected.(observer).(target)) && Engine.is_alive t.engine observer then begin
+    t.suspected.(observer).(target) <- true;
+    Engine.record t.engine observer (Trace.Suspect target);
+    List.iter (fun f -> f target) t.suspect_subs.(observer)
+  end
+
+let set_trusted t ~observer target =
+  if t.suspected.(observer).(target) && Engine.is_alive t.engine observer then begin
+    t.suspected.(observer).(target) <- false;
+    Engine.record t.engine observer (Trace.Trust target);
+    List.iter (fun f -> f target) t.trust_subs.(observer)
+  end
+
+let leader t ~observer =
+  let n = Array.length t.suspected in
+  let rec scan q = if q >= n then observer else if t.suspected.(observer).(q) then scan (q + 1) else q in
+  scan 0
+
+let oracle engine ~detection_delay =
+  let t = make engine in
+  Engine.on_crash engine (fun dead ->
+      Engine.after engine ~delay:detection_delay (fun () ->
+          List.iter
+            (fun observer ->
+              if not (Pid.equal observer dead) then set_suspected t ~observer dead)
+            (Engine.correct engine)));
+  t
+
+(* Heartbeat detector. *)
+
+type Message.payload += Heartbeat
+
+let hb_body_bytes = 8
+
+let heartbeat transport ~period ~timeout =
+  if period <= 0.0 then invalid_arg "Failure_detector.heartbeat: period <= 0";
+  if timeout <= period then invalid_arg "Failure_detector.heartbeat: timeout <= period";
+  let engine = Transport.engine transport in
+  let n = Engine.n engine in
+  let t = make engine in
+  let last_hb = Array.init n (fun _ -> Array.make n Time.zero) in
+  (* Sender side: emit heartbeats forever (until crash). *)
+  let rec emit p () =
+    if Engine.is_alive engine p then begin
+      Transport.send_to_others transport ~src:p ~layer:"fd" ~body_bytes:hb_body_bytes
+        Heartbeat;
+      Engine.after engine ~delay:period (emit p)
+    end
+  in
+  (* Observer side: check each target's deadline; a target with no fresh
+     heartbeat is suspected until one arrives. *)
+  let rec check observer target () =
+    if Engine.is_alive engine observer then begin
+      let now = Engine.now engine in
+      let silent_for = Time.( - ) now last_hb.(observer).(target) in
+      if silent_for >= timeout then set_suspected t ~observer target;
+      Engine.after engine ~delay:period (check observer target)
+    end
+  in
+  List.iter
+    (fun p ->
+      Transport.register transport p ~layer:"fd" (fun msg ->
+          match msg.Message.payload with
+          | Heartbeat ->
+              last_hb.(p).(msg.Message.src) <- Engine.now engine;
+              set_trusted t ~observer:p msg.Message.src
+          | _ -> ());
+      emit p ();
+      List.iter
+        (fun q ->
+          last_hb.(p).(q) <- Engine.now engine;
+          Engine.after engine ~delay:timeout (check p q))
+        (Pid.others ~n p))
+    (Pid.all ~n);
+  t
+
+module Control = struct
+  type nonrec t = t
+
+  let suspect t ~observer target = set_suspected t ~observer target
+  let trust t ~observer target = set_trusted t ~observer target
+
+  let suspect_everywhere t target =
+    Array.iteri
+      (fun observer _ ->
+        if not (Pid.equal observer target) then set_suspected t ~observer target)
+      t.suspect_subs
+
+  let fd t = t
+end
+
+let manual engine = make engine

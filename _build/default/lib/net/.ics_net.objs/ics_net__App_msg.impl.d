@@ -1,0 +1,1 @@
+lib/net/app_msg.ml: Format Ics_sim Msg_id Wire

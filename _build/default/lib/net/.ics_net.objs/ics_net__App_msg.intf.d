@@ -1,0 +1,1 @@
+lib/net/app_msg.mli: Format Ics_sim Msg_id

@@ -1,0 +1,1 @@
+lib/net/model.ml: Array Ics_prelude Ics_sim Message Printf

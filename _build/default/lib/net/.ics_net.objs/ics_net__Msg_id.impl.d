@@ -1,0 +1,1 @@
+lib/net/msg_id.ml: Format Hashtbl Ics_sim Int Printf Set

@@ -1,0 +1,1 @@
+lib/net/msg_id.mli: Format Hashtbl Ics_sim Set

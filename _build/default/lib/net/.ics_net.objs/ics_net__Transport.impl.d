@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Hashtbl Host Ics_sim List Message Model Printf String

@@ -1,0 +1,12 @@
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+
+type t = { id : Msg_id.t; body_bytes : int; created_at : Time.t }
+
+let make ~id ~body_bytes ~created_at = { id; body_bytes; created_at }
+let origin t = t.id.Msg_id.origin
+
+let pp ppf t =
+  Format.fprintf ppf "%a(%dB @%a)" Msg_id.pp t.id t.body_bytes Time.pp t.created_at
+
+let rb_body_bytes t = Wire.payload_with_id_bytes t.body_bytes

@@ -1,0 +1,23 @@
+(** Application messages submitted to atomic broadcast.
+
+    The simulator never materializes payload contents — only their size
+    matters for performance, and only their identity matters for
+    correctness — so a message is its identifier, its payload size and its
+    submission time. *)
+
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+
+type t = {
+  id : Msg_id.t;
+  body_bytes : int;  (** application payload size in bytes *)
+  created_at : Time.t;  (** when [abroadcast] was invoked *)
+}
+
+val make : id:Msg_id.t -> body_bytes:int -> created_at:Time.t -> t
+val origin : t -> Pid.t
+val pp : Format.formatter -> t -> unit
+
+val rb_body_bytes : t -> int
+(** Encoded size when carried by a broadcast primitive: identifier plus
+    payload. *)

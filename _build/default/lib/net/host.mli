@@ -1,0 +1,34 @@
+(** Host CPU cost profiles.
+
+    Per-message CPU costs at the sender (serialization, syscalls) and the
+    receiver (deserialization, dispatch), linear in the wire size, matching
+    the Neko/Java performance model.  The [rcv] check of indirect consensus
+    is also CPU work (a hash lookup per identifier in the proposal); its
+    cost is what produces the indirect-consensus overhead measured in
+    Figures 3 and 4 of the paper. *)
+
+module Time = Ics_sim.Time
+
+type t = {
+  cpu_send_fixed : Time.t;
+  cpu_send_per_byte : Time.t;
+  cpu_recv_fixed : Time.t;
+  cpu_recv_per_byte : Time.t;
+  local_delivery : Time.t;  (** CPU time to hand a message to oneself *)
+  rcv_check_fixed : Time.t;  (** fixed cost of one [rcv(v)] evaluation *)
+  rcv_check_per_id : Time.t;  (** additional cost per identifier in [v] *)
+}
+
+val pentium3 : t
+(** Setup 1 host: Pentium III 766 MHz running a 1.4 JVM. *)
+
+val pentium4 : t
+(** Setup 2 host: Pentium 4 3.2 GHz running a 1.5 JVM. *)
+
+val instant : t
+(** All costs zero — for algorithm-level tests where only message order and
+    failure timing matter. *)
+
+val send_cost : t -> wire_bytes:int -> Time.t
+val recv_cost : t -> wire_bytes:int -> Time.t
+val rcv_check_cost : t -> ids:int -> Time.t

@@ -1,0 +1,20 @@
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+
+type payload = ..
+type payload += Ping
+
+type t = {
+  src : Pid.t;
+  dst : Pid.t;
+  layer : string;
+  payload : payload;
+  body_bytes : int;
+  sent_at : Time.t;
+}
+
+let wire_size t = t.body_bytes + Wire.header_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "%a->%a [%s] %dB @%a" Pid.pp t.src Pid.pp t.dst t.layer
+    (wire_size t) Time.pp t.sent_at

@@ -1,0 +1,30 @@
+(** Messages exchanged by simulated processes.
+
+    The payload type is an extensible variant: each protocol layer declares
+    its own constructors and registers a handler for its layer name, so the
+    transport stays independent of the protocols above it. *)
+
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+
+type payload = ..
+(** Extended by each protocol layer, e.g.
+    [type Message.payload += Rb_data of ...]. *)
+
+type payload += Ping
+(** A trivial payload used by tests and the failure detector. *)
+
+type t = {
+  src : Pid.t;
+  dst : Pid.t;
+  layer : string;  (** dispatch key, e.g. ["rb"], ["consensus"], ["fd"] *)
+  payload : payload;
+  body_bytes : int;  (** encoded payload size, excluding framing *)
+  sent_at : Time.t;
+}
+
+val wire_size : t -> int
+(** [body_bytes + Wire.header_bytes]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders src/dst/layer/size; payloads are opaque. *)

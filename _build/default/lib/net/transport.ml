@@ -1,0 +1,107 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Resource = Ics_sim.Resource
+
+type t = {
+  engine : Engine.t;
+  model : Model.t;
+  host : Host.t;
+  cpus : Resource.t array;
+  handlers : (string, Message.t -> unit) Hashtbl.t array;
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  per_layer : (string, int ref * int ref) Hashtbl.t;  (* layer -> msgs, bytes *)
+}
+
+let create engine ~model ~host =
+  let n = Engine.n engine in
+  {
+    engine;
+    model;
+    host;
+    cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i));
+    handlers = Array.init n (fun _ -> Hashtbl.create 8);
+    sent_messages = 0;
+    sent_bytes = 0;
+    per_layer = Hashtbl.create 8;
+  }
+
+let engine t = t.engine
+let host t = t.host
+let n t = Engine.n t.engine
+
+let register t pid ~layer handler =
+  if Hashtbl.mem t.handlers.(pid) layer then
+    invalid_arg (Printf.sprintf "Transport.register: duplicate layer %s at p%d" layer pid);
+  Hashtbl.replace t.handlers.(pid) layer handler
+
+let dispatch t (msg : Message.t) =
+  if Engine.is_alive t.engine msg.dst then
+    match Hashtbl.find_opt t.handlers.(msg.dst) msg.layer with
+    | Some handler -> handler msg
+    | None ->
+        (* A layer that was never installed at this process: drop, as a real
+           stack would for an unknown protocol port. *)
+        ()
+
+let deliver_leg t (msg : Message.t) =
+  (* Receiver CPU: deserialization queues on the destination's processor. *)
+  let service = Host.recv_cost t.host ~wire_bytes:(Message.wire_size msg) in
+  let done_at = Resource.reserve t.cpus.(msg.dst) ~now:(Engine.now t.engine) ~service in
+  Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
+
+let send t ~src ~dst ~layer ~body_bytes payload =
+  if Engine.is_alive t.engine src then begin
+    let msg =
+      { Message.src; dst; layer; payload; body_bytes; sent_at = Engine.now t.engine }
+    in
+    t.sent_messages <- t.sent_messages + 1;
+    t.sent_bytes <- t.sent_bytes + Message.wire_size msg;
+    (let msgs, bytes =
+       match Hashtbl.find_opt t.per_layer layer with
+       | Some c -> c
+       | None ->
+           let c = (ref 0, ref 0) in
+           Hashtbl.add t.per_layer layer c;
+           c
+     in
+     incr msgs;
+     bytes := !bytes + Message.wire_size msg);
+    if Pid.equal src dst then begin
+      let done_at =
+        Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine)
+          ~service:t.host.Host.local_delivery
+      in
+      Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
+    end
+    else begin
+      let service = Host.send_cost t.host ~wire_bytes:(Message.wire_size msg) in
+      let cpu_done = Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine) ~service in
+      Engine.schedule t.engine ~at:cpu_done (fun () ->
+          (* A crash between the send call and the end of serialization kills
+             the message before it reaches the wire. *)
+          if Engine.is_alive t.engine src then
+            Model.send t.model t.engine msg ~arrive:(fun () -> deliver_leg t msg))
+    end
+  end
+
+let multicast t ~src ~dsts ~layer ~body_bytes payload =
+  List.iter (fun dst -> send t ~src ~dst ~layer ~body_bytes payload) dsts
+
+let send_to_all t ~src ~layer ~body_bytes payload =
+  multicast t ~src ~dsts:(Pid.all ~n:(n t)) ~layer ~body_bytes payload
+
+let send_to_others t ~src ~layer ~body_bytes payload =
+  multicast t ~src ~dsts:(Pid.others ~n:(n t) src) ~layer ~body_bytes payload
+
+let charge_cpu t pid service =
+  ignore (Resource.reserve t.cpus.(pid) ~now:(Engine.now t.engine) ~service)
+
+let cpu_resource t pid = t.cpus.(pid)
+let sent_messages t = t.sent_messages
+let sent_bytes t = t.sent_bytes
+
+let per_layer_stats t =
+  Hashtbl.fold (fun layer (msgs, bytes) acc -> (layer, !msgs, !bytes) :: acc) t.per_layer []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

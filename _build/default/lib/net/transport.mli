@@ -1,0 +1,71 @@
+(** Point-to-point message transport over a network model.
+
+    A transport glues the engine, a {!Host} CPU profile and a {!Model}
+    together and dispatches incoming messages to per-(process, layer)
+    handlers.  All channels are reliable and FIFO: messages are never lost
+    (unless a {!Model.scripted} rule drops them or a process crashes) and
+    are delivered in send order per channel.
+
+    Message path: sender CPU (serialize) → network model → receiver CPU
+    (deserialize) → handler.  Local messages skip the network and cost
+    {!Host.t.local_delivery} on the process's own CPU.
+
+    Crash semantics (crash-stop): a message still queued on a crashed
+    sender's CPU never reaches the wire; a message already on the wire is
+    delivered, but a crashed destination discards it. *)
+
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Resource = Ics_sim.Resource
+
+type t
+
+val create : Engine.t -> model:Model.t -> host:Host.t -> t
+
+val engine : t -> Engine.t
+val host : t -> Host.t
+val n : t -> int
+
+val register : t -> Pid.t -> layer:string -> (Message.t -> unit) -> unit
+(** Install the handler for [layer] at process [pid].  The handler runs
+    only while the process is alive.
+    @raise Invalid_argument if the layer is already registered there. *)
+
+val send :
+  t -> src:Pid.t -> dst:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+(** Send one message.  No-op if [src] has crashed. *)
+
+val multicast :
+  t ->
+  src:Pid.t ->
+  dsts:Pid.t list ->
+  layer:string ->
+  body_bytes:int ->
+  Message.payload ->
+  unit
+(** Unicast to each destination in order (the Neko/Java implementation
+    serializes per destination, which is what makes O(n) vs O(n²) message
+    complexity matter). *)
+
+val send_to_all : t -> src:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+(** Multicast to every process including [src] itself. *)
+
+val send_to_others : t -> src:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+(** Multicast to every process except [src]. *)
+
+val charge_cpu : t -> Pid.t -> Time.t -> unit
+(** Occupy [pid]'s CPU for the given service time (protocol-level work such
+    as [rcv] checks); subsequently arriving messages queue behind it. *)
+
+val cpu_resource : t -> Pid.t -> Resource.t
+val sent_messages : t -> int
+(** Total messages accepted for sending (including dropped ones). *)
+
+val sent_bytes : t -> int
+(** Total wire bytes accepted for sending. *)
+
+val per_layer_stats : t -> (string * int * int) list
+(** Per-layer traffic: (layer, messages, wire bytes), sorted by layer
+    name.  Separates broadcast traffic from consensus and detector
+    traffic — the decomposition behind the paper's §4.4 analysis. *)

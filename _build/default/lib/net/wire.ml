@@ -1,0 +1,6 @@
+let header_bytes = 48
+let id_bytes = 16
+let id_set_bytes k = 4 + (k * id_bytes)
+let payload_with_id_bytes payload = id_bytes + payload
+let ack_bytes = 8
+let estimate_bytes value_bytes = 8 + value_bytes

@@ -1,0 +1,29 @@
+(** Wire-size accounting.
+
+    The paper's whole point is that consensus on identifiers decouples the
+    consensus traffic from the application payload size, so the simulator
+    must account bytes honestly.  Sizes below approximate the Neko/Java
+    implementation: a fixed per-message header (UDP/IP/Ethernet framing plus
+    Neko's own envelope) and a fixed encoding for message identifiers
+    (origin pid + per-origin sequence number + timestamps). *)
+
+val header_bytes : int
+(** Framing + envelope bytes added to every message on the wire (48). *)
+
+val id_bytes : int
+(** Encoded size of one message identifier (16). *)
+
+val id_set_bytes : int -> int
+(** [id_set_bytes k] is the encoded size of a set of [k] identifiers (a
+    length prefix plus [k] encoded ids). *)
+
+val payload_with_id_bytes : int -> int
+(** Size of an application message as carried by reliable broadcast: its
+    identifier plus its payload bytes. *)
+
+val ack_bytes : int
+(** Size of an ack/nack body (round number + flag). *)
+
+val estimate_bytes : int -> int
+(** Size of a consensus estimate message whose value encodes to [k] bytes:
+    round, timestamp and the value. *)

@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/prelude/variate.ml: Float Rng

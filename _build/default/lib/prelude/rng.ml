@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  (* Mixing with a distinct finalizer decorrelates the child stream from the
+     parent's future outputs. *)
+  let child_seed = mix64 (Int64.logxor (next_int64 t) 0xD6E8FEB86659FD93L) in
+  create child_seed
+
+let copy t = { state = t.state }
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 high bits -> uniform in [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0) *. bound
+
+let int t bound =
+  assert (bound > 0);
+  let bits = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

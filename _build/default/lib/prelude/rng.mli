@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that every
+    experiment is reproducible from its seed.  The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent statistical
+    quality for simulation purposes, and cheap splitting, which lets each
+    simulated process own an independent stream derived from the experiment
+    seed. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    subsequent outputs of [t].  Used to give each simulated process its own
+    stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state (both copies then produce the
+    same stream). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.  @raise Invalid_argument on []. *)

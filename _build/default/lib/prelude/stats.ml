@@ -1,0 +1,96 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  ci95_half_width : float;
+}
+
+let empty_summary =
+  {
+    count = 0;
+    mean = Float.nan;
+    stddev = Float.nan;
+    min = Float.nan;
+    max = Float.nan;
+    p50 = Float.nan;
+    p90 = Float.nan;
+    p99 = Float.nan;
+    ci95_half_width = Float.nan;
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize_array a =
+  let n = Array.length a in
+  if n = 0 then empty_summary
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    let mean = sum /. float_of_int n in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 sorted in
+    let stddev = if n < 2 then 0.0 else sqrt (sq /. float_of_int (n - 1)) in
+    let sem = if n < 2 then 0.0 else stddev /. sqrt (float_of_int n) in
+    {
+      count = n;
+      mean;
+      stddev;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile sorted 0.50;
+      p90 = percentile sorted 0.90;
+      p99 = percentile sorted 0.99;
+      ci95_half_width = 1.96 *. sem;
+    }
+  end
+
+let summarize l = summarize_array (Array.of_list l)
+
+let mean = function
+  | [] -> Float.nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3fms sd=%.3f p50=%.3f p90=%.3f p99=%.3f" s.count
+    s.mean s.stddev s.p50 s.p90 s.p99
+
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then Float.nan else t.mean
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = if t.n = 0 then Float.nan else t.min
+  let max t = if t.n = 0 then Float.nan else t.max
+end

@@ -1,0 +1,53 @@
+(** Summary statistics over latency samples.
+
+    The paper's performance metric is the latency of atomic broadcast,
+    averaged over all processes (§4.2).  This module computes that mean plus
+    the dispersion measures we report alongside it in EXPERIMENTS.md. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  ci95_half_width : float;
+      (** half-width of the 95% confidence interval on the mean, using a
+          normal approximation (adequate for the sample sizes we use). *)
+}
+
+val empty_summary : summary
+(** Summary of zero samples: count 0 and NaN statistics. *)
+
+val summarize : float list -> summary
+(** [summarize samples] computes the summary.  Order of samples is
+    irrelevant. *)
+
+val summarize_array : float array -> summary
+(** Same on an array; the array is not modified. *)
+
+val mean : float list -> float
+(** Arithmetic mean; NaN on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]] over a {e sorted} array,
+    using linear interpolation between closest ranks.
+    @raise Invalid_argument on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering, e.g. [n=930 mean=3.21ms sd=0.88 p50=3.01 p99=6.70]. *)
+
+(** Incremental accumulator (Welford) for streams too large to retain. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

@@ -1,0 +1,95 @@
+module Rng = Ics_prelude.Rng
+
+type t = {
+  n : int;
+  queue : Event_queue.t;
+  mutable now : Time.t;
+  mutable stopped : bool;
+  alive : bool array;
+  trace : Trace.t;
+  global_rng : Rng.t;
+  proc_rngs : Rng.t array;
+  mutable crash_hooks : (Pid.t -> unit) list;
+}
+
+let create ?(seed = 1L) ~n () =
+  if n <= 0 then invalid_arg "Engine.create: n <= 0";
+  let global_rng = Rng.create seed in
+  {
+    n;
+    queue = Event_queue.create ();
+    now = Time.zero;
+    stopped = false;
+    alive = Array.make n true;
+    trace = Trace.create ();
+    global_rng;
+    proc_rngs = Array.init n (fun _ -> Rng.split global_rng);
+    crash_hooks = [];
+  }
+
+let n t = t.n
+let now t = t.now
+
+let schedule t ~at f =
+  let at = Time.max at t.now in
+  Event_queue.push t.queue ~time:at f
+
+let after t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.after: negative delay";
+  schedule t ~at:(Time.( + ) t.now delay) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, run) ->
+      t.now <- Time.max t.now time;
+      run ();
+      true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let executed = ref 0 in
+  let within_budget () =
+    match max_events with None -> true | Some m -> !executed < m
+  in
+  let horizon_ok () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+        match Event_queue.peek_time t.queue with
+        | None -> false
+        | Some next -> next <= horizon)
+  in
+  while (not t.stopped) && within_budget () && horizon_ok () do
+    if step t then incr executed else t.stopped <- true
+  done;
+  match until with
+  | Some horizon when t.now < horizon && not t.stopped -> t.now <- horizon
+  | _ -> ()
+
+let pending t = Event_queue.size t.queue
+let stop t = t.stopped <- true
+
+let is_alive t p = t.alive.(p)
+
+let correct t =
+  List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
+
+let record t pid kind = Trace.record t.trace ~time:t.now ~pid kind
+
+let crash t p =
+  if t.alive.(p) then begin
+    t.alive.(p) <- false;
+    record t p Trace.Crash;
+    List.iter (fun hook -> hook p) (List.rev t.crash_hooks)
+  end
+
+let crash_at t p ~at = schedule t ~at (fun () -> crash t p)
+
+let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+
+let alive_guard t p f = fun () -> if t.alive.(p) then f ()
+
+let rng t p = t.proc_rngs.(p)
+let global_rng t = t.global_rng
+let trace t = t.trace

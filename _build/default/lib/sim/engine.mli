@@ -1,0 +1,82 @@
+module Rng = Ics_prelude.Rng
+
+(** The discrete-event simulation engine.
+
+    An engine owns the virtual clock, the pending-event queue, the crash
+    state of the [n] simulated processes, the execution trace, and one
+    deterministic random stream per process.  Protocol layers never touch
+    the queue directly: they schedule closures via {!schedule}/{!after} and
+    guard process-local work with {!alive_guard} so that a crashed process
+    stops taking steps (crash-stop model, no Byzantine behaviour — §2.1 of
+    the paper). *)
+
+type t
+
+val create : ?seed:int64 -> n:int -> unit -> t
+(** [create ~n ()] builds an engine for processes [0 .. n-1].  [seed]
+    defaults to [1L]; equal seeds give bitwise-identical runs.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val n : t -> int
+val now : t -> Time.t
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> unit
+(** Schedule an action at an absolute time.  Actions scheduled at the same
+    time run in scheduling order.  Scheduling before [now] is clamped to
+    [now] (zero-delay events are legal and common). *)
+
+val after : t -> delay:Time.t -> (unit -> unit) -> unit
+(** [after t ~delay f] is [schedule t ~at:(now t + delay) f].  Negative
+    delays are a programming error.
+    @raise Invalid_argument on negative delay. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Execute pending events in timestamp order until the queue is empty, the
+    optional horizon [until] is passed (events strictly later than [until]
+    stay queued and [now] advances to [until]), [max_events] have run, or
+    {!stop} is called. *)
+
+val step : t -> bool
+(** Run the single earliest event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current event; the queue is preserved. *)
+
+(** {1 Crash-stop faults} *)
+
+val crash : t -> Pid.t -> unit
+(** Crash a process now: records a {!Trace.Crash} event, marks it dead, and
+    fires the crash hooks.  Idempotent. *)
+
+val crash_at : t -> Pid.t -> at:Time.t -> unit
+(** Schedule a crash. *)
+
+val is_alive : t -> Pid.t -> bool
+
+val correct : t -> Pid.t list
+(** Processes currently alive. *)
+
+val on_crash : t -> (Pid.t -> unit) -> unit
+(** Register a hook called (at crash time) for every crash; used by oracle
+    failure detectors and by network models that drop a crashed process's
+    queued sends. *)
+
+val alive_guard : t -> Pid.t -> (unit -> unit) -> unit -> unit
+(** [alive_guard t p f] wraps [f] so it becomes a no-op once [p] has
+    crashed.  Every handler of process [p] must be wrapped. *)
+
+(** {1 Randomness, tracing} *)
+
+val rng : t -> Pid.t -> Rng.t
+(** The process-local random stream. *)
+
+val global_rng : t -> Rng.t
+(** Stream for engine-wide choices (workload arrivals, fault injection). *)
+
+val trace : t -> Trace.t
+
+val record : t -> Pid.t -> Trace.kind -> unit
+(** Append to the trace at the current virtual time. *)

@@ -1,0 +1,68 @@
+type entry = { time : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; run = (fun () -> ()) }
+
+let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (Array.length t.heap * 2) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time run =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- { time; seq = t.next_seq; run };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.run)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let size t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Array.fill t.heap 0 t.size dummy;
+  t.size <- 0

@@ -1,0 +1,23 @@
+(** Pending-event set of the discrete-event simulator.
+
+    A binary min-heap ordered by (time, sequence number).  The sequence
+    number is assigned at insertion, so simultaneous events run in insertion
+    order — this is what makes whole simulations deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> time:Time.t -> (unit -> unit) -> unit
+(** Schedule an action.  Scheduling in the past is a programming error.
+    @raise Invalid_argument if [time] is NaN. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Remove and return the earliest event, ties broken by insertion order. *)
+
+val peek_time : t -> Time.t option
+val size : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all pending events (used when aborting a run). *)

@@ -1,0 +1,11 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf p = Format.fprintf ppf "p%d" p
+let to_string p = "p" ^ string_of_int p
+let all ~n = List.init n (fun i -> i)
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+let coordinator ~n ~round =
+  if round < 1 then invalid_arg "Pid.coordinator: rounds are 1-based";
+  (round - 1) mod n

@@ -1,0 +1,26 @@
+(** Process identifiers.
+
+    Processes are numbered [0 .. n-1].  The paper numbers them 1-based and
+    rotates coordinators as [(r mod n) + 1]; we use the 0-based equivalent
+    and keep the same rotation order. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Renders as [p0], [p1], ... *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [\[0; ...; n-1\]]. *)
+
+val others : n:int -> t -> t list
+(** [others ~n p] is every process except [p], in increasing order. *)
+
+val coordinator : n:int -> round:int -> t
+(** Rotating coordinator for 1-based round numbers: round [r] is led by
+    process [(r - 1) mod n], i.e. round 1 by [p0].  The paper's
+    [(r mod n) + 1] is the same rotation under its 1-based numbering.
+    @raise Invalid_argument if [round < 1]. *)

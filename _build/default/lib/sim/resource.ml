@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  mutable free_at : Time.t;
+  mutable busy_time : Time.t;
+  mutable jobs : int;
+}
+
+let create name = { name; free_at = Time.zero; busy_time = Time.zero; jobs = 0 }
+
+let name t = t.name
+
+let reserve t ~now ~service =
+  if service < 0.0 then invalid_arg "Resource.reserve: negative service";
+  let start = Time.max now t.free_at in
+  let finish = Time.( + ) start service in
+  t.free_at <- finish;
+  t.busy_time <- Time.( + ) t.busy_time service;
+  t.jobs <- t.jobs + 1;
+  finish
+
+let free_at t = t.free_at
+let busy_time t = t.busy_time
+let jobs t = t.jobs
+
+let utilization t ~horizon =
+  if horizon <= 0.0 then 0.0
+  else Float.min 1.0 (Float.max 0.0 (t.busy_time /. horizon))
+
+let reset t =
+  t.free_at <- Time.zero;
+  t.busy_time <- Time.zero;
+  t.jobs <- 0

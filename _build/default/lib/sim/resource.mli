@@ -1,0 +1,37 @@
+(** Single-server FIFO resources.
+
+    The network models follow Urbán's Neko performance model: processing a
+    message occupies the sender's CPU, then a network resource, then the
+    receiver's CPU, each for a service time that grows linearly with the
+    message's wire size.  Each of those is a FIFO single-server queue —
+    exactly what this module provides.  Queueing at these resources is what
+    produces the latency-vs-throughput saturation curves of Figures 3–7. *)
+
+type t
+
+val create : string -> t
+(** [create name] is an idle resource; [name] appears in debug output and
+    utilization reports. *)
+
+val name : t -> string
+
+val reserve : t -> now:Time.t -> service:Time.t -> Time.t
+(** [reserve r ~now ~service] enqueues a job arriving at [now] needing
+    [service] time units and returns its completion time:
+    [max now (free_at r) + service].  The resource is then busy until that
+    completion time.  @raise Invalid_argument on negative service time. *)
+
+val free_at : t -> Time.t
+(** Earliest time a new arrival would start service. *)
+
+val busy_time : t -> Time.t
+(** Total time spent serving jobs so far (for utilization reports). *)
+
+val jobs : t -> int
+(** Number of jobs served or in service. *)
+
+val utilization : t -> horizon:Time.t -> float
+(** [busy_time / horizon], clamped to [\[0,1\]]. *)
+
+val reset : t -> unit
+(** Return to the idle state and zero the counters. *)

@@ -1,0 +1,11 @@
+type t = float
+
+let zero = 0.0
+let ( + ) = Stdlib.( +. )
+let ( - ) = Stdlib.( -. )
+let compare = Float.compare
+let max = Float.max
+let of_us us = us /. 1000.0
+let of_s s = s *. 1000.0
+let to_ms t = t
+let pp ppf t = Format.fprintf ppf "%.3fms" t

@@ -1,0 +1,52 @@
+type kind =
+  | Crash
+  | Abroadcast of string
+  | Adeliver of string
+  | Rbroadcast of string
+  | Rdeliver of string
+  | Urb_broadcast of string
+  | Urb_deliver of string
+  | Propose of int * string list
+  | Decide of int * string list
+  | Suspect of Pid.t
+  | Trust of Pid.t
+  | Note of string
+
+type event = { time : Time.t; pid : Pid.t; kind : kind }
+
+type t = { mutable rev_events : event list; mutable length : int }
+
+let create () = { rev_events = []; length = 0 }
+
+let record t ~time ~pid kind =
+  t.rev_events <- { time; pid; kind } :: t.rev_events;
+  t.length <- t.length + 1
+
+let events t = List.rev t.rev_events
+let length t = t.length
+let filter t pred = List.filter pred (events t)
+
+let find_all t ~pid pred =
+  filter t (fun e -> Pid.equal e.pid pid && pred e.kind)
+
+let pp_ids ppf ids = Format.fprintf ppf "{%s}" (String.concat ", " ids)
+
+let pp_kind ppf = function
+  | Crash -> Format.fprintf ppf "crash"
+  | Abroadcast m -> Format.fprintf ppf "abroadcast(%s)" m
+  | Adeliver m -> Format.fprintf ppf "adeliver(%s)" m
+  | Rbroadcast m -> Format.fprintf ppf "rbroadcast(%s)" m
+  | Rdeliver m -> Format.fprintf ppf "rdeliver(%s)" m
+  | Urb_broadcast m -> Format.fprintf ppf "urb-broadcast(%s)" m
+  | Urb_deliver m -> Format.fprintf ppf "urb-deliver(%s)" m
+  | Propose (k, ids) -> Format.fprintf ppf "propose(#%d, %a)" k pp_ids ids
+  | Decide (k, ids) -> Format.fprintf ppf "decide(#%d, %a)" k pp_ids ids
+  | Suspect q -> Format.fprintf ppf "suspect(%a)" Pid.pp q
+  | Trust q -> Format.fprintf ppf "trust(%a)" Pid.pp q
+  | Note s -> Format.fprintf ppf "note(%s)" s
+
+let pp_event ppf e =
+  Format.fprintf ppf "%a %a %a" Time.pp e.time Pid.pp e.pid pp_kind e.kind
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,41 @@
+(** Structured execution traces.
+
+    Every protocol layer records its externally visible actions here; the
+    checker library replays a trace against the formal properties of the
+    abstraction (reliable broadcast, consensus, atomic broadcast).  Message
+    identifiers are strings of the form ["p2#17"] (origin and per-origin
+    sequence number), which the paper's bijection between messages and
+    identifiers makes sufficient. *)
+
+type kind =
+  | Crash  (** the process stops taking steps *)
+  | Abroadcast of string  (** atomic broadcast invoked with this message id *)
+  | Adeliver of string  (** atomic broadcast delivery *)
+  | Rbroadcast of string  (** reliable broadcast invoked *)
+  | Rdeliver of string  (** reliable broadcast delivery *)
+  | Urb_broadcast of string  (** uniform reliable broadcast invoked *)
+  | Urb_deliver of string  (** uniform reliable broadcast delivery *)
+  | Propose of int * string list  (** consensus instance, proposed id set *)
+  | Decide of int * string list  (** consensus instance, decided id set *)
+  | Suspect of Pid.t  (** failure detector starts suspecting [pid] *)
+  | Trust of Pid.t  (** failure detector stops suspecting [pid] *)
+  | Note of string  (** free-form, for debugging only *)
+
+type event = { time : Time.t; pid : Pid.t; kind : kind }
+
+type t
+(** A mutable, append-only event log. *)
+
+val create : unit -> t
+val record : t -> time:Time.t -> pid:Pid.t -> kind -> unit
+val events : t -> event list
+(** Events in chronological (= insertion) order. *)
+
+val length : t -> int
+
+val filter : t -> (event -> bool) -> event list
+val find_all : t -> pid:Pid.t -> (kind -> bool) -> event list
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

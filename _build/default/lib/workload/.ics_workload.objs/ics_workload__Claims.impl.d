@@ -1,0 +1,1 @@
+lib/workload/claims.ml: Experiment Float Format Ics_checker Ics_core Ics_prelude Ics_sim List Printf Scenarios

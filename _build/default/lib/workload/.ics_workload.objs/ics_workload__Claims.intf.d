@@ -1,0 +1,1 @@
+lib/workload/claims.mli: Format

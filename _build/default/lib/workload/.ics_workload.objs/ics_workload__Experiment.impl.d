@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Ics_checker Ics_core Ics_net Ics_prelude Ics_sim List

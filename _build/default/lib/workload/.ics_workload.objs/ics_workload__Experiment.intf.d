@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Ics_checker Ics_core Ics_prelude Ics_sim

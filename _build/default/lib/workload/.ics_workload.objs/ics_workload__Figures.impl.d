@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Experiment Float Ics_core Ics_prelude Int64 List Printf String

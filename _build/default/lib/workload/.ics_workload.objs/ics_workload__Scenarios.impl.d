@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Format Ics_checker Ics_core Ics_fd Ics_net Ics_sim Int List Printf

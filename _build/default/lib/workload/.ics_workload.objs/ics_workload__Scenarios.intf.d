@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Format Ics_checker Ics_core Ics_sim

@@ -1,0 +1,51 @@
+(** Benchmark workloads and the experiment runner.
+
+    The paper's workload (§4.2) is symmetric: all [n] processes A-broadcast
+    messages of a fixed size at the same rate; the global rate is the
+    throughput.  Arrivals are Poisson (exponential inter-arrival times).
+    The metric is the {e latency}: the elapsed time between abroadcast(m)
+    and adeliver(m), averaged over all processes and all messages in the
+    measurement window. *)
+
+module Time = Ics_sim.Time
+module Stats = Ics_prelude.Stats
+module Stack = Ics_core.Stack
+
+type load = {
+  throughput : float;  (** global abroadcast rate, messages per second *)
+  body_bytes : int;  (** payload size of every message *)
+  duration : Time.t;  (** arrivals stop after this much virtual time *)
+  warmup : Time.t;  (** messages created before this are not measured *)
+}
+
+val default_load : load
+(** 100 msg/s, 1-byte payloads, 10 s duration, 1 s warmup. *)
+
+type result = {
+  latency : Stats.summary;  (** per (message, process) delivery latency, ms *)
+  measured : int;  (** latency samples collected *)
+  abroadcasts : int;  (** messages injected (including unmeasured ones) *)
+  sent_messages : int;  (** transport-level messages *)
+  sent_bytes : int;  (** transport-level wire bytes *)
+  quiescent : bool;  (** did the run drain all events before the horizon *)
+  wall_clock : Time.t;  (** virtual time at the end of the run *)
+  verdict : Ics_checker.Checker.verdict option;  (** when run with [~check:true] *)
+  utilization : (string * float) list;
+      (** busy-time fraction per resource (CPUs, links) over the run *)
+  per_layer : (string * int * int) list;
+      (** traffic decomposition: (layer, messages, wire bytes) *)
+}
+
+val run : ?check:bool -> ?seed:int64 -> Stack.config -> load -> result
+(** Run one configuration under one load.  The simulation runs until all
+    events drain or a horizon of [duration + 60 s] passes.  With
+    [~check:true] the full trace is validated with
+    {!Ics_checker.Checker.check_all_abcast} (expensive — test-sized runs
+    only). *)
+
+val run_seeds : ?check:bool -> seeds:int64 list -> Stack.config -> load -> result
+(** Like {!run} but pooling latency samples over several seeds; counts are
+    summed, [quiescent] is the conjunction, and the verdict is the merge. *)
+
+val mean_latency : result -> float
+(** Shorthand for [result.latency.mean]. *)

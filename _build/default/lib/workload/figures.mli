@@ -1,0 +1,52 @@
+(** The paper's evaluation figures as runnable parameter sweeps.
+
+    Each figure panel of §2.1 and §4 (Figures 1, 3–7; Figure 2 is a
+    diagram) is described declaratively: the swept axis, the fixed
+    parameters, and the algorithm stacks being compared.  Running a figure
+    produces a {!Ics_prelude.Table.t} with one row per x-value and one
+    latency column per series — the same rows the paper plots.
+
+    Absolute milliseconds depend on the network-model calibration and are
+    not expected to match the paper's testbed; the {e shapes} (who wins,
+    how gaps scale with size/throughput/n, where saturation sets in) are
+    the reproduction target and are recorded in EXPERIMENTS.md. *)
+
+module Table = Ics_prelude.Table
+module Stack = Ics_core.Stack
+
+type axis =
+  | Message_size of int list  (** sweep payload bytes at fixed throughput *)
+  | Throughput of float list  (** sweep msgs/s at fixed payload *)
+
+type series = { label : string; config : Stack.config }
+
+type t = {
+  id : string;  (** e.g. ["fig3a"] *)
+  title : string;
+  axis : axis;
+  throughput : float;  (** fixed throughput (for Message_size axes) *)
+  body_bytes : int;  (** fixed payload (for Throughput axes) *)
+  series : series list;
+  paper_shape : string;  (** the qualitative result the paper reports *)
+}
+
+val all : t list
+(** Every panel: fig1a fig1b fig3a fig3b fig4a–d fig5a–c fig6a–c fig7a
+    fig7b, in paper order. *)
+
+val find : string -> t option
+val ids : unit -> string list
+
+val run :
+  ?quick:bool -> ?seed:int64 -> ?seeds:int -> ?progress:(string -> unit) -> t -> Table.t
+(** Execute every (series, x) cell.  [quick] shrinks durations by ~4x for
+    smoke runs.  [seeds] > 1 pools latency samples over that many
+    consecutive seeds starting at [seed].  Cells that saturated (offered
+    load exceeded capacity, detected by a non-quiescent run or
+    queue-buildup latencies) are suffixed ["*"].  [progress] is called
+    with a short line per completed cell.
+    @raise Invalid_argument if [seeds < 1]. *)
+
+val load_for : ?quick:bool -> t -> x:float -> Experiment.load
+(** The load a given x-value maps to (durations auto-scale so that slow
+    sweeps still collect enough samples). *)

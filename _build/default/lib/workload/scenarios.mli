@@ -1,0 +1,57 @@
+(** The paper's adversarial executions, scripted deterministically.
+
+    Two families:
+
+    - {!validity_scenario} (§2.2): a process [p0] A-broadcasts [m] but its
+      reliable-broadcast payloads never reach anyone (they die with [p0]'s
+      crash); consensus traffic goes through.  Run with the {e faulty}
+      stack (unmodified consensus on identifiers), instance 1 decides
+      [id(m)], the payload is lost, and every later message — including
+      those of correct processes — is blocked behind the unfillable head:
+      atomic broadcast {b Validity is violated} and the checker reports
+      it, together with the No-loss violation.  Run with the {e indirect}
+      stack under the very same schedule, the [rcv] guard nacks the
+      orphan identifier, some later round decides without it, and all
+      correct processes' messages are delivered.
+
+    - {!mr_scenario} (§3.3.2): the Mostéfaoui–Raynal counterexample with a
+      {b single} coordinator crash ([f = 1], within the original
+      algorithm's [f < n/2]).  In the {e naive} adaptation (original MR
+      run on identifiers), processes that received the coordinator's value
+      relay it without holding its payloads; with the two suspecting
+      processes' ⊥-relays delayed, every process observes a unanimous
+      majority quorum and decides a value whose payloads die with the
+      coordinator.  The {e conservative} patch (rcv-guard the relays but
+      keep majority quorums) refuses to vouch and — in the symmetric
+      execution the paper pairs with it — can no longer terminate/agree.
+      The {e indirect} variant (⌈(2n+1)/3⌉ quorums) handles the same
+      schedule correctly. *)
+
+module Pid = Ics_sim.Pid
+module Checker = Ics_checker.Checker
+module Stack = Ics_core.Stack
+
+type outcome = {
+  description : string;
+  verdict : Checker.verdict;  (** from {!Checker.check_all_abcast} *)
+  blocked : (Pid.t * string) list;
+      (** correct processes permanently stuck, with the identifier their
+          ordered sequence is blocked on *)
+  delivered : (Pid.t * int) list;  (** A-deliveries per process *)
+  decided_instances : int;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type ab_variant = Faulty_ids | Indirect
+
+val validity_scenario : ?n:int -> ab_variant -> outcome
+(** §2.2 with CT consensus, [n] = 3 by default.  [Faulty_ids] yields
+    Validity + No-loss violations; [Indirect] yields a clean verdict. *)
+
+type mr_variant = Naive | Indirect_mr
+
+val mr_scenario : ?n:int -> mr_variant -> outcome
+(** §3.3.2 with MR consensus, [n] = 5 by default.  [Naive] decides an
+    unstable value and violates No loss with a single crash; [Indirect_mr]
+    survives the same schedule. *)

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Ics_checker Ics_core Ics_net Ics_prelude Ics_sim Int64 List QCheck QCheck_alcotest Test_util

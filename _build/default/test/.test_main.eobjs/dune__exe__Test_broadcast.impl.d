@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Ics_broadcast Ics_checker Ics_fd Ics_net Ics_prelude Ics_sim Int64 List Printf QCheck QCheck_alcotest

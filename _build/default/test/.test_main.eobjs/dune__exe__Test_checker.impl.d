@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Format Ics_checker Ics_sim List Test_util

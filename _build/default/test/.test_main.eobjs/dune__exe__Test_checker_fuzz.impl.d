@@ -1,0 +1,1 @@
+test/test_checker_fuzz.ml: Alcotest Array Fun Ics_checker Ics_core Ics_prelude Ics_sim Int64 Lazy List QCheck QCheck_alcotest Test_util

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Hashtbl Ics_consensus Ics_fd Ics_net Ics_sim List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Ics_fd Ics_net Ics_sim List

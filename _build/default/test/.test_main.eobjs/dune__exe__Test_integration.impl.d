@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format Ics_checker Ics_core Ics_net Ics_prelude Ics_sim Ics_workload List Printf Test_util

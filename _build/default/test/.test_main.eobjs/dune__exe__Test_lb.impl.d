@@ -1,0 +1,1 @@
+test/test_lb.ml: Alcotest Ics_checker Ics_consensus Ics_core Ics_fd Ics_net Ics_prelude Ics_sim Int64 List QCheck QCheck_alcotest Test_util

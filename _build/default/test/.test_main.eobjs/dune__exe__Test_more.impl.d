@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Format Gen Hashtbl Ics_checker Ics_consensus Ics_core Ics_net Ics_prelude Ics_sim Ics_workload List Option QCheck QCheck_alcotest Test_util

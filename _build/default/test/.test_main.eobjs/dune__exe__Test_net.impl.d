@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Ics_net Ics_sim List Option

@@ -1,0 +1,1 @@
+test/test_ordered_broadcast.ml: Alcotest Array Ics_broadcast Ics_checker Ics_net Ics_prelude Ics_sim Int64 List QCheck QCheck_alcotest Test_util

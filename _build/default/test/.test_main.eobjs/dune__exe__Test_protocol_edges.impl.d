@@ -1,0 +1,1 @@
+test/test_protocol_edges.ml: Alcotest Ics_consensus Ics_core Ics_fd Ics_net Ics_prelude Ics_sim Ics_workload List Test_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Ics_prelude Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Format Ics_checker Ics_workload List Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Format Gen Ics_prelude Ics_sim List QCheck QCheck_alcotest Test_util

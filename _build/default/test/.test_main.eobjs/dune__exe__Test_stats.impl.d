@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Format Gen Ics_prelude List QCheck QCheck_alcotest Test_util

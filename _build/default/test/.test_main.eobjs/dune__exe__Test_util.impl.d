@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ics_checker Ics_core Ics_sim List String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Ics_core Ics_prelude Ics_workload List Option String Test_util

@@ -1,0 +1,323 @@
+(* Tests for the property checker itself: hand-built traces with seeded
+   violations must be flagged; clean traces must pass. *)
+
+module Trace = Ics_sim.Trace
+module Checker = Ics_checker.Checker
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk_trace events =
+  let tr = Trace.create () in
+  List.iter (fun (time, pid, kind) -> Trace.record tr ~time ~pid kind) events;
+  tr
+
+let run_of events ~n = Checker.Run.of_trace (mk_trace events) ~n
+
+let has run checker property =
+  Test_util.has_violation (checker run) property
+
+(* A clean three-process exchange: p0 broadcasts, everyone delivers. *)
+let clean_events =
+  [
+    (1.0, 0, Trace.Abroadcast "p0#0");
+    (1.0, 0, Trace.Rbroadcast "p0#0");
+    (1.5, 0, Trace.Rdeliver "p0#0");
+    (2.0, 1, Trace.Rdeliver "p0#0");
+    (2.0, 2, Trace.Rdeliver "p0#0");
+    (2.1, 0, Trace.Propose (1, [ "p0#0" ]));
+    (2.2, 1, Trace.Propose (1, [ "p0#0" ]));
+    (2.3, 2, Trace.Propose (1, [ "p0#0" ]));
+    (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
+    (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
+    (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+    (3.5, 0, Trace.Adeliver "p0#0");
+    (3.5, 1, Trace.Adeliver "p0#0");
+    (3.5, 2, Trace.Adeliver "p0#0");
+  ]
+
+let test_clean_trace_passes () =
+  let run = run_of clean_events ~n:3 in
+  Test_util.assert_clean_verdict "abcast" (Checker.check_atomic_broadcast run);
+  Test_util.assert_clean_verdict "consensus" (Checker.check_consensus run);
+  Test_util.assert_clean_verdict "no-loss" (Checker.check_no_loss run);
+  Test_util.assert_clean_verdict "rb" (Checker.check_reliable_broadcast run);
+  Test_util.assert_clean_verdict "all" (Checker.check_all_abcast run)
+
+let test_validity_violation_detected () =
+  (* p0 is correct, abroadcasts, never adelivers its own message. *)
+  let events =
+    [ (1.0, 0, Trace.Abroadcast "p0#0") ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "validity flagged" true (has run Checker.check_atomic_broadcast "abcast.validity")
+
+let test_validity_crashed_broadcaster_exempt () =
+  let events = [ (1.0, 0, Trace.Abroadcast "p0#0"); (2.0, 0, Trace.Crash) ] in
+  let run = run_of events ~n:3 in
+  checkb "faulty broadcaster exempt" false
+    (has run Checker.check_atomic_broadcast "abcast.validity")
+
+let test_duplicate_delivery_detected () =
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (2.0, 0, Trace.Adeliver "p0#0");
+      (2.0, 1, Trace.Adeliver "p0#0");
+      (2.0, 2, Trace.Adeliver "p0#0");
+      (3.0, 1, Trace.Adeliver "p0#0");
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "duplicate flagged" true
+    (has run Checker.check_atomic_broadcast "abcast.uniform-integrity")
+
+let test_unsourced_delivery_detected () =
+  let events = [ (2.0, 1, Trace.Adeliver "ghost") ] in
+  let run = run_of events ~n:3 in
+  checkb "ghost flagged" true
+    (has run Checker.check_atomic_broadcast "abcast.uniform-integrity")
+
+let test_uniform_agreement_violation () =
+  (* p0 delivers then crashes; p1/p2 never deliver. *)
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (2.0, 0, Trace.Adeliver "p0#0");
+      (3.0, 0, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "uniform agreement flagged" true
+    (has run Checker.check_atomic_broadcast "abcast.uniform-agreement")
+
+let test_total_order_violation () =
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "a");
+      (1.0, 1, Trace.Abroadcast "b");
+      (2.0, 0, Trace.Adeliver "a");
+      (2.1, 0, Trace.Adeliver "b");
+      (2.0, 1, Trace.Adeliver "b");
+      (2.1, 1, Trace.Adeliver "a");
+      (2.0, 2, Trace.Adeliver "a");
+      (2.1, 2, Trace.Adeliver "b");
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "order flagged" true
+    (has run Checker.check_atomic_broadcast "abcast.uniform-total-order")
+
+let test_prefix_sequences_allowed () =
+  (* A crashed process's shorter sequence is fine as long as it is a
+     prefix. *)
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "a");
+      (1.1, 1, Trace.Abroadcast "b");
+      (2.0, 0, Trace.Adeliver "a");
+      (2.1, 0, Trace.Adeliver "b");
+      (2.0, 1, Trace.Adeliver "a");
+      (2.1, 1, Trace.Adeliver "b");
+      (2.0, 2, Trace.Adeliver "a");
+      (2.05, 2, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "prefix ok" false
+    (has run Checker.check_atomic_broadcast "abcast.uniform-total-order")
+
+let test_consensus_agreement_violation () =
+  let events =
+    [
+      (1.0, 0, Trace.Propose (1, [ "a" ]));
+      (1.0, 1, Trace.Propose (1, [ "b" ]));
+      (2.0, 0, Trace.Decide (1, [ "a" ]));
+      (2.0, 1, Trace.Decide (1, [ "b" ]));
+      (2.0, 2, Trace.Decide (1, [ "a" ]));
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "disagreement flagged" true
+    (has run Checker.check_consensus "consensus.uniform-agreement")
+
+let test_consensus_integrity_violation () =
+  let events =
+    [
+      (1.0, 0, Trace.Propose (1, [ "a" ]));
+      (2.0, 0, Trace.Decide (1, [ "a" ]));
+      (3.0, 0, Trace.Decide (1, [ "a" ]));
+      (2.0, 1, Trace.Decide (1, [ "a" ]));
+      (2.0, 2, Trace.Decide (1, [ "a" ]));
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "double decide flagged" true
+    (has run Checker.check_consensus "consensus.uniform-integrity")
+
+let test_consensus_validity_violation () =
+  let events =
+    [
+      (1.0, 0, Trace.Propose (1, [ "a" ]));
+      (2.0, 0, Trace.Decide (1, [ "z" ]));
+      (2.0, 1, Trace.Decide (1, [ "z" ]));
+      (2.0, 2, Trace.Decide (1, [ "z" ]));
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "unproposed decision flagged" true
+    (has run Checker.check_consensus "consensus.uniform-validity")
+
+let test_consensus_termination_violations () =
+  (* Decided elsewhere but not by a correct process. *)
+  let events =
+    [
+      (1.0, 0, Trace.Propose (1, [ "a" ]));
+      (2.0, 0, Trace.Decide (1, [ "a" ]));
+      (2.0, 1, Trace.Decide (1, [ "a" ]));
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "missing decider flagged" true
+    (has run Checker.check_consensus "consensus.termination");
+  (* Proposed by a correct process, never decided anywhere. *)
+  let events2 = [ (1.0, 0, Trace.Propose (1, [ "a" ])) ] in
+  let run2 = run_of events2 ~n:3 in
+  checkb "undecided instance flagged" true
+    (has run2 Checker.check_consensus "consensus.termination")
+
+let test_no_loss_violation () =
+  (* The decided id's payload was only ever held by the crashed process. *)
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (1.1, 0, Trace.Rdeliver "p0#0");
+      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
+      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+      (4.0, 0, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "no-loss flagged" true (has run Checker.check_no_loss "indirect-consensus.no-loss")
+
+let test_no_loss_strict_vs_eventual () =
+  (* Payload reaches a correct process only AFTER the decision: the
+     eventual reading passes, the paper's strict reading fails. *)
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (1.1, 0, Trace.Rdeliver "p0#0");
+      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
+      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+      (4.0, 1, Trace.Rdeliver "p0#0");
+      (5.0, 0, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "eventual passes" false
+    (has run (fun r -> Checker.check_no_loss r) "indirect-consensus.no-loss");
+  checkb "strict fails" true
+    (has run
+       (fun r -> Checker.check_no_loss ~strict:true r)
+       "indirect-consensus.no-loss-strict");
+  (* A pre-decision holder satisfies both. *)
+  let ok_events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (1.1, 1, Trace.Rdeliver "p0#0");
+      (3.0, 0, Trace.Propose (1, [ "p0#0" ]));
+      (3.5, 0, Trace.Decide (1, [ "p0#0" ]));
+      (3.5, 1, Trace.Decide (1, [ "p0#0" ]));
+      (3.5, 2, Trace.Decide (1, [ "p0#0" ]));
+    ]
+  in
+  let ok_run = run_of ok_events ~n:3 in
+  checkb "strict passes with pre-decision holder" false
+    (has ok_run
+       (fun r -> Checker.check_no_loss ~strict:true r)
+       "indirect-consensus.no-loss-strict")
+
+let test_no_loss_satisfied_by_urb_delivery () =
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (1.5, 1, Trace.Urb_deliver "p0#0");
+      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
+      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
+      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+      (4.0, 0, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "urb delivery counts as holding" false
+    (has run Checker.check_no_loss "indirect-consensus.no-loss")
+
+let test_rb_agreement_not_uniform () =
+  (* A faulty process delivering alone violates *uniform* agreement but
+     not plain agreement. *)
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "p0#0");
+      (1.0, 0, Trace.Rbroadcast "p0#0");
+      (1.5, 0, Trace.Rdeliver "p0#0");
+      (2.0, 0, Trace.Crash);
+    ]
+  in
+  let run = run_of events ~n:3 in
+  checkb "plain rb tolerates" false
+    (Test_util.has_violation (Checker.check_reliable_broadcast run) "rb.agreement");
+  checkb "urb flags" true
+    (Test_util.has_violation (Checker.check_uniform_broadcast run) "urb.uniform-agreement")
+
+let test_run_view () =
+  let events =
+    [
+      (1.0, 0, Trace.Abroadcast "a");
+      (2.0, 1, Trace.Crash);
+      (3.0, 0, Trace.Adeliver "a");
+    ]
+  in
+  let run = run_of events ~n:3 in
+  Alcotest.(check (list int)) "correct" [ 0; 2 ] (Checker.Run.correct run);
+  Alcotest.(check (list int)) "crashed" [ 1 ] (Checker.Run.crashed run);
+  Alcotest.(check (option (float 1e-9))) "crash time" (Some 2.0) (Checker.Run.crash_time run 1);
+  checki "abroadcasts" 1 (List.length (Checker.Run.abroadcasts run));
+  Alcotest.(check (list string)) "adeliveries" [ "a" ] (Checker.Run.adeliveries run 0)
+
+let test_verdict_pp () =
+  let run = run_of [ (2.0, 1, Trace.Adeliver "ghost") ] ~n:2 in
+  let v = Checker.check_atomic_broadcast run in
+  let s = Format.asprintf "%a" Checker.pp_verdict v in
+  checkb "mentions property" true (Test_util.contains s "abcast.uniform-integrity");
+  let clean = Checker.check_no_loss run in
+  checkb "ok rendering" true (Test_util.contains (Format.asprintf "%a" Checker.pp_verdict clean) "OK")
+
+let suites =
+  [
+    ( "checker",
+      [
+        Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
+        Alcotest.test_case "validity violation" `Quick test_validity_violation_detected;
+        Alcotest.test_case "crashed broadcaster exempt" `Quick test_validity_crashed_broadcaster_exempt;
+        Alcotest.test_case "duplicate delivery" `Quick test_duplicate_delivery_detected;
+        Alcotest.test_case "unsourced delivery" `Quick test_unsourced_delivery_detected;
+        Alcotest.test_case "uniform agreement" `Quick test_uniform_agreement_violation;
+        Alcotest.test_case "total order" `Quick test_total_order_violation;
+        Alcotest.test_case "prefix allowed" `Quick test_prefix_sequences_allowed;
+        Alcotest.test_case "consensus agreement" `Quick test_consensus_agreement_violation;
+        Alcotest.test_case "consensus integrity" `Quick test_consensus_integrity_violation;
+        Alcotest.test_case "consensus validity" `Quick test_consensus_validity_violation;
+        Alcotest.test_case "consensus termination" `Quick test_consensus_termination_violations;
+        Alcotest.test_case "no-loss violation" `Quick test_no_loss_violation;
+        Alcotest.test_case "no-loss strict vs eventual" `Quick test_no_loss_strict_vs_eventual;
+        Alcotest.test_case "no-loss via urb" `Quick test_no_loss_satisfied_by_urb_delivery;
+        Alcotest.test_case "rb vs urb agreement" `Quick test_rb_agreement_not_uniform;
+        Alcotest.test_case "run view" `Quick test_run_view;
+        Alcotest.test_case "verdict pp" `Quick test_verdict_pp;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+(* Checker fuzzing: take a genuine clean run, corrupt its trace with a
+   random mutation, and assert the checker notices.  This guards the
+   guard — a checker that silently stopped detecting a violation class
+   would undermine every other correctness test in this suite. *)
+
+module Engine = Ics_sim.Engine
+module Trace = Ics_sim.Trace
+module Stack = Ics_core.Stack
+module Checker = Ics_checker.Checker
+module Rng = Ics_prelude.Rng
+
+(* A clean reference run, produced once: 3 processes, 12 messages. *)
+let reference_events =
+  lazy
+    (let stack =
+       Test_util.run_stack
+         {
+           Stack.abcast_indirect with
+           Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.3 };
+           fd_kind = Stack.Oracle 10.0;
+         }
+         (Test_util.burst ~n:3 ~count:4 ~body_bytes:16 ~spacing:3.0)
+     in
+     Trace.events (Engine.trace stack.Stack.engine))
+
+let rebuild events =
+  let tr = Trace.create () in
+  List.iter (fun (e : Trace.event) -> Trace.record tr ~time:e.time ~pid:e.pid e.kind) events;
+  Checker.Run.of_trace tr ~n:3
+
+let adeliver_indices events =
+  List.filteri (fun _ _ -> true) events
+  |> List.mapi (fun i (e : Trace.event) ->
+         match e.kind with Trace.Adeliver _ -> Some i | _ -> None)
+  |> List.filter_map Fun.id
+
+let mutate rng events =
+  let arr = Array.of_list events in
+  let adelivers = adeliver_indices events in
+  let pick_adeliver () = List.nth adelivers (Rng.int rng (List.length adelivers)) in
+  match Rng.int rng 4 with
+  | 0 ->
+      (* duplicate a delivery *)
+      let i = pick_adeliver () in
+      ("duplicate", events @ [ arr.(i) ])
+  | 1 ->
+      (* drop one delivery from a (correct) process *)
+      let i = pick_adeliver () in
+      ("drop", List.filteri (fun j _ -> j <> i) events)
+  | 2 ->
+      (* ghost delivery of a never-broadcast id *)
+      let i = pick_adeliver () in
+      let e = arr.(i) in
+      ("ghost", events @ [ { e with Trace.kind = Trace.Adeliver "p9#999" } ])
+  | _ ->
+      (* swap two distinct deliveries at one process: breaks total order *)
+      let at_p p =
+        List.filter
+          (fun i ->
+            (arr.(i)).Trace.pid = p
+            &&
+            match (arr.(i)).Trace.kind with Trace.Adeliver _ -> true | _ -> false)
+          adelivers
+      in
+      let candidates = at_p 0 in
+      (match candidates with
+      | i :: j :: _ ->
+          let tmp = arr.(i).Trace.kind in
+          arr.(i) <- { (arr.(i)) with Trace.kind = arr.(j).Trace.kind };
+          arr.(j) <- { (arr.(j)) with Trace.kind = tmp };
+          ("swap", Array.to_list arr)
+      | _ -> ("noop-swap", events))
+
+let qcheck_mutations_detected =
+  QCheck.Test.make ~name:"any trace corruption is detected" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int (seed + 17)) in
+      let events = Lazy.force reference_events in
+      let kind, mutated = mutate rng events in
+      if kind = "noop-swap" then true
+      else begin
+        let verdict = Checker.check_all_abcast (rebuild mutated) in
+        if Checker.ok verdict then
+          QCheck.Test.fail_reportf "mutation %s went undetected" kind
+        else true
+      end)
+
+let test_reference_is_clean () =
+  let verdict = Checker.check_all_abcast (rebuild (Lazy.force reference_events)) in
+  Test_util.assert_clean_verdict "reference" verdict
+
+let suites =
+  [
+    ( "checker-fuzz",
+      [
+        Alcotest.test_case "reference clean" `Quick test_reference_is_clean;
+        QCheck_alcotest.to_alcotest qcheck_mutations_detected;
+      ] );
+  ]

@@ -1,0 +1,381 @@
+(* Tests for the consensus layer: quorum arithmetic, proposals, and the CT
+   and MR algorithms (original and indirect). *)
+
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Model = Ics_net.Model
+module Host = Ics_net.Host
+module Transport = Ics_net.Transport
+module Fd = Ics_fd.Failure_detector
+module Quorum = Ics_consensus.Quorum
+module Proposal = Ics_consensus.Proposal
+module Ct = Ics_consensus.Ct
+module Mr = Ics_consensus.Mr
+module Lb = Ics_consensus.Lb
+module Intf = Ics_consensus.Consensus_intf
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Quorums *)
+
+let test_quorum_values () =
+  checki "majority n=3" 2 (Quorum.majority ~n:3);
+  checki "majority n=4" 3 (Quorum.majority ~n:4);
+  checki "majority n=5" 3 (Quorum.majority ~n:5);
+  checki "two-thirds n=3" 3 (Quorum.two_thirds ~n:3);
+  checki "two-thirds n=4" 3 (Quorum.two_thirds ~n:4);
+  checki "two-thirds n=5" 4 (Quorum.two_thirds ~n:5);
+  checki "two-thirds n=7" 5 (Quorum.two_thirds ~n:7);
+  checki "one-third n=5" 2 (Quorum.one_third ~n:5);
+  checki "one-third n=7" 3 (Quorum.one_third ~n:7);
+  checki "max faults majority n=5" 2 (Quorum.max_faults_majority ~n:5);
+  checki "max faults two-thirds n=3" 0 (Quorum.max_faults_two_thirds ~n:3);
+  checki "max faults two-thirds n=4" 1 (Quorum.max_faults_two_thirds ~n:4);
+  checki "max faults two-thirds n=7" 2 (Quorum.max_faults_two_thirds ~n:7)
+
+let qcheck_majority_is_majority =
+  QCheck.Test.make ~name:"majority quorum exceeds half" ~count:200
+    QCheck.(int_range 1 500)
+    (fun n -> 2 * Quorum.majority ~n > n)
+
+let qcheck_two_majorities_intersect =
+  QCheck.Test.make ~name:"two majority quorums always intersect" ~count:200
+    QCheck.(int_range 1 500)
+    (fun n -> (2 * Quorum.majority ~n) - n >= 1)
+
+let qcheck_two_thirds_overlap =
+  QCheck.Test.make
+    ~name:"two-thirds quorums overlap in >= f+1 processes (the Figure 2 property)"
+    ~count:200
+    QCheck.(int_range 2 500)
+    (fun n ->
+      let q = Quorum.two_thirds ~n in
+      let f = Quorum.max_faults_two_thirds ~n in
+      (* Overlap of two q-quorums is at least 2q - n; the indirect MR proof
+         needs it to reach f + 1. *)
+      (2 * q) - n >= f + 1)
+
+let qcheck_quorum_feasible =
+  QCheck.Test.make ~name:"quorums are satisfiable by the correct processes" ~count:200
+    QCheck.(int_range 2 500)
+    (fun n ->
+      Quorum.majority ~n <= n - Quorum.max_faults_majority ~n
+      && Quorum.two_thirds ~n <= n - Quorum.max_faults_two_thirds ~n)
+
+(* Proposals *)
+
+let mid o s = Msg_id.make ~origin:o ~seq:s
+
+let test_proposal_normalization () =
+  let p = Proposal.on_ids [ mid 1 2; mid 0 1; mid 1 2; mid 0 0 ] in
+  checki "dedup" 3 (Proposal.cardinal p);
+  Alcotest.(check (list string)) "sorted" [ "p0#0"; "p0#1"; "p1#2" ] (Proposal.describe p);
+  checkb "equal ignores order" true
+    (Proposal.equal p (Proposal.on_ids [ mid 0 0; mid 0 1; mid 1 2 ]))
+
+let test_proposal_sizes () =
+  let ids = [ mid 0 0; mid 1 1 ] in
+  let on_ids = Proposal.on_ids ids in
+  let msgs =
+    List.map (fun id -> App_msg.make ~id ~body_bytes:1000 ~created_at:0.0) ids
+  in
+  let on_msgs = Proposal.on_messages msgs in
+  checkb "same ids" true (Proposal.equal on_ids on_msgs);
+  checki "ids size independent of payload" (Ics_net.Wire.id_set_bytes 2)
+    (Proposal.wire_bytes on_ids);
+  checki "messages size includes payloads" (Ics_net.Wire.id_set_bytes 2 + 2000)
+    (Proposal.wire_bytes on_msgs)
+
+let test_proposal_empty () =
+  checkb "empty" true (Proposal.is_empty Proposal.empty);
+  checki "empty cardinal" 0 (Proposal.cardinal Proposal.empty)
+
+(* Consensus harness: drives a consensus layer directly (no atomic
+   broadcast on top). *)
+
+type harness = {
+  engine : Engine.t;
+  transport : Transport.t;
+  handle : Intf.handle;
+  decisions : (Pid.t * int * Proposal.t) list ref;
+  holds : (Pid.t * Msg_id.t, unit) Hashtbl.t;  (* payload possession for rcv *)
+}
+
+let mk ?(n = 3) ?(jitter = 0.0) ?(seed = 1L) ?fd_delay ?manual_fd ~algo ~indirect () =
+  let engine = Engine.create ~seed ~n () in
+  let model = Model.constant ~jitter ~delay:1.0 ~n ~seed () in
+  let transport = Transport.create engine ~model ~host:Host.instant in
+  let fd =
+    match manual_fd with
+    | Some ctl -> Fd.Control.fd ctl
+    | None -> Fd.oracle engine ~detection_delay:(Option.value fd_delay ~default:20.0)
+  in
+  let decisions = ref [] in
+  let holds = Hashtbl.create 16 in
+  let rcv_fn p ids = List.for_all (fun id -> Hashtbl.mem holds (p, id)) ids in
+  let rcv = if indirect then Some rcv_fn else None in
+  let callbacks =
+    {
+      Intf.on_decide = (fun p k v -> decisions := (p, k, v) :: !decisions);
+      join = (fun _ _ -> Proposal.empty);
+    }
+  in
+  let handle =
+    match algo with
+    | `Ct -> Ct.create transport fd { Ct.layer = "consensus"; rcv } callbacks
+    | `Mr -> Mr.create transport fd { Mr.layer = "consensus"; rcv } callbacks
+    | `Lb -> Lb.create transport fd { Lb.layer = "consensus"; rcv } callbacks
+  in
+  { engine; transport; handle; decisions; holds }
+
+let give h p id = Hashtbl.replace h.holds (p, id) ()
+
+let propose_at h ~at p k prop =
+  Engine.schedule h.engine ~at (fun () -> h.handle.Intf.propose p k prop)
+
+let decisions_for h k =
+  List.filter_map (fun (p, k', v) -> if k' = k then Some (p, v) else None) !(h.decisions)
+
+let check_uniform_agreement h k ~expect_deciders =
+  let decs = decisions_for h k in
+  checki "all decided" expect_deciders (List.length decs);
+  match decs with
+  | [] -> ()
+  | (_, v0) :: rest ->
+      List.iter (fun (_, v) -> checkb "agreement" true (Proposal.equal v v0)) rest
+
+(* Runs for both algorithms. *)
+
+let test_simple_decision algo () =
+  let h = mk ~algo ~indirect:false () in
+  let v = Proposal.on_ids [ mid 0 0 ] in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 v) [ 0; 1; 2 ];
+  Engine.run h.engine;
+  check_uniform_agreement h 1 ~expect_deciders:3;
+  let _, decided = List.hd (decisions_for h 1) in
+  checkb "validity" true (Proposal.equal decided v)
+
+let test_divergent_proposals algo () =
+  let h = mk ~algo ~indirect:false () in
+  List.iteri
+    (fun i p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ mid p i ]))
+    [ 0; 1; 2 ];
+  Engine.run h.engine;
+  let decs = decisions_for h 1 in
+  checki "all decided" 3 (List.length decs);
+  let _, v0 = List.hd decs in
+  List.iter (fun (_, v) -> checkb "same value" true (Proposal.equal v v0)) decs;
+  (* Validity: the decision is one of the proposals. *)
+  checkb "decision was proposed" true
+    (List.exists (fun p -> Proposal.equal v0 (Proposal.on_ids [ mid p p ])) [ 0; 1; 2 ]
+    || List.exists
+         (fun (p, i) -> Proposal.equal v0 (Proposal.on_ids [ mid p i ]))
+         [ (0, 0); (1, 1); (2, 2) ])
+
+let test_multiple_instances algo () =
+  let h = mk ~algo ~indirect:false () in
+  for k = 1 to 5 do
+    let v = Proposal.on_ids [ mid 0 k ] in
+    List.iter (fun p -> propose_at h ~at:(float_of_int k) p k v) [ 0; 1; 2 ]
+  done;
+  Engine.run h.engine;
+  for k = 1 to 5 do
+    check_uniform_agreement h k ~expect_deciders:3
+  done
+
+let test_join_on_message algo () =
+  (* Only p0 proposes; p1/p2 are dragged in and still decide. *)
+  let h = mk ~algo ~indirect:false () in
+  propose_at h ~at:1.0 0 1 (Proposal.on_ids [ mid 0 0 ]);
+  Engine.run h.engine;
+  check_uniform_agreement h 1 ~expect_deciders:3;
+  checkb "instance known everywhere" true
+    (List.for_all (fun p -> h.handle.Intf.has_instance p 1) [ 0; 1; 2 ])
+
+let test_coordinator_crash algo () =
+  (* p0 is the round-1 coordinator; it crashes immediately after propose,
+     before anything circulates.  The others recover via their detector. *)
+  let h = mk ~algo ~indirect:false ~fd_delay:5.0 () in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ mid p 0 ])) [ 0; 1; 2 ];
+  Engine.crash_at h.engine 0 ~at:1.0;
+  Engine.run h.engine;
+  let decs = decisions_for h 1 in
+  checki "both correct decide" 2 (List.length decs);
+  match decs with
+  | (_, v0) :: rest ->
+      List.iter (fun (_, v) -> checkb "agreement" true (Proposal.equal v v0)) rest
+  | [] -> ()
+
+let test_decide_reaches_late_crasher algo () =
+  (* A process that crashes mid-run must not break the others. *)
+  let h = mk ~algo ~indirect:false ~fd_delay:5.0 () in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ mid 0 0 ])) [ 0; 1; 2 ];
+  Engine.crash_at h.engine 2 ~at:2.5;
+  Engine.run h.engine;
+  let decs = decisions_for h 1 in
+  checkb "correct processes decided" true (List.length decs >= 2)
+
+let test_indirect_waits_for_payload algo () =
+  (* All three propose {id}; only p0 holds the payload initially.  The
+     indirect algorithm must not decide until the payload spreads; once
+     p1/p2 get it, the decision lands. *)
+  let h = mk ~algo ~indirect:true () in
+  let id = mid 0 0 in
+  let v = Proposal.on_ids [ id ] in
+  give h 0 id;
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 v) [ 0; 1; 2 ];
+  (* Check that nothing is decided while payloads are missing... *)
+  Engine.schedule h.engine ~at:40.0 (fun () ->
+      checki "no premature decision" 0 (List.length !(h.decisions));
+      give h 1 id;
+      give h 2 id);
+  Engine.run ~until:2_000.0 h.engine;
+  check_uniform_agreement h 1 ~expect_deciders:3;
+  let _, decided = List.hd (decisions_for h 1) in
+  checkb "decided the payload-backed value" true (Proposal.equal decided v)
+
+let test_indirect_empty_proposal_trivial algo () =
+  (* rcv(∅) is vacuously true: indirect consensus on empty sets decides. *)
+  let h = mk ~algo ~indirect:true () in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 Proposal.empty) [ 0; 1; 2 ];
+  Engine.run h.engine;
+  check_uniform_agreement h 1 ~expect_deciders:3
+
+(* CT-specific *)
+
+let test_ct_indirect_tolerates_minority_crash () =
+  (* n=3, f=1: CT-indirect keeps the original resilience (the paper's
+     point in §3.2).  p2 holds nothing and crashes; p0/p1 hold the payload
+     and decide. *)
+  let h = mk ~algo:`Ct ~indirect:true ~fd_delay:5.0 () in
+  let id = mid 0 0 in
+  let v = Proposal.on_ids [ id ] in
+  give h 0 id;
+  give h 1 id;
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 v) [ 0; 1 ];
+  Engine.crash_at h.engine 2 ~at:0.5;
+  Engine.run ~until:2_000.0 h.engine;
+  let decs = decisions_for h 1 in
+  checki "two deciders" 2 (List.length decs)
+
+let test_ct_no_decision_without_majority () =
+  (* With 2 of 3 crashed, CT must block (f < n/2 violated) — and must not
+     decide wrongly. *)
+  let h = mk ~algo:`Ct ~indirect:false ~fd_delay:5.0 () in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ mid p 0 ])) [ 0; 1; 2 ];
+  Engine.crash_at h.engine 1 ~at:0.1;
+  Engine.crash_at h.engine 2 ~at:0.1;
+  Engine.run ~until:500.0 h.engine;
+  checki "blocked, no decision" 0 (List.length !(h.decisions))
+
+(* MR-specific: the resilience drop of the indirect variant. *)
+
+let test_mr_indirect_blocks_at_f1_n3 () =
+  (* n=3 indirect MR needs ⌈7/3⌉=3 relays per round: a single crash stops
+     progress — the f < n/3 resilience loss of §3.3.3 made concrete. *)
+  let h = mk ~algo:`Mr ~indirect:true ~fd_delay:5.0 () in
+  let id = mid 0 0 in
+  List.iter (fun p -> give h p id) [ 0; 1; 2 ];
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ id ])) [ 0; 1; 2 ];
+  Engine.crash_at h.engine 2 ~at:0.1;
+  Engine.run ~until:500.0 ~max_events:200_000 h.engine;
+  checki "blocked with one crash at n=3" 0 (List.length !(h.decisions))
+
+let test_mr_original_survives_f1_n3 () =
+  (* Same schedule, original MR (majority quorums): decides fine. *)
+  let h = mk ~algo:`Mr ~indirect:false ~fd_delay:5.0 () in
+  let id = mid 0 0 in
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ id ])) [ 0; 1; 2 ];
+  Engine.crash_at h.engine 2 ~at:0.1;
+  Engine.run ~until:500.0 h.engine;
+  checki "two deciders" 2 (List.length (decisions_for h 1))
+
+let test_mr_indirect_tolerates_f1_n4 () =
+  (* n=4: ⌈9/3⌉=3 relays per round, so one crash is fine. *)
+  let h = mk ~n:4 ~algo:`Mr ~indirect:true ~fd_delay:5.0 () in
+  let id = mid 0 0 in
+  List.iter (fun p -> give h p id) [ 0; 1; 2; 3 ];
+  List.iter (fun p -> propose_at h ~at:1.0 p 1 (Proposal.on_ids [ id ])) [ 0; 1; 2; 3 ];
+  Engine.crash_at h.engine 3 ~at:0.1;
+  Engine.run ~until:2_000.0 h.engine;
+  checki "three deciders" 3 (List.length (decisions_for h 1))
+
+let test_mr_two_step_decision () =
+  (* In a suspicion-free round MR decides within two communication steps:
+     coordinator relay (1 step) + everyone's phase-2 relay (1 step). *)
+  let h = mk ~algo:`Mr ~indirect:false () in
+  let v = Proposal.on_ids [ mid 0 0 ] in
+  List.iter (fun p -> propose_at h ~at:0.0 p 1 v) [ 0; 1; 2 ];
+  Engine.schedule h.engine ~at:2.5 (fun () ->
+      checkb "decided within 2 steps + epsilon" true (List.length !(h.decisions) >= 1));
+  Engine.run h.engine;
+  check_uniform_agreement h 1 ~expect_deciders:3
+
+(* Determinism: identical seeds give identical decision transcripts. *)
+
+let transcript algo seed =
+  let h = mk ~algo ~indirect:false ~seed ~jitter:0.5 () in
+  List.iteri
+    (fun i p -> propose_at h ~at:(1.0 +. (0.3 *. float_of_int i)) p 1 (Proposal.on_ids [ mid p 0 ]))
+    [ 0; 1; 2 ];
+  Engine.run h.engine;
+  List.map
+    (fun (p, k, v) -> Printf.sprintf "%d/%d/%s" p k (String.concat "," (Proposal.describe v)))
+    !(h.decisions)
+
+let test_determinism algo () =
+  Alcotest.(check (list string)) "same seed, same transcript" (transcript algo 42L)
+    (transcript algo 42L);
+  checkb "transcripts non-empty" true (transcript algo 42L <> [])
+
+let both name f = [
+  Alcotest.test_case ("ct: " ^ name) `Quick (f `Ct);
+  Alcotest.test_case ("mr: " ^ name) `Quick (f `Mr);
+  Alcotest.test_case ("lb: " ^ name) `Quick (f `Lb);
+]
+
+let suites =
+  [
+    ( "quorum",
+      [
+        Alcotest.test_case "known values" `Quick test_quorum_values;
+        QCheck_alcotest.to_alcotest qcheck_majority_is_majority;
+        QCheck_alcotest.to_alcotest qcheck_two_majorities_intersect;
+        QCheck_alcotest.to_alcotest qcheck_two_thirds_overlap;
+        QCheck_alcotest.to_alcotest qcheck_quorum_feasible;
+      ] );
+    ( "proposal",
+      [
+        Alcotest.test_case "normalization" `Quick test_proposal_normalization;
+        Alcotest.test_case "wire sizes" `Quick test_proposal_sizes;
+        Alcotest.test_case "empty" `Quick test_proposal_empty;
+      ] );
+    ( "consensus-common",
+      List.concat
+        [
+          both "simple decision" test_simple_decision;
+          both "divergent proposals" test_divergent_proposals;
+          both "multiple instances" test_multiple_instances;
+          both "join on message" test_join_on_message;
+          both "coordinator crash" test_coordinator_crash;
+          both "late crasher" test_decide_reaches_late_crasher;
+          both "indirect waits for payload" test_indirect_waits_for_payload;
+          both "indirect empty proposal" test_indirect_empty_proposal_trivial;
+          both "determinism" test_determinism;
+        ] );
+    ( "ct",
+      [
+        Alcotest.test_case "indirect keeps f<n/2" `Quick test_ct_indirect_tolerates_minority_crash;
+        Alcotest.test_case "blocks without majority" `Quick test_ct_no_decision_without_majority;
+      ] );
+    ( "mr",
+      [
+        Alcotest.test_case "indirect blocks at f=1, n=3" `Quick test_mr_indirect_blocks_at_f1_n3;
+        Alcotest.test_case "original survives f=1, n=3" `Quick test_mr_original_survives_f1_n3;
+        Alcotest.test_case "indirect tolerates f=1, n=4" `Quick test_mr_indirect_tolerates_f1_n4;
+        Alcotest.test_case "two-step decision" `Quick test_mr_two_step_decision;
+      ] );
+  ]

@@ -1,0 +1,293 @@
+(* Whole-stack integration tests: realistic network models, heartbeat
+   failure detection, cross-product stack configurations, and longer
+   stress runs. *)
+
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Msg_id = Ics_net.Msg_id
+module Model = Ics_net.Model
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Checker = Ics_checker.Checker
+module Experiment = Ics_workload.Experiment
+module Stats = Ics_prelude.Stats
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let burst = Test_util.burst ~n:3 ~count:8 ~body_bytes:200 ~spacing:4.0
+
+let check_converged ?(n = 3) stack expected =
+  let seqs = List.init n (fun p -> Abcast.delivered_sequence stack.Stack.abcast p) in
+  List.iteri
+    (fun i seq -> checki (Printf.sprintf "p%d count" i) expected (List.length seq))
+    seqs;
+  match seqs with
+  | ref :: rest ->
+      List.iter
+        (fun seq -> checkb "same order" true (List.for_all2 Msg_id.equal ref seq))
+        rest
+  | [] -> ()
+
+(* Every (algo x ordering x broadcast x setup) combination that is supposed
+   to be correct delivers everything in a good run, on realistic models. *)
+let test_configuration_matrix () =
+  let algos = [ Stack.Ct; Stack.Mr; Stack.Lb ] in
+  let setups = [ Stack.Setup1; Stack.Setup1_shared_bus; Stack.Setup2 ] in
+  let stacks =
+    [
+      (Abcast.Indirect_consensus, Stack.Flood);
+      (Abcast.Indirect_consensus, Stack.Fd_relay);
+      (Abcast.Consensus_on_messages, Stack.Flood);
+      (Abcast.Consensus_on_ids, Stack.Uniform);
+    ]
+  in
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun setup ->
+          List.iter
+            (fun (ordering, broadcast) ->
+              let config =
+                { Stack.default_config with algo; setup; ordering; broadcast }
+              in
+              let stack = Test_util.run_stack config burst in
+              check_converged stack 24;
+              Test_util.assert_clean_verdict (Stack.describe stack)
+                (Checker.check_all_abcast (Test_util.checker_run stack)))
+            stacks)
+        setups)
+    algos
+
+(* Heartbeat failure detection end to end: good run (no false suspicions
+   disturb delivery) and a crash run (suspicion unblocks consensus). *)
+let test_heartbeat_stack_good_run () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.fd_kind = Stack.Heartbeat { period = 10.0; timeout = 80.0 };
+    }
+  in
+  let stack = Test_util.run_stack ~horizon:2_000.0 config burst in
+  check_converged stack 24
+
+let test_heartbeat_stack_crash_run () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.fd_kind = Stack.Heartbeat { period = 5.0; timeout = 40.0 };
+    }
+  in
+  (* p0 is round-1 coordinator for every instance; killing it forces every
+     later instance through the heartbeat-suspicion path. *)
+  let stack =
+    Test_util.run_stack ~horizon:5_000.0 config
+      ~crashes:[ (0, 10.0) ]
+      [ (1.0, 0, 50); (50.0, 1, 50); (60.0, 2, 50); (70.0, 1, 50) ]
+  in
+  let s1 = Abcast.delivered_sequence stack.Stack.abcast 1 in
+  let s2 = Abcast.delivered_sequence stack.Stack.abcast 2 in
+  checkb "survivors delivered the post-crash traffic" true (List.length s1 >= 3);
+  checkb "agreement" true (List.for_all2 Msg_id.equal s1 s2);
+  Test_util.assert_clean_verdict "heartbeat crash run"
+    (Checker.check_atomic_broadcast (Test_util.checker_run stack))
+
+(* The faulty stack is indistinguishable from the indirect one in crash-free
+   runs — the paper's performance comparison is meaningful precisely
+   because the difference only shows up under failures. *)
+let test_faulty_equals_indirect_without_crashes () =
+  let run ordering =
+    let config = { Stack.default_config with Stack.ordering } in
+    let stack = Test_util.run_stack config burst in
+    List.map Msg_id.to_string (Abcast.delivered_sequence stack.Stack.abcast 0)
+  in
+  Alcotest.(check (list string))
+    "same delivery sequence" (run Abcast.Consensus_on_ids)
+    (run Abcast.Indirect_consensus)
+
+(* Larger stress run: hundreds of messages, a mid-run crash, full property
+   check.  Exercises instance pipelining, join, and decision buffering. *)
+let test_stress_run_with_crash () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.n = 5;
+      setup = Stack.Ideal_lan { delay = 0.5; jitter = 0.3 };
+      fd_kind = Stack.Oracle 5.0;
+    }
+  in
+  let broadcasts = Test_util.burst ~n:5 ~count:60 ~body_bytes:32 ~spacing:1.0 in
+  let stack =
+    Test_util.run_stack ~horizon:60_000.0 config ~crashes:[ (4, 30.0) ] broadcasts
+  in
+  let s0 = Abcast.delivered_sequence stack.Stack.abcast 0 in
+  checkb "most messages delivered" true (List.length s0 > 200);
+  Test_util.assert_clean_verdict "stress"
+    (Checker.check_all_abcast (Test_util.checker_run stack))
+
+(* Two crashes at n=5 (f = 2 = max for CT): still live. *)
+let test_two_crashes_n5 () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.n = 5;
+      setup = Stack.Ideal_lan { delay = 0.5; jitter = 0.1 };
+      fd_kind = Stack.Oracle 5.0;
+    }
+  in
+  let stack =
+    Test_util.run_stack ~horizon:30_000.0 config
+      ~crashes:[ (3, 20.0); (4, 35.0) ]
+      (Test_util.burst ~n:5 ~count:15 ~body_bytes:16 ~spacing:4.0)
+  in
+  let s0 = Abcast.delivered_sequence stack.Stack.abcast 0 in
+  checkb "survivors deliver" true (List.length s0 >= 30);
+  Test_util.assert_clean_verdict "two crashes"
+    (Checker.check_all_abcast (Test_util.checker_run stack))
+
+(* Latency sanity: an isolated message's delivery latency is bounded below
+   by the network (can't be faster than physics) and above by a few round
+   trips (no spurious waiting in the good path). *)
+let test_latency_sanity () =
+  let delay = 2.0 in
+  let config =
+    { Stack.abcast_indirect with Stack.setup = Stack.Ideal_lan { delay; jitter = 0.0 } }
+  in
+  let latencies = ref [] in
+  let stack_ref = ref None in
+  let on_deliver _ (m : Ics_net.App_msg.t) =
+    match !stack_ref with
+    | Some stack ->
+        latencies :=
+          (Engine.now stack.Stack.engine -. m.Ics_net.App_msg.created_at) :: !latencies
+    | None -> ()
+  in
+  let stack = Stack.create ~on_deliver config in
+  stack_ref := Some stack;
+  Engine.schedule stack.Stack.engine ~at:1.0 (fun () ->
+      ignore (Stack.abroadcast stack ~src:1 ~body_bytes:10));
+  Stack.run stack;
+  checki "three deliveries" 3 (List.length !latencies);
+  List.iter
+    (fun l ->
+      checkb "at least one network step" true (l >= delay);
+      (* rb step + 3 consensus steps + slack *)
+      checkb "at most a few round trips" true (l <= 8.0 *. delay))
+    !latencies
+
+(* The §2.2 wedge, built directly against the Stack API (the Scenarios
+   module has its own copy; this one guards the raw plumbing). *)
+let test_faulty_stack_wedges_on_crash () =
+  let config =
+    {
+      Stack.abcast_ids_faulty with
+      Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 };
+      fd_kind = Stack.Oracle 10.0;
+    }
+  in
+  let rule (m : Ics_net.Message.t) =
+    if m.Ics_net.Message.layer = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
+  in
+  let stack =
+    Test_util.run_stack ~rule config
+      ~crashes:[ (0, 10.0) ]
+      [ (1.0, 0, 64); (50.0, 1, 64) ]
+  in
+  checkb "p1 wedged" true (Abcast.blocked_head stack.Stack.abcast 1 <> None);
+  checkb "p2 wedged" true (Abcast.blocked_head stack.Stack.abcast 2 <> None);
+  checki "p1 delivered nothing" 0
+    (List.length (Abcast.delivered_sequence stack.Stack.abcast 1))
+
+(* Same wedge schedule against the indirect stack: no wedge. *)
+let test_indirect_stack_survives_same_schedule () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 };
+      fd_kind = Stack.Oracle 10.0;
+    }
+  in
+  let rule (m : Ics_net.Message.t) =
+    if m.Ics_net.Message.layer = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
+  in
+  let stack =
+    Test_util.run_stack ~rule config
+      ~crashes:[ (0, 10.0) ]
+      [ (1.0, 0, 64); (50.0, 1, 64) ]
+  in
+  checkb "no wedge" true (Abcast.blocked_head stack.Stack.abcast 1 = None);
+  checki "p1's own message delivered" 1
+    (List.length (Abcast.delivered_sequence stack.Stack.abcast 1))
+
+(* Saturation honesty: driving a stack well past capacity must be reported
+   (either a non-quiescent run or queue-buildup latencies), never silently
+   averaged away. *)
+let test_saturation_is_visible () =
+  let config = { Stack.abcast_msgs with Stack.n = 5 } in
+  let load =
+    { Experiment.throughput = 900.0; body_bytes = 4000; duration = 2_000.0; warmup = 300.0 }
+  in
+  let r = Experiment.run config load in
+  checkb "saturation visible" true
+    ((not r.Experiment.quiescent) || r.Experiment.latency.Stats.mean > 100.0)
+
+(* Determinism at the whole-stack level: bitwise identical traces. *)
+(* A larger kernel than the paper ever ran: n=15 with a crash still
+   converges — guards the engine and protocol data structures against
+   accidental O(n!) or quadratic-per-event behaviour. *)
+let test_large_kernel () =
+  let config =
+    {
+      Stack.abcast_indirect with
+      Stack.n = 15;
+      setup = Stack.Ideal_lan { delay = 0.5; jitter = 0.2 };
+      fd_kind = Stack.Oracle 5.0;
+    }
+  in
+  let stack =
+    Test_util.run_stack ~horizon:60_000.0 config
+      ~crashes:[ (14, 20.0) ]
+      (Test_util.burst ~n:15 ~count:4 ~body_bytes:16 ~spacing:5.0)
+  in
+  let s0 = Abcast.delivered_sequence stack.Stack.abcast 0 in
+  checkb "most delivered" true (List.length s0 >= 56);
+  Test_util.assert_clean_verdict "n=15"
+    (Checker.check_all_abcast (Test_util.checker_run stack))
+
+let test_whole_stack_determinism () =
+  let trace_of seed =
+    let config =
+      {
+        Stack.abcast_indirect with
+        Stack.seed;
+        (* Jitter is the only randomness with a fixed broadcast schedule;
+           without it the trace is rightly seed-independent. *)
+        setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.5 };
+      }
+    in
+    let stack = Test_util.run_stack config burst in
+    Format.asprintf "%a" Ics_sim.Trace.pp (Engine.trace stack.Stack.engine)
+  in
+  Alcotest.(check string) "identical traces" (trace_of 11L) (trace_of 11L);
+  checkb "seed changes the trace" true (trace_of 11L <> trace_of 12L)
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "configuration matrix" `Quick test_configuration_matrix;
+        Alcotest.test_case "heartbeat good run" `Quick test_heartbeat_stack_good_run;
+        Alcotest.test_case "heartbeat crash run" `Quick test_heartbeat_stack_crash_run;
+        Alcotest.test_case "faulty = indirect without crashes" `Quick
+          test_faulty_equals_indirect_without_crashes;
+        Alcotest.test_case "stress run with crash" `Slow test_stress_run_with_crash;
+        Alcotest.test_case "two crashes at n=5" `Quick test_two_crashes_n5;
+        Alcotest.test_case "latency sanity" `Quick test_latency_sanity;
+        Alcotest.test_case "faulty stack wedges" `Quick test_faulty_stack_wedges_on_crash;
+        Alcotest.test_case "indirect survives wedge schedule" `Quick
+          test_indirect_stack_survives_same_schedule;
+        Alcotest.test_case "saturation visible" `Quick test_saturation_is_visible;
+        Alcotest.test_case "large kernel n=15" `Slow test_large_kernel;
+        Alcotest.test_case "whole-stack determinism" `Quick test_whole_stack_determinism;
+      ] );
+  ]

@@ -1,0 +1,25 @@
+(* Entry point: concatenates every module's suites. *)
+
+let () =
+  Alcotest.run "ics"
+    (List.concat
+       [
+         Test_rng.suites;
+         Test_stats.suites;
+         Test_sim.suites;
+         Test_net.suites;
+         Test_fd.suites;
+         Test_broadcast.suites;
+         Test_ordered_broadcast.suites;
+         Test_consensus.suites;
+         Test_abcast.suites;
+         Test_checker.suites;
+         Test_checker_fuzz.suites;
+         Test_scenarios.suites;
+         Test_workload.suites;
+         Test_integration.suites;
+         Test_adversarial.suites;
+         Test_lb.suites;
+         Test_protocol_edges.suites;
+         Test_more.suites;
+       ])

@@ -1,0 +1,278 @@
+(* Additional focused edge-case tests across modules. *)
+
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+module Wire = Ics_net.Wire
+module Msg_id = Ics_net.Msg_id
+module App_msg = Ics_net.App_msg
+module Model = Ics_net.Model
+module Host = Ics_net.Host
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Proposal = Ics_consensus.Proposal
+module Quorum = Ics_consensus.Quorum
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Figures = Ics_workload.Figures
+module Experiment = Ics_workload.Experiment
+module Stats = Ics_prelude.Stats
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+type Message.payload += More_test
+
+(* --- sim odds and ends --- *)
+
+let test_run_until_exact_boundary () =
+  (* An event exactly at the horizon must run ([<=], not [<]). *)
+  let e = Engine.create ~n:1 () in
+  let hit = ref false in
+  Engine.schedule e ~at:5.0 (fun () -> hit := true);
+  Engine.run ~until:5.0 e;
+  checkb "boundary event ran" true !hit
+
+let test_stop_then_resume () =
+  let e = Engine.create ~n:1 () in
+  let order = ref [] in
+  Engine.schedule e ~at:1.0 (fun () ->
+      order := 1 :: !order;
+      Engine.stop e);
+  Engine.schedule e ~at:2.0 (fun () -> order := 2 :: !order);
+  Engine.run e;
+  Engine.run e;
+  Alcotest.(check (list int)) "resumed" [ 1; 2 ] (List.rev !order)
+
+let test_crash_hook_ordering () =
+  let e = Engine.create ~n:2 () in
+  let order = ref [] in
+  Engine.on_crash e (fun _ -> order := "first" :: !order);
+  Engine.on_crash e (fun _ -> order := "second" :: !order);
+  Engine.crash e 0;
+  Alcotest.(check (list string)) "registration order" [ "first"; "second" ] (List.rev !order)
+
+let test_trace_note_and_filter () =
+  let e = Engine.create ~n:2 () in
+  Engine.record e 0 (Trace.Note "hello");
+  Engine.record e 1 (Trace.Note "world");
+  let notes =
+    Trace.filter (Engine.trace e) (fun ev ->
+        match ev.Trace.kind with Trace.Note _ -> true | _ -> false)
+  in
+  checki "two notes" 2 (List.length notes)
+
+(* --- net odds and ends --- *)
+
+let test_switched_store_and_forward_bytes () =
+  (* Transmission time depends on wire size on both hops. *)
+  let e = Engine.create ~n:2 () in
+  let m = Model.switched { Model.net_fixed = 0.0; net_per_byte = 0.001 } ~n:2 in
+  let arrived = ref 0.0 in
+  let msg =
+    { Message.src = 0; dst = 1; layer = "t"; payload = More_test; body_bytes = 952;
+      sent_at = 0.0 }
+  in
+  (* wire = 952 + 48 = 1000 bytes; 1 ms per hop, two hops. *)
+  Model.send m e msg ~arrive:(fun () -> arrived := Engine.now e);
+  Engine.run e;
+  checkf "two hops" 2.0 !arrived
+
+let test_message_wire_size_and_pp () =
+  let msg =
+    { Message.src = 0; dst = 1; layer = "rb"; payload = More_test; body_bytes = 10;
+      sent_at = 1.5 }
+  in
+  checki "wire size" (10 + Wire.header_bytes) (Message.wire_size msg);
+  let s = Format.asprintf "%a" Message.pp msg in
+  checkb "pp mentions layer" true (Test_util.contains s "rb")
+
+let test_transport_counts_dropped_sends () =
+  (* A scripted Drop still counts as an accepted send (the sender paid for
+     it); engine-level statistics stay deterministic. *)
+  let e = Engine.create ~n:2 () in
+  let model =
+    Model.scripted
+      ~base:(Model.constant ~delay:1.0 ~n:2 ~seed:1L ())
+      ~rule:(fun _ -> Model.Drop)
+  in
+  let tr = Transport.create e ~model ~host:Host.instant in
+  Transport.register tr 1 ~layer:"t" (fun _ -> Alcotest.fail "must not arrive");
+  Transport.send tr ~src:0 ~dst:1 ~layer:"t" ~body_bytes:5 More_test;
+  Engine.run e;
+  checki "counted" 1 (Transport.sent_messages tr)
+
+let test_app_msg_pp () =
+  let m = App_msg.make ~id:(Msg_id.make ~origin:1 ~seq:4) ~body_bytes:32 ~created_at:2.0 in
+  checkb "pp" true (Test_util.contains (Format.asprintf "%a" App_msg.pp m) "p1#4")
+
+(* --- proposal / quorum properties --- *)
+
+let qcheck_proposal_idempotent =
+  QCheck.Test.make ~name:"proposal normalization is idempotent" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 5) (int_bound 50)))
+    (fun pairs ->
+      let ids = List.map (fun (o, s) -> Msg_id.make ~origin:o ~seq:s) pairs in
+      let p1 = Proposal.on_ids ids in
+      let p2 = Proposal.on_ids (Proposal.ids p1) in
+      Proposal.equal p1 p2 && Proposal.wire_bytes p1 = Proposal.wire_bytes p2)
+
+let qcheck_proposal_wire_monotone =
+  QCheck.Test.make ~name:"proposal wire size grows with cardinality" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 5) (int_bound 100)))
+    (fun pairs ->
+      let ids = List.map (fun (o, s) -> Msg_id.make ~origin:o ~seq:s) pairs in
+      let p = Proposal.on_ids ids in
+      Proposal.wire_bytes p = Wire.id_set_bytes (Proposal.cardinal p))
+
+let qcheck_msg_id_order_total =
+  QCheck.Test.make ~name:"msg id compare is a total order" ~count:300
+    QCheck.(
+      triple (pair (int_bound 9) (int_bound 99)) (pair (int_bound 9) (int_bound 99))
+        (pair (int_bound 9) (int_bound 99)))
+    (fun ((a1, a2), (b1, b2), (c1, c2)) ->
+      let a = Msg_id.make ~origin:a1 ~seq:a2 in
+      let b = Msg_id.make ~origin:b1 ~seq:b2 in
+      let c = Msg_id.make ~origin:c1 ~seq:c2 in
+      let sign x = compare x 0 in
+      (* antisymmetry and transitivity samples *)
+      sign (Msg_id.compare a b) = -sign (Msg_id.compare b a)
+      && (not (Msg_id.compare a b <= 0 && Msg_id.compare b c <= 0)
+         || Msg_id.compare a c <= 0))
+
+(* --- stack behaviours --- *)
+
+let test_fifo_delivery_of_atomic_broadcast () =
+  (* Atomic broadcast (total order) trivially implies FIFO per origin
+     because ids order by (origin, seq)... it does NOT in general — the
+     decided sets can interleave seq numbers across instances.  Verify the
+     actual FIFO property on a concurrent run via the checker. *)
+  let config =
+    { Stack.abcast_indirect with Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.4 } }
+  in
+  let stack =
+    Test_util.run_stack config (Test_util.burst ~n:3 ~count:10 ~body_bytes:10 ~spacing:1.5)
+  in
+  let run = Test_util.checker_run stack in
+  (* The broadcast layer below AB is plain flood: FIFO need not hold for
+     rdeliveries... but A-deliveries per origin are in seq order because
+     proposals are sets of already-seen ids and the linearization sorts by
+     (origin, seq) within an instance.  Check adelivery FIFO directly. *)
+  List.iter
+    (fun p ->
+      let seqs = Hashtbl.create 4 in
+      List.iter
+        (fun id ->
+          let origin = id.Msg_id.origin in
+          let last = try Hashtbl.find seqs origin with Not_found -> -1 in
+          checkb "per-origin ascending" true (id.Msg_id.seq > last);
+          Hashtbl.replace seqs origin id.Msg_id.seq)
+        (Abcast.delivered_sequence stack.Stack.abcast p))
+    [ 0; 1; 2 ];
+  ignore run
+
+let test_empty_run_is_clean () =
+  let stack = Test_util.run_stack Stack.abcast_indirect [] in
+  Test_util.assert_clean_verdict "empty run"
+    (Ics_checker.Checker.check_all_abcast (Test_util.checker_run stack));
+  checki "no deliveries" 0 (List.length (Abcast.delivered_sequence stack.Stack.abcast 0))
+
+let test_zero_byte_payloads () =
+  let stack = Test_util.run_stack Stack.abcast_indirect [ (1.0, 0, 0); (2.0, 1, 0) ] in
+  checki "delivered" 2 (List.length (Abcast.delivered_sequence stack.Stack.abcast 2))
+
+let test_large_payloads () =
+  let stack = Test_util.run_stack Stack.abcast_indirect [ (1.0, 0, 1_000_000) ] in
+  checki "megabyte message delivered" 1
+    (List.length (Abcast.delivered_sequence stack.Stack.abcast 1))
+
+let test_single_process_cluster () =
+  (* n=1: every quorum is 1; consensus is local; the stack must still
+     work. *)
+  let config = { Stack.abcast_indirect with Stack.n = 1 } in
+  let stack = Test_util.run_stack config [ (1.0, 0, 10); (2.0, 0, 10) ] in
+  Alcotest.(check (list string)) "self-delivery in order" [ "p0#0"; "p0#1" ]
+    (List.map Msg_id.to_string (Abcast.delivered_sequence stack.Stack.abcast 0))
+
+let test_n2_tolerates_nothing () =
+  (* n=2: majority is 2; one crash blocks, no crash works. *)
+  let config =
+    { Stack.abcast_indirect with Stack.n = 2; setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 } }
+  in
+  let ok = Test_util.run_stack config [ (1.0, 0, 5) ] in
+  checki "n=2 works crash-free" 1 (List.length (Abcast.delivered_sequence ok.Stack.abcast 1));
+  let blocked =
+    Test_util.run_stack config ~crashes:[ (1, 0.5) ] [ (1.0, 0, 5) ]
+  in
+  checki "n=2 blocks under one crash" 0
+    (List.length (Abcast.delivered_sequence blocked.Stack.abcast 0))
+
+(* --- workload odds and ends --- *)
+
+let test_experiment_wall_clock_advances () =
+  let config = { Stack.abcast_indirect with Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 } } in
+  let load = { Experiment.throughput = 50.0; body_bytes = 1; duration = 1_000.0; warmup = 200.0 } in
+  let r = Experiment.run config load in
+  checkb "clock advanced past duration" true (r.Experiment.wall_clock >= 1_000.0)
+
+let test_figures_seeds_pooling () =
+  let fig = Option.get (Figures.find "fig3a") in
+  let tiny = { fig with Figures.axis = Figures.Throughput [ 100.0 ] } in
+  let t1 = Figures.run ~quick:true ~seeds:2 tiny in
+  checki "row count" 1 (List.length (Ics_prelude.Table.rows t1));
+  Alcotest.check_raises "seeds < 1" (Invalid_argument "Figures.run: seeds < 1") (fun () ->
+      ignore (Figures.run ~seeds:0 tiny))
+
+let test_default_load_sane () =
+  checkb "warmup < duration" true
+    (Experiment.default_load.Experiment.warmup < Experiment.default_load.Experiment.duration)
+
+(* --- determinism of the scenario under different seeds (schedule is fully
+   scripted, so even the seed must not matter) --- *)
+
+let test_scripted_scenarios_seed_independent () =
+  let a = Ics_workload.Scenarios.validity_scenario Ics_workload.Scenarios.Faulty_ids in
+  checki "blocked count stable" 2 (List.length a.Ics_workload.Scenarios.blocked)
+
+let suites =
+  [
+    ( "sim-more",
+      [
+        Alcotest.test_case "run until boundary" `Quick test_run_until_exact_boundary;
+        Alcotest.test_case "stop then resume" `Quick test_stop_then_resume;
+        Alcotest.test_case "crash hook ordering" `Quick test_crash_hook_ordering;
+        Alcotest.test_case "trace notes" `Quick test_trace_note_and_filter;
+      ] );
+    ( "net-more",
+      [
+        Alcotest.test_case "switched byte timing" `Quick test_switched_store_and_forward_bytes;
+        Alcotest.test_case "message pp" `Quick test_message_wire_size_and_pp;
+        Alcotest.test_case "dropped sends counted" `Quick test_transport_counts_dropped_sends;
+        Alcotest.test_case "app msg pp" `Quick test_app_msg_pp;
+      ] );
+    ( "values-more",
+      [
+        QCheck_alcotest.to_alcotest qcheck_proposal_idempotent;
+        QCheck_alcotest.to_alcotest qcheck_proposal_wire_monotone;
+        QCheck_alcotest.to_alcotest qcheck_msg_id_order_total;
+      ] );
+    ( "stack-more",
+      [
+        Alcotest.test_case "per-origin FIFO of adeliveries" `Quick
+          test_fifo_delivery_of_atomic_broadcast;
+        Alcotest.test_case "empty run" `Quick test_empty_run_is_clean;
+        Alcotest.test_case "zero-byte payloads" `Quick test_zero_byte_payloads;
+        Alcotest.test_case "large payloads" `Quick test_large_payloads;
+        Alcotest.test_case "single-process cluster" `Quick test_single_process_cluster;
+        Alcotest.test_case "n=2 tolerates nothing" `Quick test_n2_tolerates_nothing;
+      ] );
+    ( "workload-more",
+      [
+        Alcotest.test_case "wall clock" `Quick test_experiment_wall_clock_advances;
+        Alcotest.test_case "figures seed pooling" `Quick test_figures_seeds_pooling;
+        Alcotest.test_case "default load" `Quick test_default_load_sane;
+        Alcotest.test_case "scenario stability" `Quick test_scripted_scenarios_seed_independent;
+      ] );
+  ]

@@ -1,0 +1,78 @@
+(* Tests for the paper's adversarial scenarios: the §2.2 validity
+   violation and the §3.3.2 MR counterexample, plus their fixes. *)
+
+module Scenarios = Ics_workload.Scenarios
+module Checker = Ics_checker.Checker
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let has o property = Test_util.has_violation o.Scenarios.verdict property
+
+let test_faulty_ct_violates () =
+  let o = Scenarios.validity_scenario Scenarios.Faulty_ids in
+  checkb "validity violated" true (has o "abcast.validity");
+  checkb "no-loss violated" true (has o "indirect-consensus.no-loss");
+  checkb "uniform agreement violated" true (has o "abcast.uniform-agreement");
+  (* Correct processes are wedged on the lost head. *)
+  checki "two blocked" 2 (List.length o.Scenarios.blocked);
+  List.iter (fun (_, id) -> Alcotest.(check string) "blocked id" "p0#0" id) o.Scenarios.blocked
+
+let test_indirect_ct_survives () =
+  let o = Scenarios.validity_scenario Scenarios.Indirect in
+  Test_util.assert_clean_verdict "indirect" o.Scenarios.verdict;
+  checki "nothing blocked" 0 (List.length o.Scenarios.blocked);
+  (* p1's message is delivered by both correct processes. *)
+  List.iter
+    (fun (p, c) -> if p > 0 then checki "correct delivered p1#0" 1 c)
+    o.Scenarios.delivered
+
+let test_faulty_ct_total_order_intact () =
+  (* §2.2 is a validity/agreement violation, not an ordering one: the
+     sequences remain prefix-compatible even in the broken run. *)
+  let o = Scenarios.validity_scenario Scenarios.Faulty_ids in
+  checkb "order holds" false (has o "abcast.uniform-total-order");
+  checkb "integrity holds" false (has o "abcast.uniform-integrity")
+
+let test_naive_mr_violates_with_single_crash () =
+  let o = Scenarios.mr_scenario Scenarios.Naive in
+  checkb "no-loss violated" true (has o "indirect-consensus.no-loss");
+  checkb "validity violated" true (has o "abcast.validity");
+  (* The decision happened with only f=1 crash — within the original MR
+     resilience for n=5, which is the whole point of §3.3.2. *)
+  checki "all four correct processes blocked" 4 (List.length o.Scenarios.blocked)
+
+let test_indirect_mr_survives_same_schedule () =
+  let o = Scenarios.mr_scenario Scenarios.Indirect_mr in
+  Test_util.assert_clean_verdict "mr indirect" o.Scenarios.verdict;
+  checki "nothing blocked" 0 (List.length o.Scenarios.blocked);
+  checkb "instances decided" true (o.Scenarios.decided_instances >= 1)
+
+let test_scenarios_deterministic () =
+  let a = Scenarios.validity_scenario Scenarios.Faulty_ids in
+  let b = Scenarios.validity_scenario Scenarios.Faulty_ids in
+  checki "same violations" (List.length a.Scenarios.verdict.Checker.violations)
+    (List.length b.Scenarios.verdict.Checker.violations);
+  Alcotest.(check (list (pair int int))) "same deliveries" a.Scenarios.delivered b.Scenarios.delivered
+
+let test_outcome_pp () =
+  let o = Scenarios.validity_scenario Scenarios.Faulty_ids in
+  let s = Format.asprintf "%a" Scenarios.pp_outcome o in
+  checkb "mentions scenario" true (Test_util.contains s "S2.2");
+  checkb "mentions blockage" true (Test_util.contains s "blocked")
+
+let suites =
+  [
+    ( "scenarios",
+      [
+        Alcotest.test_case "faulty CT violates validity (S2.2)" `Quick test_faulty_ct_violates;
+        Alcotest.test_case "indirect CT survives (S2.2)" `Quick test_indirect_ct_survives;
+        Alcotest.test_case "faulty CT keeps order" `Quick test_faulty_ct_total_order_intact;
+        Alcotest.test_case "naive MR violates no-loss (S3.3.2)" `Quick
+          test_naive_mr_violates_with_single_crash;
+        Alcotest.test_case "indirect MR survives (S3.3.2)" `Quick
+          test_indirect_mr_survives_same_schedule;
+        Alcotest.test_case "deterministic" `Quick test_scenarios_deterministic;
+        Alcotest.test_case "outcome pp" `Quick test_outcome_pp;
+      ] );
+  ]

@@ -1,0 +1,48 @@
+(* Shared helpers for the test suite. *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec scan i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+(* Run a stack under a small deterministic burst and return it quiescent.
+   [broadcasts] is a list of (time, src, body_bytes). *)
+let run_stack ?rule ?manual_fd ?(crashes = []) ?(horizon = 20_000.0) config broadcasts =
+  let stack = Ics_core.Stack.create ?rule ?manual_fd config in
+  let engine = stack.Ics_core.Stack.engine in
+  List.iter
+    (fun (at, src, body_bytes) ->
+      Ics_sim.Engine.schedule engine ~at (fun () ->
+          ignore (Ics_core.Stack.abroadcast stack ~src ~body_bytes)))
+    broadcasts;
+  List.iter (fun (p, at) -> Ics_sim.Engine.crash_at engine p ~at) crashes;
+  Ics_core.Stack.run ~until:horizon stack;
+  stack
+
+let checker_run stack =
+  let engine = stack.Ics_core.Stack.engine in
+  Ics_checker.Checker.Run.of_trace (Ics_sim.Engine.trace engine)
+    ~n:(Ics_sim.Engine.n engine)
+
+let burst ~n ~count ~body_bytes ~spacing =
+  List.concat_map
+    (fun i ->
+      List.map (fun p -> ((float_of_int i *. spacing) +. (0.1 *. float_of_int p), p, body_bytes))
+        (List.init n (fun p -> p)))
+    (List.init count (fun i -> i))
+
+let assert_clean_verdict name verdict =
+  if not (Ics_checker.Checker.ok verdict) then
+    Alcotest.failf "%s: %a" name Ics_checker.Checker.pp_verdict verdict
+
+let has_violation verdict property =
+  List.exists
+    (fun v -> v.Ics_checker.Checker.property = property)
+    verdict.Ics_checker.Checker.violations
