@@ -1,0 +1,23 @@
+# Convenience targets; `make verify` is the pre-merge gate.
+
+.PHONY: all build test bench perf verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+# Full benchmark sweep (~minutes); `perf` alone is the quick wall-clock check.
+bench:
+	dune exec bench/main.exe
+
+perf:
+	dune exec bench/main.exe -- perf quick
+
+verify: build test perf
+
+clean:
+	dune clean

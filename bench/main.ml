@@ -10,7 +10,10 @@
      dune exec bench/main.exe -- quick   # quarter-length simulation sweeps
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
-                                         # claims, micro (combinable) *)
+                                         # claims, micro, perf (combinable)
+
+   The perf section measures real wall-clock time and allocation on a fixed
+   deterministic workload and writes the numbers to BENCH_PR1.json. *)
 
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
@@ -338,6 +341,88 @@ let run_claims ~quick =
     (List.length (List.filter (fun v -> v.Ics_workload.Claims.holds) verdicts))
     (List.length verdicts)
 
+(* --- Wall-clock perf harness --------------------------------------------- *)
+
+(* A fixed, deterministic workload: the latency table it produces is
+   bit-identical across runs and across hot-path refactors (same seed, same
+   event order), so any change in the fingerprint line signals a semantics
+   change, not noise.  Wall clock and Gc.minor_words are the real-time
+   costs of simulating it. *)
+let perf_config = { Stack.abcast_indirect with Stack.n = 3 }
+
+let perf_load ~quick =
+  {
+    Experiment.throughput = 800.0;
+    body_bytes = 1000;
+    duration = 500.0 +. (if quick then 5_000.0 else 20_000.0);
+    warmup = 500.0;
+  }
+
+let run_perf ~quick =
+  section
+    (Printf.sprintf
+       "Perf harness: indirect consensus, n=3, 1kB, 800 msg/s, %g s of traffic"
+       ((perf_load ~quick).Experiment.duration /. 1000.0));
+  let load = perf_load ~quick in
+  (* Warm-up run faults in every code path before timing starts. *)
+  ignore (Experiment.run perf_config { load with Experiment.duration = 600.0 });
+  let measure ~check =
+    Gc.compact ();
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let r = Experiment.run ~check perf_config load in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r, wall, Gc.minor_words () -. minor0)
+  in
+  let r, wall, minor = measure ~check:false in
+  let rc, wallc, minorc = measure ~check:true in
+  let per_abcast m (r : Experiment.result) =
+    m /. float_of_int (max 1 r.Experiment.abroadcasts)
+  in
+  let events_per_s (r : Experiment.result) w = float_of_int r.Experiment.events /. w in
+  let table =
+    Table.create ~title:"simulator wall-clock cost (real time, not virtual)"
+      ~columns:[ "mode"; "wall[s]"; "events"; "events/s"; "minor-w/abcast" ]
+  in
+  let row name r w m =
+    Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.4f" w;
+        string_of_int r.Experiment.events;
+        Printf.sprintf "%.0f" (events_per_s r w);
+        Printf.sprintf "%.1f" (per_abcast m r);
+      ]
+  in
+  row "trace-off" r wall minor;
+  row "trace-on+checker" rc wallc minorc;
+  Table.print table;
+  let s = r.Experiment.latency in
+  Format.printf "fingerprint: mean=%.9f p50=%.9f p99=%.9f sent_messages=%d@."
+    s.Stats.mean s.Stats.p50 s.Stats.p99 r.Experiment.sent_messages;
+  (match rc.Experiment.verdict with
+  | Some v -> Format.printf "checker verdict ok: %b@." (Ics_checker.Checker.ok v)
+  | None -> ());
+  let oc = open_out "BENCH_PR1.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": {"n": 3, "ordering": "indirect", "body_bytes": 1000,
+               "throughput": 800.0, "virtual_duration_ms": %g},
+  "trace_off": {"wall_s": %.4f, "events": %d, "events_per_s": %.0f,
+                "abroadcasts": %d, "minor_words_per_abroadcast": %.1f},
+  "trace_on_checked": {"wall_s": %.4f, "events": %d, "events_per_s": %.0f,
+                       "minor_words_per_abroadcast": %.1f},
+  "fingerprint": {"latency_mean_ms": %.9f, "latency_p50_ms": %.9f,
+                  "latency_p99_ms": %.9f, "sent_messages": %d}
+}
+|}
+    load.Experiment.duration wall r.Experiment.events (events_per_s r wall)
+    r.Experiment.abroadcasts (per_abcast minor r) wallc rc.Experiment.events
+    (events_per_s rc wallc) (per_abcast minorc rc) s.Stats.mean s.Stats.p50
+    s.Stats.p99 r.Experiment.sent_messages;
+  close_out oc;
+  Format.printf "wrote BENCH_PR1.json@."
+
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
 
 let micro_tests () =
@@ -425,4 +510,5 @@ let () =
   end;
   if want "claims" then run_claims ~quick;
   if want "micro" then run_micro ();
+  if want "perf" then run_perf ~quick;
   Format.printf "@.done.@."

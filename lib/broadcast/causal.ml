@@ -21,6 +21,7 @@ type proc_state = {
 
 let create transport ~deliver =
   let engine = Transport.engine transport in
+  let layer = Transport.intern transport layer in
   let n = Transport.n transport in
   let states =
     Array.init n (fun _ ->
@@ -48,7 +49,7 @@ let create transport ~deliver =
         ignore vc;
         Msg_id.Table.add st.delivered m.App_msg.id ();
         st.vc.(App_msg.origin m) <- st.vc.(App_msg.origin m) + 1;
-        Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.App_msg.id));
+        Engine.record engine p (Trace.Rdeliver m.App_msg.id);
         deliver p m;
         try_deliver p
   in
@@ -88,7 +89,7 @@ let create transport ~deliver =
       (* The sender's VC stamped with its own next slot. *)
       let vc = Array.copy st.vc in
       vc.(src) <- vc.(src) + 1;
-      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Engine.record engine src (Trace.Rbroadcast m.id);
       Transport.send_to_others transport ~src ~layer ~body_bytes:(body_bytes m)
         (Data (m, vc));
       (* Local delivery is immediate: nothing can causally precede a
@@ -96,7 +97,7 @@ let create transport ~deliver =
       Msg_id.Table.add st.delivered m.id ();
       Msg_id.Table.add st.relayed m.id ();
       st.vc.(src) <- st.vc.(src) + 1;
-      Engine.record engine src (Trace.Rdeliver (Msg_id.to_string m.id));
+      Engine.record engine src (Trace.Rdeliver m.id);
       deliver src m
     end
   in

@@ -19,6 +19,7 @@ type proc_state = {
 
 let create transport ~fd ~deliver =
   let engine = Transport.engine transport in
+  let layer = Transport.intern transport layer in
   let n = Transport.n transport in
   let states =
     Array.init n (fun _ ->
@@ -46,7 +47,7 @@ let create transport ~fd ~deliver =
     if not (Msg_id.Table.mem st.delivered m.id) then begin
       Msg_id.Table.add st.delivered m.id m;
       remember p m;
-      Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.id));
+      Engine.record engine p (Trace.Rdeliver m.id);
       deliver p m
     end
   in
@@ -75,7 +76,7 @@ let create transport ~fd ~deliver =
     (Pid.all ~n);
   let broadcast ~src (m : App_msg.t) =
     if Engine.is_alive engine src then begin
-      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Engine.record engine src (Trace.Rbroadcast m.id);
       Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
         (Data m);
       deliver_local src m

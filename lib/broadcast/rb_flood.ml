@@ -14,6 +14,7 @@ type proc_state = { delivered : unit Msg_id.Table.t }
 
 let create transport ~deliver =
   let engine = Transport.engine transport in
+  let layer = Transport.intern transport layer in
   let n = Transport.n transport in
   let states = Array.init n (fun _ -> { delivered = Msg_id.Table.create 64 }) in
   let holds p id = Msg_id.Table.mem states.(p).delivered id in
@@ -21,7 +22,7 @@ let create transport ~deliver =
     let st = states.(p) in
     if not (Msg_id.Table.mem st.delivered m.id) then begin
       Msg_id.Table.add st.delivered m.id ();
-      Engine.record engine p (Trace.Rdeliver (Msg_id.to_string m.id));
+      Engine.record engine p (Trace.Rdeliver m.id);
       deliver p m
     end
   in
@@ -44,7 +45,7 @@ let create transport ~deliver =
     (Pid.all ~n);
   let broadcast ~src (m : App_msg.t) =
     if Engine.is_alive engine src then begin
-      Engine.record engine src (Trace.Rbroadcast (Msg_id.to_string m.id));
+      Engine.record engine src (Trace.Rbroadcast m.id);
       Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
         (Data m);
       deliver_local src m

@@ -26,6 +26,7 @@ type proc_state = { entries : entry Msg_id.Table.t }
 
 let create transport ~deliver =
   let engine = Transport.engine transport in
+  let layer = Transport.intern transport layer in
   let n = Transport.n transport in
   let majority = (n + 2) / 2 in
   (* ⌈(n+1)/2⌉ *)
@@ -49,7 +50,7 @@ let create transport ~deliver =
     match e.payload with
     | Some m when (not e.delivered) && List.length e.ackers >= majority ->
         e.delivered <- true;
-        Engine.record engine p (Trace.Urb_deliver (Msg_id.to_string id));
+        Engine.record engine p (Trace.Urb_deliver id);
         deliver p m
     | _ -> ()
   in
@@ -102,7 +103,7 @@ let create transport ~deliver =
     (Pid.all ~n);
   let broadcast ~src (m : App_msg.t) =
     if Engine.is_alive engine src then begin
-      Engine.record engine src (Trace.Urb_broadcast (Msg_id.to_string m.id));
+      Engine.record engine src (Trace.Urb_broadcast m.id);
       Transport.send_to_others transport ~src ~layer ~body_bytes:(App_msg.rb_body_bytes m)
         (Data m);
       store src m

@@ -1,6 +1,7 @@
 module Pid = Ics_sim.Pid
 module Time = Ics_sim.Time
 module Trace = Ics_sim.Trace
+module Msg_id = Ics_sim.Msg_id
 
 type violation = { property : string; culprit : Pid.t option; detail : string }
 
@@ -25,22 +26,22 @@ let merge verdicts =
     checked = List.concat_map (fun v -> v.checked) verdicts;
   }
 
-module String_set = Set.Make (String)
+module Id_set = Msg_id.Set
 
 module Run = struct
   type t = {
     n : int;
     crash_times : (Pid.t, Time.t) Hashtbl.t;
-    abroadcasts : (Pid.t * string * Time.t) list;
-    adeliveries : string list array;  (* delivery order per process *)
-    rdeliveries : string list array;  (* includes urb deliveries *)
-    rdelivered_sets : String_set.t array;
-    proposes : (Pid.t * int * string list) list;
-    decisions : (Pid.t * int * string list) list;
+    abroadcasts : (Pid.t * Msg_id.t * Time.t) list;
+    adeliveries : Msg_id.t list array;  (* delivery order per process *)
+    rdeliveries : Msg_id.t list array;  (* includes urb deliveries *)
+    rdelivered_sets : Id_set.t array;
+    proposes : (Pid.t * int * Msg_id.t list) list;
+    decisions : (Pid.t * int * Msg_id.t list) list;
     first_decision_time : (int, Time.t) Hashtbl.t;
-    first_rdeliver_time : (Pid.t * string, Time.t) Hashtbl.t;
-    rbroadcasts : (Pid.t * string) list;  (* chronological *)
-    local_events : [ `Bcast of string | `Deliv of string ] list array;
+    first_rdeliver_time : (Pid.t * Msg_id.t, Time.t) Hashtbl.t;
+    rbroadcasts : (Pid.t * Msg_id.t) list;  (* chronological *)
+    local_events : [ `Bcast of Msg_id.t | `Deliv of Msg_id.t ] list array;
         (* per process, chronological broadcast-layer events *)
   }
 
@@ -55,8 +56,7 @@ module Run = struct
     let first_rdeliver_time = Hashtbl.create 256 in
     let rbroadcasts = ref [] in
     let local_events = Array.make n [] in
-    List.iter
-      (fun (e : Trace.event) ->
+    Trace.iter trace (fun (e : Trace.event) ->
         match e.kind with
         | Trace.Crash ->
             if not (Hashtbl.mem crash_times e.pid) then
@@ -76,8 +76,7 @@ module Run = struct
         | Trace.Rbroadcast id | Trace.Urb_broadcast id ->
             rbroadcasts := (e.pid, id) :: !rbroadcasts;
             local_events.(e.pid) <- `Bcast id :: local_events.(e.pid)
-        | Trace.Suspect _ | Trace.Trust _ | Trace.Note _ -> ())
-      (Trace.events trace);
+        | Trace.Suspect _ | Trace.Trust _ | Trace.Note _ -> ());
     let adeliveries = Array.map List.rev adeliv in
     let rdeliveries = Array.map List.rev rdeliv in
     {
@@ -86,7 +85,7 @@ module Run = struct
       abroadcasts = List.rev !abroadcasts;
       adeliveries;
       rdeliveries;
-      rdelivered_sets = Array.map String_set.of_list rdeliveries;
+      rdelivered_sets = Array.map Id_set.of_list rdeliveries;
       proposes = List.rev !proposes;
       decisions = List.rev !decisions;
       first_decision_time;
@@ -119,7 +118,7 @@ let dup_check ~property ~primitive run seqs =
               {
                 property;
                 culprit = Some p;
-                detail = Printf.sprintf "%s delivered %s twice" primitive id;
+                detail = Printf.sprintf "%s delivered %s twice" primitive (Msg_id.to_string id);
               }
           else begin
             Hashtbl.add seen id ();
@@ -134,25 +133,27 @@ let sourced_check ~property ~primitive run seqs broadcast_ids =
     (fun p ->
       List.filter_map
         (fun id ->
-          if String_set.mem id broadcast_ids then None
+          if Id_set.mem id broadcast_ids then None
           else
             Some
               {
                 property;
                 culprit = Some p;
-                detail = Printf.sprintf "%s delivered %s which was never broadcast" primitive id;
+                detail =
+                  Printf.sprintf "%s delivered %s which was never broadcast" primitive
+                    (Msg_id.to_string id);
               })
         (seqs p))
     (Pid.all ~n:(Run.n run))
 
 let abroadcast_ids_of run =
-  String_set.of_list (List.map (fun (_, id, _) -> id) (Run.abroadcasts run))
+  Id_set.of_list (List.map (fun (_, id, _) -> id) (Run.abroadcasts run))
 
 (* Ids legitimately injected at the broadcast layer: either through atomic
    broadcast or directly via a broadcast primitive. *)
 let broadcast_ids_of run =
-  String_set.union (abroadcast_ids_of run)
-    (String_set.of_list (List.map snd (Run.rbroadcasts run)))
+  Id_set.union (abroadcast_ids_of run)
+    (Id_set.of_list (List.map snd (Run.rbroadcasts run)))
 
 let check_broadcast_generic ~uniform ~prefix run =
   let property name = prefix ^ "." ^ name in
@@ -164,17 +165,19 @@ let check_broadcast_generic ~uniform ~prefix run =
     @ sourced_check ~property:(property "uniform-integrity") ~primitive:prefix run seqs
         broadcast_ids
   in
-  let delivered_sets = Array.init (Run.n run) (fun p -> String_set.of_list (seqs p)) in
+  let delivered_sets = Array.init (Run.n run) (fun p -> Id_set.of_list (seqs p)) in
   (* Validity: a correct broadcaster delivers its own message. *)
   let validity =
     List.filter_map
       (fun (p, id, _) ->
-        if List.mem p correct && not (String_set.mem id delivered_sets.(p)) then
+        if List.mem p correct && not (Id_set.mem id delivered_sets.(p)) then
           Some
             {
               property = property "validity";
               culprit = Some p;
-              detail = Printf.sprintf "correct broadcaster never delivered its own %s" id;
+              detail =
+                Printf.sprintf "correct broadcaster never delivered its own %s"
+                  (Msg_id.to_string id);
             }
         else None)
       (Run.abroadcasts run)
@@ -186,23 +189,23 @@ let check_broadcast_generic ~uniform ~prefix run =
   in
   let witnessed =
     List.fold_left
-      (fun acc w -> String_set.union acc delivered_sets.(w))
-      String_set.empty witnesses
+      (fun acc w -> Id_set.union acc delivered_sets.(w))
+      Id_set.empty witnesses
   in
   let agreement =
     List.concat_map
       (fun q ->
-        let missing = String_set.diff witnessed delivered_sets.(q) in
+        let missing = Id_set.diff witnessed delivered_sets.(q) in
         List.map
           (fun id ->
             {
               property = property (if uniform then "uniform-agreement" else "agreement");
               culprit = Some q;
               detail =
-                Printf.sprintf "%s delivered somewhere but not by correct %s" id
-                  (Pid.to_string q);
+                Printf.sprintf "%s delivered somewhere but not by correct %s"
+                  (Msg_id.to_string id) (Pid.to_string q);
             })
-          (String_set.elements missing))
+          (Id_set.elements missing))
       correct
   in
   {
@@ -254,10 +257,12 @@ let check_consensus run =
       | (p0, v0) :: rest ->
           List.iter
             (fun (p, v) ->
-              if v <> v0 then
+              if not (List.equal Msg_id.equal v v0) then
                 add "consensus.uniform-agreement" (Some p)
                   (Printf.sprintf "instance %d: decided {%s} but %s decided {%s}" k
-                     (String.concat "," v) (Pid.to_string p0) (String.concat "," v0)))
+                     (String.concat "," (List.map Msg_id.to_string v))
+                     (Pid.to_string p0)
+                     (String.concat "," (List.map Msg_id.to_string v0))))
             rest)
     decisions_by_k;
   (* Uniform validity: the decided set was proposed by some process. *)
@@ -269,11 +274,15 @@ let check_consensus run =
           let proposals =
             match List.assoc_opt k proposes_by_k with Some l -> List.map snd l | None -> []
           in
-          let sorted l = List.sort String.compare l in
-          if not (List.exists (fun prop -> sorted prop = sorted v) proposals) then
+          let sorted l = List.sort Msg_id.compare l in
+          if not
+               (List.exists
+                  (fun prop -> List.equal Msg_id.equal (sorted prop) (sorted v))
+                  proposals)
+          then
             add "consensus.uniform-validity" None
               (Printf.sprintf "instance %d: decided {%s} matches no proposal" k
-                 (String.concat "," v)))
+                 (String.concat "," (List.map Msg_id.to_string v))))
     decisions_by_k;
   (* Termination: a decided instance is decided by every correct process. *)
   List.iter
@@ -315,7 +324,7 @@ let check_no_loss ?(strict = false) run =
     List.exists
       (fun p ->
         match deadline with
-        | None -> String_set.mem id run.Run.rdelivered_sets.(p)
+        | None -> Id_set.mem id run.Run.rdelivered_sets.(p)
         | Some t -> (
             match Hashtbl.find_opt run.Run.first_rdeliver_time (p, id) with
             | Some t' -> t' <= t
@@ -345,7 +354,7 @@ let check_no_loss ?(strict = false) run =
                       detail =
                         Printf.sprintf
                           "instance %d decided %s but no correct process held its payload%s"
-                          k id
+                          k (Msg_id.to_string id)
                           (if strict then " at decision time" else " by the end of the run");
                     })
               v)
@@ -363,7 +372,7 @@ let is_prefix a b =
     match (a, b) with
     | [], _ -> true
     | _, [] -> false
-    | x :: a', y :: b' -> String.equal x y && loop a' b'
+    | x :: a', y :: b' -> Msg_id.equal x y && loop a' b'
   in
   loop a b
 
@@ -380,27 +389,28 @@ let check_atomic_broadcast run =
     (dup_check ~property:"abcast.uniform-integrity" ~primitive:"abcast" run seqs
     @ sourced_check ~property:"abcast.uniform-integrity" ~primitive:"abcast" run seqs
         broadcast_ids);
-  let delivered_sets = Array.init n (fun p -> String_set.of_list (seqs p)) in
+  let delivered_sets = Array.init n (fun p -> Id_set.of_list (seqs p)) in
   (* Validity. *)
   List.iter
     (fun (p, id, _) ->
-      if List.mem p correct && not (String_set.mem id delivered_sets.(p)) then
+      if List.mem p correct && not (Id_set.mem id delivered_sets.(p)) then
         add "abcast.validity" (Some p)
-          (Printf.sprintf "correct broadcaster never adelivered its own %s" id))
+          (Printf.sprintf "correct broadcaster never adelivered its own %s"
+             (Msg_id.to_string id)))
     (Run.abroadcasts run);
   (* Uniform agreement: anything delivered anywhere (even by a process that
      later crashed) must be delivered by every correct process. *)
   let witnessed =
-    Array.fold_left (fun acc s -> String_set.union acc s) String_set.empty delivered_sets
+    Array.fold_left (fun acc s -> Id_set.union acc s) Id_set.empty delivered_sets
   in
   List.iter
     (fun q ->
-      String_set.iter
+      Id_set.iter
         (fun id ->
           add "abcast.uniform-agreement" (Some q)
-            (Printf.sprintf "%s adelivered somewhere but not by correct %s" id
-               (Pid.to_string q)))
-        (String_set.diff witnessed delivered_sets.(q)))
+            (Printf.sprintf "%s adelivered somewhere but not by correct %s"
+               (Msg_id.to_string id) (Pid.to_string q)))
+        (Id_set.diff witnessed delivered_sets.(q)))
     correct;
   (* Uniform total order: all sequences pairwise prefix-compatible. *)
   List.iter
@@ -502,7 +512,7 @@ let check_causal_order run =
                           culprit = Some p;
                           detail =
                             Printf.sprintf "%s causally precedes %s but was delivered after"
-                              m1 m2;
+                              (Msg_id.to_string m1) (Msg_id.to_string m2);
                         }
                         :: !violations
                   | Some _ -> ()
@@ -513,7 +523,7 @@ let check_causal_order run =
                           culprit = Some p;
                           detail =
                             Printf.sprintf "%s delivered without its causal predecessor %s"
-                              m2 m1;
+                              (Msg_id.to_string m2) (Msg_id.to_string m1);
                         }
                         :: !violations)
                 preds)

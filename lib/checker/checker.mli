@@ -21,6 +21,7 @@
 module Pid = Ics_sim.Pid
 module Time = Ics_sim.Time
 module Trace = Ics_sim.Trace
+module Msg_id = Ics_sim.Msg_id
 
 type violation = {
   property : string;  (** e.g. ["abcast.validity"] *)
@@ -47,17 +48,17 @@ module Run : sig
   val crashed : t -> Pid.t list
   val crash_time : t -> Pid.t -> Time.t option
 
-  val abroadcasts : t -> (Pid.t * string * Time.t) list
-  val adeliveries : t -> Pid.t -> string list
+  val abroadcasts : t -> (Pid.t * Msg_id.t * Time.t) list
+  val adeliveries : t -> Pid.t -> Msg_id.t list
   (** Identifiers in delivery order at one process. *)
 
-  val rdeliveries : t -> Pid.t -> string list
-  val decisions : t -> (Pid.t * int * string list) list
+  val rdeliveries : t -> Pid.t -> Msg_id.t list
+  val decisions : t -> (Pid.t * int * Msg_id.t list) list
 
-  val rbroadcasts : t -> (Pid.t * string) list
+  val rbroadcasts : t -> (Pid.t * Msg_id.t) list
   (** Broadcast-layer send events, chronological. *)
 
-  val local_events : t -> Pid.t -> [ `Bcast of string | `Deliv of string ] list
+  val local_events : t -> Pid.t -> [ `Bcast of Msg_id.t | `Deliv of Msg_id.t ] list
   (** One process's broadcast-layer events in local order. *)
 end
 

@@ -47,7 +47,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   let host = Transport.host transport in
   let n = Transport.n transport in
   let majority = Quorum.majority ~n in
-  let layer = config.layer in
+  let layer = Transport.intern transport config.layer in
   let procs = Array.init n (fun pid -> { pid; instances = Hashtbl.create 16 }) in
 
   let send ~src ~dst ~bytes payload =
@@ -78,7 +78,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
       Transport.multicast transport ~src:p ~dsts ~layer
         ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes v))
         (Decide { k = inst.k; v });
-      Engine.record engine p (Trace.Decide (inst.k, Proposal.describe v));
+      Engine.record engine p (Trace.Decide (inst.k, Proposal.ids v));
       cb.on_decide p inst.k v
     end
   in
@@ -121,7 +121,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
       }
     in
     Hashtbl.add procs.(p).instances k inst;
-    Engine.record engine p (Trace.Propose (k, Proposal.describe estimate));
+    Engine.record engine p (Trace.Propose (k, Proposal.ids estimate));
     inst
   in
 

@@ -10,6 +10,8 @@ let on_ids raw =
   let ids = normalize raw in
   { ids; wire_bytes = Wire.id_set_bytes (List.length ids) }
 
+let of_sorted ids = { ids; wire_bytes = Wire.id_set_bytes (List.length ids) }
+
 let on_messages msgs =
   let module T = Msg_id.Table in
   let by_id = T.create (List.length msgs) in

@@ -18,6 +18,10 @@ val on_ids : Msg_id.t list -> t
 (** A set-of-identifiers value: wire size is {!Ics_net.Wire.id_set_bytes}
     of the cardinality.  Input may be unsorted and contain duplicates. *)
 
+val of_sorted : Msg_id.t list -> t
+(** Like {!on_ids} but trusts the input to already be sorted and
+    duplicate-free (e.g. [Msg_id.Set.elements]), skipping normalization. *)
+
 val on_messages : App_msg.t list -> t
 (** A set-of-messages value: wire size additionally counts every payload
     byte — consensus traffic then grows with message size. *)

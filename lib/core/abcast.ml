@@ -14,6 +14,8 @@ type ordering = Consensus_on_messages | Consensus_on_ids | Indirect_consensus
 type pstate = {
   received : App_msg.t Msg_id.Table.t;
   mutable unordered : Msg_id.Set.t;
+  mutable unordered_elems : Msg_id.t list option;
+      (* memo of [Msg_id.Set.elements unordered]; invalidated on mutation *)
   ordered_pending : Msg_id.t Queue.t;
   ordered_ever : unit Msg_id.Table.t;
   decisions : (int, Proposal.t) Hashtbl.t;
@@ -33,13 +35,23 @@ type t = {
 
 let holds t p id = Msg_id.Table.mem t.states.(p).received id
 
+let unordered_elems st =
+  match st.unordered_elems with
+  | Some ids -> ids
+  | None ->
+      let ids = Msg_id.Set.elements st.unordered in
+      st.unordered_elems <- Some ids;
+      ids
+
 let make_proposal t p =
   let st = t.states.(p) in
-  let ids = Msg_id.Set.elements st.unordered in
+  let ids = unordered_elems st in
   match t.ordering with
   | Consensus_on_messages ->
       Proposal.on_messages (List.map (Msg_id.Table.find st.received) ids)
-  | Consensus_on_ids | Indirect_consensus -> Proposal.on_ids ids
+  | Consensus_on_ids | Indirect_consensus ->
+      (* [ids] comes from Set.elements: already sorted and duplicate-free. *)
+      Proposal.of_sorted ids
 
 let try_deliver t p =
   let st = t.states.(p) in
@@ -49,7 +61,7 @@ let try_deliver t p =
         ignore (Queue.pop st.ordered_pending);
         let m = Msg_id.Table.find st.received id in
         st.delivered_rev <- id :: st.delivered_rev;
-        Engine.record t.engine p (Trace.Adeliver (Msg_id.to_string id));
+        Engine.record t.engine p (Trace.Adeliver id);
         t.deliver p m;
         loop ()
     | Some _ | None -> ()
@@ -81,7 +93,8 @@ let apply_decisions t p =
             if not (Msg_id.Table.mem st.ordered_ever id) then begin
               Msg_id.Table.add st.ordered_ever id ();
               Queue.push id st.ordered_pending;
-              st.unordered <- Msg_id.Set.remove id st.unordered
+              st.unordered <- Msg_id.Set.remove id st.unordered;
+              st.unordered_elems <- None
             end)
           (Proposal.ids v);
         progressed := true;
@@ -104,7 +117,10 @@ let on_broadcast_deliver t p (m : App_msg.t) =
     if
       (not (Msg_id.Table.mem st.ordered_ever m.id))
       && not (Msg_id.Set.mem m.id st.unordered)
-    then st.unordered <- Msg_id.Set.add m.id st.unordered;
+    then begin
+      st.unordered <- Msg_id.Set.add m.id st.unordered;
+      st.unordered_elems <- None
+    end;
     (* The payload may unblock an already ordered head. *)
     try_deliver t p;
     try_propose t p
@@ -118,6 +134,7 @@ let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
         {
           received = Msg_id.Table.create 256;
           unordered = Msg_id.Set.empty;
+          unordered_elems = None;
           ordered_pending = Queue.create ();
           ordered_ever = Msg_id.Table.create 256;
           decisions = Hashtbl.create 16;
@@ -161,7 +178,7 @@ let abroadcast t ~src ~body_bytes =
   st.next_seq <- st.next_seq + 1;
   let m = App_msg.make ~id ~body_bytes ~created_at:(Engine.now t.engine) in
   if Engine.is_alive t.engine src then begin
-    Engine.record t.engine src (Trace.Abroadcast (Msg_id.to_string id));
+    Engine.record t.engine src (Trace.Abroadcast id);
     t.broadcast.broadcast ~src m
   end;
   m

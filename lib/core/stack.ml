@@ -32,6 +32,7 @@ type config = {
   broadcast : broadcast_kind;
   setup : setup;
   fd_kind : fd_kind;
+  trace : [ `On | `Off ];
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     broadcast = Flood;
     setup = Setup1;
     fd_kind = Oracle 200.0;
+    trace = `On;
   }
 
 let abcast_msgs = { default_config with ordering = Abcast.Consensus_on_messages }
@@ -83,7 +85,7 @@ let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
     | Some e ->
         if Engine.n e <> config.n then invalid_arg "Stack.create: engine/config n mismatch";
         e
-    | None -> Engine.create ~seed:config.seed ~n:config.n ()
+    | None -> Engine.create ~seed:config.seed ~trace:config.trace ~n:config.n ()
   in
   let model, host = build_model config in
   let model =

@@ -62,11 +62,15 @@ type config = {
   broadcast : broadcast_kind;
   setup : setup;
   fd_kind : fd_kind;
+  trace : [ `On | `Off ];
+      (** [`Off] skips event recording entirely — the right mode for
+          performance runs that never consult the checker.  Scheduling is
+          unaffected either way. *)
 }
 
 val default_config : config
 (** n = 3, seed 1, CT, indirect consensus, flood RB, Setup1, 200 ms-delay
-    oracle detector. *)
+    oracle detector, tracing on. *)
 
 (** Named presets for the paper's four benchmark stacks (CT-based). *)
 val abcast_msgs : config

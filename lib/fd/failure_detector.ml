@@ -68,12 +68,13 @@ let heartbeat transport ~period ~timeout =
   if timeout <= period then invalid_arg "Failure_detector.heartbeat: timeout <= period";
   let engine = Transport.engine transport in
   let n = Engine.n engine in
+  let layer = Transport.intern transport "fd" in
   let t = make engine in
   let last_hb = Array.init n (fun _ -> Array.make n Time.zero) in
   (* Sender side: emit heartbeats forever (until crash). *)
   let rec emit p () =
     if Engine.is_alive engine p then begin
-      Transport.send_to_others transport ~src:p ~layer:"fd" ~body_bytes:hb_body_bytes
+      Transport.send_to_others transport ~src:p ~layer ~body_bytes:hb_body_bytes
         Heartbeat;
       Engine.after engine ~delay:period (emit p)
     end
@@ -90,7 +91,7 @@ let heartbeat transport ~period ~timeout =
   in
   List.iter
     (fun p ->
-      Transport.register transport p ~layer:"fd" (fun msg ->
+      Transport.register transport p ~layer (fun msg ->
           match msg.Message.payload with
           | Heartbeat ->
               last_hb.(p).(msg.Message.src) <- Engine.now engine;

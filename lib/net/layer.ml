@@ -1,0 +1,8 @@
+type t = { id : int; name : string }
+
+let id t = t.id
+let name t = t.name
+let equal a b = a.id = b.id && String.equal a.name b.name
+let make ~id ~name = { id; name }
+let unregistered name = { id = -1; name }
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,28 @@
+(** Interned protocol-layer names.
+
+    Layer names ("rb", "consensus", "fd", …) are the transport's dispatch
+    keys.  Hashing a string per delivered message is pure hot-path waste,
+    so {!Transport.intern} assigns each name a dense integer id at
+    registration time and every subsequent send/dispatch/per-layer-count
+    is an array index on {!id}.
+
+    Tokens are minted by a transport; {!id}s are dense per transport, in
+    interning order.  A token from another transport (or from
+    {!unregistered}) is re-resolved by name when it reaches a transport,
+    so misuse degrades to the old string-keyed behaviour instead of
+    misdispatching. *)
+
+type t
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+
+val make : id:int -> name:string -> t
+(** Used by {!Transport.intern}; not for general code. *)
+
+val unregistered : string -> t
+(** A token with no dense id (id [-1]); messages built outside a transport
+    (tests, hand-rolled models) use this.  Dispatch resolves it by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,14 +7,15 @@ type payload += Ping
 type t = {
   src : Pid.t;
   dst : Pid.t;
-  layer : string;
+  layer : Layer.t;
   payload : payload;
   body_bytes : int;
   sent_at : Time.t;
 }
 
 let wire_size t = t.body_bytes + Wire.header_bytes
+let layer_name t = Layer.name t.layer
 
 let pp ppf t =
-  Format.fprintf ppf "%a->%a [%s] %dB @%a" Pid.pp t.src Pid.pp t.dst t.layer
-    (wire_size t) Time.pp t.sent_at
+  Format.fprintf ppf "%a->%a [%s] %dB @%a" Pid.pp t.src Pid.pp t.dst
+    (Layer.name t.layer) (wire_size t) Time.pp t.sent_at

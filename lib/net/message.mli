@@ -1,7 +1,7 @@
 (** Messages exchanged by simulated processes.
 
     The payload type is an extensible variant: each protocol layer declares
-    its own constructors and registers a handler for its layer name, so the
+    its own constructors and registers a handler for its layer token, so the
     transport stays independent of the protocols above it. *)
 
 module Pid = Ics_sim.Pid
@@ -17,7 +17,7 @@ type payload += Ping
 type t = {
   src : Pid.t;
   dst : Pid.t;
-  layer : string;  (** dispatch key, e.g. ["rb"], ["consensus"], ["fd"] *)
+  layer : Layer.t;  (** interned dispatch key, e.g. ["rb"], ["consensus"] *)
   payload : payload;
   body_bytes : int;  (** encoded payload size, excluding framing *)
   sent_at : Time.t;
@@ -25,6 +25,9 @@ type t = {
 
 val wire_size : t -> int
 (** [body_bytes + Wire.header_bytes]. *)
+
+val layer_name : t -> string
+(** The layer's name; what scripted network rules match on. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders src/dst/layer/size; payloads are opaque. *)

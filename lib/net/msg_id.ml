@@ -1,22 +1,4 @@
-module Pid = Ics_sim.Pid
-
-module Core = struct
-  type t = { origin : Pid.t; seq : int }
-
-  let compare a b =
-    match Int.compare a.origin b.origin with
-    | 0 -> Int.compare a.seq b.seq
-    | c -> c
-
-  let equal a b = compare a b = 0
-  let hash a = (a.origin * 1000003) + a.seq
-end
-
-include Core
-
-let make ~origin ~seq = { origin; seq }
-let to_string t = Printf.sprintf "p%d#%d" t.origin t.seq
-let pp ppf t = Format.pp_print_string ppf (to_string t)
-
-module Table = Hashtbl.Make (Core)
-module Set = Set.Make (Core)
+(* Re-export: message identifiers live in Ics_sim so that Trace can carry
+   them structurally; protocol code keeps addressing them as
+   [Ics_net.Msg_id]. *)
+include Ics_sim.Msg_id

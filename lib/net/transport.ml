@@ -3,15 +3,23 @@ module Pid = Ics_sim.Pid
 module Time = Ics_sim.Time
 module Resource = Ics_sim.Resource
 
+(* Per-message work never touches a string: layer names are interned to
+   dense ints once (at protocol construction), handler dispatch is an
+   array index, and per-layer accounting increments flat int arrays. *)
+
 type t = {
   engine : Engine.t;
   model : Model.t;
   host : Host.t;
   cpus : Resource.t array;
-  handlers : (string, Message.t -> unit) Hashtbl.t array;
+  intern_tbl : (string, Layer.t) Hashtbl.t;
+  mutable layer_names : string array;  (* by layer id *)
+  mutable layer_count : int;
+  mutable handlers : (Message.t -> unit) option array array;  (* [pid].(layer id) *)
   mutable sent_messages : int;
   mutable sent_bytes : int;
-  per_layer : (string, int ref * int ref) Hashtbl.t;  (* layer -> msgs, bytes *)
+  mutable per_layer_msgs : int array;  (* by layer id *)
+  mutable per_layer_bytes : int array;
 }
 
 let create engine ~model ~host =
@@ -21,29 +29,78 @@ let create engine ~model ~host =
     model;
     host;
     cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i));
-    handlers = Array.init n (fun _ -> Hashtbl.create 8);
+    intern_tbl = Hashtbl.create 8;
+    layer_names = [||];
+    layer_count = 0;
+    handlers = Array.init n (fun _ -> [||]);
     sent_messages = 0;
     sent_bytes = 0;
-    per_layer = Hashtbl.create 8;
+    per_layer_msgs = [||];
+    per_layer_bytes = [||];
   }
 
 let engine t = t.engine
 let host t = t.host
 let n t = Engine.n t.engine
 
+let grow_int_array a len = Array.append a (Array.make (len - Array.length a) 0)
+
+let intern t name =
+  match Hashtbl.find_opt t.intern_tbl name with
+  | Some layer -> layer
+  | None ->
+      let id = t.layer_count in
+      let layer = Layer.make ~id ~name in
+      Hashtbl.add t.intern_tbl name layer;
+      t.layer_count <- id + 1;
+      if t.layer_count > Array.length t.layer_names then begin
+        let cap = Stdlib.max 8 (2 * t.layer_count) in
+        let names = Array.make cap "" in
+        Array.blit t.layer_names 0 names 0 id;
+        t.layer_names <- names;
+        t.per_layer_msgs <- grow_int_array t.per_layer_msgs cap;
+        t.per_layer_bytes <- grow_int_array t.per_layer_bytes cap;
+        Array.iteri
+          (fun p h ->
+            let bigger = Array.make cap None in
+            Array.blit h 0 bigger 0 (Array.length h);
+            t.handlers.(p) <- bigger)
+          t.handlers
+      end;
+      t.layer_names.(id) <- name;
+      layer
+
+(* Dense id of [layer] in this transport.  Tokens minted here resolve by
+   a bounds check plus a physically-cheap name check; foreign or
+   [Layer.unregistered] tokens fall back to interning by name. *)
+let resolve t layer =
+  let id = Layer.id layer in
+  if id >= 0 && id < t.layer_count && String.equal t.layer_names.(id) (Layer.name layer)
+  then id
+  else Layer.id (intern t (Layer.name layer))
+
 let register t pid ~layer handler =
-  if Hashtbl.mem t.handlers.(pid) layer then
-    invalid_arg (Printf.sprintf "Transport.register: duplicate layer %s at p%d" layer pid);
-  Hashtbl.replace t.handlers.(pid) layer handler
+  let id = resolve t layer in
+  (match t.handlers.(pid).(id) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Transport.register: duplicate layer %s at p%d"
+           (Layer.name layer) pid)
+  | None -> ());
+  t.handlers.(pid).(id) <- Some handler
 
 let dispatch t (msg : Message.t) =
-  if Engine.is_alive t.engine msg.dst then
-    match Hashtbl.find_opt t.handlers.(msg.dst) msg.layer with
-    | Some handler -> handler msg
-    | None ->
-        (* A layer that was never installed at this process: drop, as a real
-           stack would for an unknown protocol port. *)
-        ()
+  if Engine.is_alive t.engine msg.dst then begin
+    let id = Layer.id msg.layer in
+    let handlers = t.handlers.(msg.dst) in
+    if id >= 0 && id < Array.length handlers then
+      match handlers.(id) with
+      | Some handler -> handler msg
+      | None ->
+          (* A layer that was never installed at this process: drop, as a
+             real stack would for an unknown protocol port. *)
+          ()
+  end
 
 let deliver_leg t (msg : Message.t) =
   (* Receiver CPU: deserialization queues on the destination's processor. *)
@@ -53,21 +110,16 @@ let deliver_leg t (msg : Message.t) =
 
 let send t ~src ~dst ~layer ~body_bytes payload =
   if Engine.is_alive t.engine src then begin
+    let id = resolve t layer in
+    let layer = if id = Layer.id layer then layer else Layer.make ~id ~name:(Layer.name layer) in
     let msg =
       { Message.src; dst; layer; payload; body_bytes; sent_at = Engine.now t.engine }
     in
+    let wire = Message.wire_size msg in
     t.sent_messages <- t.sent_messages + 1;
-    t.sent_bytes <- t.sent_bytes + Message.wire_size msg;
-    (let msgs, bytes =
-       match Hashtbl.find_opt t.per_layer layer with
-       | Some c -> c
-       | None ->
-           let c = (ref 0, ref 0) in
-           Hashtbl.add t.per_layer layer c;
-           c
-     in
-     incr msgs;
-     bytes := !bytes + Message.wire_size msg);
+    t.sent_bytes <- t.sent_bytes + wire;
+    t.per_layer_msgs.(id) <- t.per_layer_msgs.(id) + 1;
+    t.per_layer_bytes.(id) <- t.per_layer_bytes.(id) + wire;
     if Pid.equal src dst then begin
       let done_at =
         Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine)
@@ -76,7 +128,7 @@ let send t ~src ~dst ~layer ~body_bytes payload =
       Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
     end
     else begin
-      let service = Host.send_cost t.host ~wire_bytes:(Message.wire_size msg) in
+      let service = Host.send_cost t.host ~wire_bytes:wire in
       let cpu_done = Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine) ~service in
       Engine.schedule t.engine ~at:cpu_done (fun () ->
           (* A crash between the send call and the end of serialization kills
@@ -103,5 +155,11 @@ let sent_messages t = t.sent_messages
 let sent_bytes t = t.sent_bytes
 
 let per_layer_stats t =
-  Hashtbl.fold (fun layer (msgs, bytes) acc -> (layer, !msgs, !bytes) :: acc) t.per_layer []
-  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  let acc = ref [] in
+  for id = 0 to t.layer_count - 1 do
+    (* Layers interned but never sent on don't appear, matching the lazy
+       population of the old string-keyed table. *)
+    if t.per_layer_msgs.(id) > 0 then
+      acc := (t.layer_names.(id), t.per_layer_msgs.(id), t.per_layer_bytes.(id)) :: !acc
+  done;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !acc

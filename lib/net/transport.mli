@@ -6,6 +6,11 @@
     (unless a {!Model.scripted} rule drops them or a process crashes) and
     are delivered in send order per channel.
 
+    Layer names are interned ({!intern}) to dense integer ids; protocols
+    obtain their {!Layer.t} token once at construction, and every
+    per-message operation — handler dispatch, per-layer accounting — is an
+    array index, never a string hash.
+
     Message path: sender CPU (serialize) → network model → receiver CPU
     (deserialize) → handler.  Local messages skip the network and cost
     {!Host.t.local_delivery} on the process's own CPU.
@@ -27,20 +32,24 @@ val engine : t -> Engine.t
 val host : t -> Host.t
 val n : t -> int
 
-val register : t -> Pid.t -> layer:string -> (Message.t -> unit) -> unit
+val intern : t -> string -> Layer.t
+(** The token for a layer name, minting a fresh dense id on first use.
+    Idempotent: equal names give the identical token. *)
+
+val register : t -> Pid.t -> layer:Layer.t -> (Message.t -> unit) -> unit
 (** Install the handler for [layer] at process [pid].  The handler runs
     only while the process is alive.
     @raise Invalid_argument if the layer is already registered there. *)
 
 val send :
-  t -> src:Pid.t -> dst:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+  t -> src:Pid.t -> dst:Pid.t -> layer:Layer.t -> body_bytes:int -> Message.payload -> unit
 (** Send one message.  No-op if [src] has crashed. *)
 
 val multicast :
   t ->
   src:Pid.t ->
   dsts:Pid.t list ->
-  layer:string ->
+  layer:Layer.t ->
   body_bytes:int ->
   Message.payload ->
   unit
@@ -48,10 +57,10 @@ val multicast :
     serializes per destination, which is what makes O(n) vs O(n²) message
     complexity matter). *)
 
-val send_to_all : t -> src:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+val send_to_all : t -> src:Pid.t -> layer:Layer.t -> body_bytes:int -> Message.payload -> unit
 (** Multicast to every process including [src] itself. *)
 
-val send_to_others : t -> src:Pid.t -> layer:string -> body_bytes:int -> Message.payload -> unit
+val send_to_others : t -> src:Pid.t -> layer:Layer.t -> body_bytes:int -> Message.payload -> unit
 (** Multicast to every process except [src]. *)
 
 val charge_cpu : t -> Pid.t -> Time.t -> unit

@@ -40,10 +40,20 @@ let summarize_array a =
   if n = 0 then empty_summary
   else begin
     let sorted = Array.copy a in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
+    (* Float.compare orders NaN before every number, so one check at the
+       front catches any NaN in the input. *)
+    if Float.is_nan sorted.(0) then
+      invalid_arg "Stats.summarize_array: NaN sample";
     let sum = Array.fold_left ( +. ) 0.0 sorted in
     let mean = sum /. float_of_int n in
-    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 sorted in
+    let sq =
+      Array.fold_left
+        (fun acc x ->
+          let d = x -. mean in
+          acc +. (d *. d))
+        0.0 sorted
+    in
     let stddev = if n < 2 then 0.0 else sqrt (sq /. float_of_int (n - 1)) in
     let sem = if n < 2 then 0.0 else stddev /. sqrt (float_of_int n) in
     {
@@ -68,6 +78,28 @@ let mean = function
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.3fms sd=%.3f p50=%.3f p90=%.3f p99=%.3f" s.count
     s.mean s.stddev s.p50 s.p90 s.p99
+
+module Samples = struct
+  type t = { mutable data : float array; mutable length : int }
+
+  let create ?(capacity = 1024) () =
+    { data = Array.make (Stdlib.max 1 capacity) 0.0; length = 0 }
+
+  let length t = t.length
+
+  let add t x =
+    if Float.is_nan x then invalid_arg "Stats.Samples.add: NaN sample";
+    if t.length = Array.length t.data then begin
+      let bigger = Array.make (2 * t.length) 0.0 in
+      Array.blit t.data 0 bigger 0 t.length;
+      t.data <- bigger
+    end;
+    t.data.(t.length) <- x;
+    t.length <- t.length + 1
+
+  let to_array t = Array.sub t.data 0 t.length
+  let summarize t = summarize_array (to_array t)
+end
 
 module Acc = struct
   type t = {

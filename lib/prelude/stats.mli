@@ -39,6 +39,27 @@ val percentile : float array -> float -> float
 val pp_summary : Format.formatter -> summary -> unit
 (** One-line rendering, e.g. [n=930 mean=3.21ms sd=0.88 p50=3.01 p99=6.70]. *)
 
+(** Growable unboxed sample buffer.  A [float array] stores its elements
+    flat, so accumulating latencies here costs no per-sample allocation —
+    unlike consing onto a [float list], which boxes every sample. *)
+module Samples : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty buffer; [capacity] (default 1024) is the initial array
+      size, grown by doubling. *)
+
+  val add : t -> float -> unit
+  (** Append a sample. @raise Invalid_argument on NaN. *)
+
+  val length : t -> int
+
+  val to_array : t -> float array
+  (** The samples in insertion order, as a fresh array of exact length. *)
+
+  val summarize : t -> summary
+end
+
 (** Incremental accumulator (Welford) for streams too large to retain. *)
 module Acc : sig
   type t

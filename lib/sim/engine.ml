@@ -5,14 +5,16 @@ type t = {
   queue : Event_queue.t;
   mutable now : Time.t;
   mutable stopped : bool;
+  mutable executed : int;
   alive : bool array;
   trace : Trace.t;
+  trace_on : bool;
   global_rng : Rng.t;
   proc_rngs : Rng.t array;
   mutable crash_hooks : (Pid.t -> unit) list;
 }
 
-let create ?(seed = 1L) ~n () =
+let create ?(seed = 1L) ?(trace = `On) ~n () =
   if n <= 0 then invalid_arg "Engine.create: n <= 0";
   let global_rng = Rng.create seed in
   {
@@ -20,8 +22,10 @@ let create ?(seed = 1L) ~n () =
     queue = Event_queue.create ();
     now = Time.zero;
     stopped = false;
+    executed = 0;
     alive = Array.make n true;
     trace = Trace.create ();
+    trace_on = (match trace with `On -> true | `Off -> false);
     global_rng;
     proc_rngs = Array.init n (fun _ -> Rng.split global_rng);
     crash_hooks = [];
@@ -29,6 +33,8 @@ let create ?(seed = 1L) ~n () =
 
 let n t = t.n
 let now t = t.now
+let events_executed t = t.executed
+let tracing t = t.trace_on
 
 let schedule t ~at f =
   let at = Time.max at t.now in
@@ -39,30 +45,42 @@ let after t ~delay f =
   schedule t ~at:(Time.( + ) t.now delay) f
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, run) ->
-      t.now <- Time.max t.now time;
-      run ();
-      true
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time = Event_queue.min_time_exn t.queue in
+    let run = Event_queue.pop_run_exn t.queue in
+    if time > t.now then t.now <- time;
+    t.executed <- t.executed + 1;
+    run ();
+    true
+  end
 
 let run ?until ?max_events t =
   t.stopped <- false;
+  let budget = match max_events with None -> max_int | Some m -> m in
   let executed = ref 0 in
-  let within_budget () =
-    match max_events with None -> true | Some m -> !executed < m
-  in
-  let horizon_ok () =
-    match until with
-    | None -> true
-    | Some horizon -> (
-        match Event_queue.peek_time t.queue with
-        | None -> false
-        | Some next -> next <= horizon)
-  in
-  while (not t.stopped) && within_budget () && horizon_ok () do
-    if step t then incr executed else t.stopped <- true
-  done;
+  (match until with
+  | None ->
+      let continue = ref true in
+      while !continue && (not t.stopped) && !executed < budget do
+        if step t then incr executed
+        else begin
+          t.stopped <- true;
+          continue := false
+        end
+      done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue && (not t.stopped) && !executed < budget do
+        if
+          Event_queue.is_empty t.queue
+          || Event_queue.min_time_exn t.queue > horizon
+        then continue := false
+        else begin
+          ignore (step t : bool);
+          incr executed
+        end
+      done);
   match until with
   | Some horizon when t.now < horizon && not t.stopped -> t.now <- horizon
   | _ -> ()
@@ -75,7 +93,8 @@ let is_alive t p = t.alive.(p)
 let correct t =
   List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
 
-let record t pid kind = Trace.record t.trace ~time:t.now ~pid kind
+let record t pid kind =
+  if t.trace_on then Trace.record t.trace ~time:t.now ~pid kind
 
 let crash t p =
   if t.alive.(p) then begin

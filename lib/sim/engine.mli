@@ -12,9 +12,14 @@ module Rng = Ics_prelude.Rng
 
 type t
 
-val create : ?seed:int64 -> n:int -> unit -> t
+val create : ?seed:int64 -> ?trace:[ `On | `Off ] -> n:int -> unit -> t
 (** [create ~n ()] builds an engine for processes [0 .. n-1].  [seed]
     defaults to [1L]; equal seeds give bitwise-identical runs.
+
+    [trace] (default [`On]) controls event recording: with [`Off] every
+    {!record} call is a no-op, so experiments that never run the checker
+    skip all trace allocation.  Tracing never affects scheduling — a run
+    is bit-identical with tracing on or off.
     @raise Invalid_argument if [n <= 0]. *)
 
 val n : t -> int
@@ -41,6 +46,10 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val events_executed : t -> int
+(** Total events executed since creation (across all {!run}/{!step}
+    calls); the denominator of the perf harness's events/sec metric. *)
 
 val stop : t -> unit
 (** Make {!run} return after the current event; the queue is preserved. *)
@@ -77,6 +86,11 @@ val global_rng : t -> Rng.t
 (** Stream for engine-wide choices (workload arrivals, fault injection). *)
 
 val trace : t -> Trace.t
+(** The event log.  Empty for the whole run when tracing is [`Off]. *)
+
+val tracing : t -> bool
+(** Whether {!record} actually records. *)
 
 val record : t -> Pid.t -> Trace.kind -> unit
-(** Append to the trace at the current virtual time. *)
+(** Append to the trace at the current virtual time; no-op when tracing
+    is [`Off]. *)

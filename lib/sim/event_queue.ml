@@ -1,68 +1,125 @@
-type entry = { time : Time.t; seq : int; run : unit -> unit }
+(* Binary min-heap over (time, seq), stored as three parallel arrays.
+
+   The struct-of-arrays layout keeps the timestamps in a flat [float array]
+   (unboxed), so pushing an event allocates nothing beyond the caller's
+   closure and every comparison reads an unboxed float.  Sifting uses the
+   hold-the-hole technique: the moving element stays in locals while
+   ancestors/descendants shift into the hole, one store per level instead
+   of a three-store swap. *)
 
 type t = {
-  mutable heap : entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable runs : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let dummy = { time = 0.0; seq = 0; run = (fun () -> ()) }
+let nop () = ()
+let initial_capacity = 256
 
-let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
-
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let create () =
+  {
+    times = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    runs = Array.make initial_capacity nop;
+    size = 0;
+    next_seq = 0;
+  }
 
 let grow t =
-  let bigger = Array.make (Array.length t.heap * 2) dummy in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let runs = Array.make cap nop in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.runs 0 runs 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.runs <- runs
 
 let push t ~time run =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- { time; seq = t.next_seq; run };
-  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.times then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Sift up with a hole.  The fresh seq is larger than every queued seq,
+     so on equal times the new event never moves up — FIFO tie-break. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if time < t.times.(parent) then begin
+      t.times.(!i) <- t.times.(parent);
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.runs.(!i) <- t.runs.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.runs.(!i) <- run
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let min_time_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.min_time_exn: empty queue";
+  t.times.(0)
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let pop_run_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_run_exn: empty queue";
+  let top = t.runs.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last = 0 then t.runs.(0) <- nop
+  else begin
+    (* Remove the last element and sift it down from the root hole. *)
+    let lt = t.times.(last) and ls = t.seqs.(last) and lr = t.runs.(last) in
+    t.runs.(last) <- nop;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= last then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < last
+            && (t.times.(r) < t.times.(l)
+               || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+          then r
+          else l
+        in
+        if t.times.(c) < lt || (t.times.(c) = lt && t.seqs.(c) < ls) then begin
+          t.times.(!i) <- t.times.(c);
+          t.seqs.(!i) <- t.seqs.(c);
+          t.runs.(!i) <- t.runs.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    t.times.(!i) <- lt;
+    t.seqs.(!i) <- ls;
+    t.runs.(!i) <- lr
+  end;
+  top
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    Some (top.time, top.run)
+    let time = t.times.(0) in
+    let run = pop_run_exn t in
+    Some (time, run)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
-let size t = t.size
-let is_empty t = t.size = 0
-
 let clear t =
-  Array.fill t.heap 0 t.size dummy;
+  Array.fill t.runs 0 t.size nop;
   t.size <- 0

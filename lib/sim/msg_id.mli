@@ -1,0 +1,28 @@
+(** Unique message identifiers.
+
+    Each application message [m] has a unique identifier [id(m)] — the pair
+    (origin process, per-origin sequence number).  The relationship between
+    messages and identifiers is bijective (§2.1), so a totally ordered
+    sequence of identifiers induces the delivery order of the messages. *)
+
+(* inside ics_sim: Pid is a sibling module *)
+
+type t = { origin : Pid.t; seq : int }
+
+val make : origin:Pid.t -> seq:int -> t
+val compare : t -> t -> int
+(** Total order by (origin, seq) — the "deterministic order" Algorithm 1
+    uses to linearize a decided identifier set. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+(** ["p2#17"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Hashtables keyed by identifier. *)
+module Table : Hashtbl.S with type key = t
+
+(** Sets of identifiers. *)
+module Set : Set.S with type elt = t

@@ -2,21 +2,21 @@
 
     Every protocol layer records its externally visible actions here; the
     checker library replays a trace against the formal properties of the
-    abstraction (reliable broadcast, consensus, atomic broadcast).  Message
-    identifiers are strings of the form ["p2#17"] (origin and per-origin
-    sequence number), which the paper's bijection between messages and
-    identifiers makes sufficient. *)
+    abstraction (reliable broadcast, consensus, atomic broadcast).  Events
+    carry structural data — {!Msg_id.t} values, instance numbers, pids —
+    and are rendered to text only by the pretty-printers, so recording an
+    event costs one record allocation and no formatting. *)
 
 type kind =
   | Crash  (** the process stops taking steps *)
-  | Abroadcast of string  (** atomic broadcast invoked with this message id *)
-  | Adeliver of string  (** atomic broadcast delivery *)
-  | Rbroadcast of string  (** reliable broadcast invoked *)
-  | Rdeliver of string  (** reliable broadcast delivery *)
-  | Urb_broadcast of string  (** uniform reliable broadcast invoked *)
-  | Urb_deliver of string  (** uniform reliable broadcast delivery *)
-  | Propose of int * string list  (** consensus instance, proposed id set *)
-  | Decide of int * string list  (** consensus instance, decided id set *)
+  | Abroadcast of Msg_id.t  (** atomic broadcast invoked with this message id *)
+  | Adeliver of Msg_id.t  (** atomic broadcast delivery *)
+  | Rbroadcast of Msg_id.t  (** reliable broadcast invoked *)
+  | Rdeliver of Msg_id.t  (** reliable broadcast delivery *)
+  | Urb_broadcast of Msg_id.t  (** uniform reliable broadcast invoked *)
+  | Urb_deliver of Msg_id.t  (** uniform reliable broadcast delivery *)
+  | Propose of int * Msg_id.t list  (** consensus instance, proposed id set *)
+  | Decide of int * Msg_id.t list  (** consensus instance, decided id set *)
   | Suspect of Pid.t  (** failure detector starts suspecting [pid] *)
   | Trust of Pid.t  (** failure detector stops suspecting [pid] *)
   | Note of string  (** free-form, for debugging only *)
@@ -24,14 +24,23 @@ type kind =
 type event = { time : Time.t; pid : Pid.t; kind : kind }
 
 type t
-(** A mutable, append-only event log. *)
+(** A mutable, append-only event log backed by a growable array. *)
 
 val create : unit -> t
 val record : t -> time:Time.t -> pid:Pid.t -> kind -> unit
-val events : t -> event list
-(** Events in chronological (= insertion) order. *)
 
 val length : t -> int
+
+val get : t -> int -> event
+(** [get t i] is the [i]-th event in insertion (= chronological) order.
+    @raise Invalid_argument out of bounds. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Iterate in chronological order without materializing a list. *)
+
+val events : t -> event list
+(** Events in chronological (= insertion) order.  Allocates a fresh list;
+    prefer {!iter} on hot paths. *)
 
 val filter : t -> (event -> bool) -> event list
 val find_all : t -> pid:Pid.t -> (kind -> bool) -> event list

@@ -25,6 +25,7 @@ type result = {
   sent_bytes : int;
   quiescent : bool;
   wall_clock : Time.t;
+  events : int;
   verdict : Checker.verdict option;
   utilization : (string * float) list;  (* over the arrival window *)
   per_layer : (string * int * int) list;
@@ -38,7 +39,9 @@ let run ?(check = false) ?seed config load =
   let config =
     match seed with None -> config | Some seed -> { config with Stack.seed }
   in
-  let samples = ref [] in
+  (* Runs that never consult the checker skip trace recording entirely. *)
+  let config = { config with Stack.trace = (if check then `On else `Off) } in
+  let samples = Stats.Samples.create () in
   let measured = ref 0 in
   let abroadcasts = ref 0 in
   (* The delivery callback needs the engine's clock, so the stack is wired
@@ -51,7 +54,8 @@ let run ?(check = false) ?seed config load =
     | Some stack ->
         if m.created_at >= load.warmup && m.created_at < load.duration then begin
           incr measured;
-          samples := Time.( - ) (Engine.now stack.Stack.engine) m.created_at :: !samples
+          Stats.Samples.add samples
+            (Time.( - ) (Engine.now stack.Stack.engine) m.created_at)
         end
   in
   let stack = Stack.create ~on_deliver config in
@@ -83,13 +87,14 @@ let run ?(check = false) ?seed config load =
     else None
   in
   {
-    latency = Stats.summarize !samples;
+    latency = Stats.Samples.summarize samples;
     measured = !measured;
     abroadcasts = !abroadcasts;
     sent_messages = Ics_net.Transport.sent_messages stack.Stack.transport;
     sent_bytes = Ics_net.Transport.sent_bytes stack.Stack.transport;
     quiescent;
     wall_clock = Engine.now engine;
+    events = Engine.events_executed engine;
     verdict;
     utilization = Stack.utilization ~horizon:load.duration stack;
     per_layer = Ics_net.Transport.per_layer_stats stack.Stack.transport;
@@ -115,6 +120,7 @@ let run_seeds ?(check = false) ~seeds config load =
         sent_bytes = List.fold_left (fun a r -> a + r.sent_bytes) 0 results;
         quiescent = List.for_all (fun r -> r.quiescent) results;
         wall_clock = (List.hd (List.rev results)).wall_clock;
+        events = List.fold_left (fun a r -> a + r.events) 0 results;
         utilization = first.utilization;
         per_layer = first.per_layer;
         verdict =

@@ -29,6 +29,7 @@ type result = {
   sent_bytes : int;  (** transport-level wire bytes *)
   quiescent : bool;  (** did the run drain all events before the horizon *)
   wall_clock : Time.t;  (** virtual time at the end of the run *)
+  events : int;  (** simulator events executed (perf-harness denominator) *)
   verdict : Ics_checker.Checker.verdict option;  (** when run with [~check:true] *)
   utilization : (string * float) list;
       (** busy-time fraction per resource (CPUs, links) over the run *)
@@ -41,7 +42,8 @@ val run : ?check:bool -> ?seed:int64 -> Stack.config -> load -> result
     events drain or a horizon of [duration + 60 s] passes.  With
     [~check:true] the full trace is validated with
     {!Ics_checker.Checker.check_all_abcast} (expensive — test-sized runs
-    only). *)
+    only); without it, trace recording is switched off (the config's
+    [trace] field is overridden either way; scheduling is identical). *)
 
 val run_seeds : ?check:bool -> seeds:int64 list -> Stack.config -> load -> result
 (** Like {!run} but pooling latency samples over several seeds; counts are

@@ -72,7 +72,7 @@ let validity_scenario ?(n = 3) variant =
     }
   in
   let rule (msg : Message.t) =
-    if msg.layer = "rb" && Pid.equal msg.src 0 then Model.Drop else Model.Pass
+    if Message.layer_name msg = "rb" && Pid.equal msg.src 0 then Model.Drop else Model.Pass
   in
   let stack = Stack.create ~rule config in
   let engine = stack.Stack.engine in
@@ -120,8 +120,8 @@ let mr_scenario ?(n = 5) variant =
      start (manual suspicions), and their consensus relays are slowed so
      the unanimous-looking quorum forms first. *)
   let rule (msg : Message.t) =
-    if msg.layer = "rb" && Pid.equal msg.src 0 then Model.Drop
-    else if msg.layer = "consensus" && (Pid.equal msg.src 3 || Pid.equal msg.src 4) then
+    if Message.layer_name msg = "rb" && Pid.equal msg.src 0 then Model.Drop
+    else if Message.layer_name msg = "consensus" && (Pid.equal msg.src 3 || Pid.equal msg.src 4) then
       Model.Delay_by 10.0
     else Model.Pass
   in

@@ -140,6 +140,7 @@ let random_run ~algo ~ordering ~broadcast ~n ~seed =
       broadcast;
       setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.5 };
       fd_kind = Stack.Oracle 15.0;
+      trace = `On;
     }
   in
   let rng = Rng.create (Int64.of_int (seed * 7 + 1)) in

@@ -44,6 +44,7 @@ let run_adversarial ~algo ~ordering ~broadcast (n, seed, drop_percent) =
       broadcast;
       setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.3 };
       fd_kind = Stack.Oracle 15.0;
+      trace = `On;
     }
   in
   let rule = random_adversary ~seed ~drop_percent ~max_delay:20.0 in

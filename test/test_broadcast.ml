@@ -130,7 +130,7 @@ let test_fd_relay_agreement_after_partial_crash () =
   let n = 4 in
   let engine = Engine.create ~n () in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.src = 0 && m.dst <> 1 && m.layer = "rb" then Model.Drop
+    if m.Ics_net.Message.src = 0 && m.dst <> 1 && Ics_net.Message.layer_name m = "rb" then Model.Drop
     else Model.Pass
   in
   let model = Model.scripted ~base:(Model.constant ~delay:1.0 ~n ~seed:1L ()) ~rule in
@@ -204,7 +204,7 @@ let test_urb_pull_recovers_payload () =
   let n = 4 in
   let engine = Engine.create ~n () in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.src = 0 && m.dst = 3 && m.layer = "urb" && m.body_bytes > 20 then
+    if m.Ics_net.Message.src = 0 && m.dst = 3 && Ics_net.Message.layer_name m = "urb" && m.body_bytes > 20 then
       Model.Drop
     else Model.Pass
   in
@@ -225,7 +225,7 @@ let test_urb_no_delivery_without_majority () =
   let n = 4 in
   let engine = Engine.create ~n () in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.src = 0 && m.layer = "urb" then Model.Drop else Model.Pass
+    if m.Ics_net.Message.src = 0 && Ics_net.Message.layer_name m = "urb" then Model.Drop else Model.Pass
   in
   let model = Model.scripted ~base:(Model.constant ~delay:1.0 ~n ~seed:1L ()) ~rule in
   let transport = Transport.create engine ~model ~host:Host.instant in
@@ -252,8 +252,8 @@ let qcheck_flood_properties =
       for s = 0 to msgs - 1 do
         let src = Ics_prelude.Rng.int rng n in
         Engine.schedule engine ~at:(Ics_prelude.Rng.float rng 50.0) (fun () ->
-            Engine.record engine src (Ics_sim.Trace.Abroadcast
-                (Msg_id.to_string (Msg_id.make ~origin:src ~seq:s)));
+            Engine.record engine src
+              (Ics_sim.Trace.Abroadcast (Msg_id.make ~origin:src ~seq:s));
             handle.broadcast ~src (msg ~origin:src ~seq:s))
       done;
       (* Crash at most one process (flood tolerates any f < n, but one keeps
@@ -279,8 +279,8 @@ let qcheck_urb_uniform =
       for s = 0 to msgs - 1 do
         let src = Ics_prelude.Rng.int rng n in
         Engine.schedule engine ~at:(Ics_prelude.Rng.float rng 50.0) (fun () ->
-            Engine.record engine src (Ics_sim.Trace.Abroadcast
-                (Msg_id.to_string (Msg_id.make ~origin:src ~seq:s)));
+            Engine.record engine src
+              (Ics_sim.Trace.Abroadcast (Msg_id.make ~origin:src ~seq:s));
             handle.broadcast ~src (msg ~origin:src ~seq:s))
       done;
       (* Fewer than half may crash. *)

@@ -3,6 +3,14 @@
 
 module Trace = Ics_sim.Trace
 module Checker = Ics_checker.Checker
+module Msg_id = Ics_sim.Msg_id
+
+let mid origin seq = Msg_id.make ~origin ~seq
+let m00 = mid 0 0  (* m00 *)
+let ida = mid 0 0
+let idb = mid 1 0
+let idz = mid 2 9
+let ghost = mid 9 999
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -20,20 +28,20 @@ let has run checker property =
 (* A clean three-process exchange: p0 broadcasts, everyone delivers. *)
 let clean_events =
   [
-    (1.0, 0, Trace.Abroadcast "p0#0");
-    (1.0, 0, Trace.Rbroadcast "p0#0");
-    (1.5, 0, Trace.Rdeliver "p0#0");
-    (2.0, 1, Trace.Rdeliver "p0#0");
-    (2.0, 2, Trace.Rdeliver "p0#0");
-    (2.1, 0, Trace.Propose (1, [ "p0#0" ]));
-    (2.2, 1, Trace.Propose (1, [ "p0#0" ]));
-    (2.3, 2, Trace.Propose (1, [ "p0#0" ]));
-    (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
-    (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
-    (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
-    (3.5, 0, Trace.Adeliver "p0#0");
-    (3.5, 1, Trace.Adeliver "p0#0");
-    (3.5, 2, Trace.Adeliver "p0#0");
+    (1.0, 0, Trace.Abroadcast m00);
+    (1.0, 0, Trace.Rbroadcast m00);
+    (1.5, 0, Trace.Rdeliver m00);
+    (2.0, 1, Trace.Rdeliver m00);
+    (2.0, 2, Trace.Rdeliver m00);
+    (2.1, 0, Trace.Propose (1, [ m00 ]));
+    (2.2, 1, Trace.Propose (1, [ m00 ]));
+    (2.3, 2, Trace.Propose (1, [ m00 ]));
+    (3.0, 0, Trace.Decide (1, [ m00 ]));
+    (3.0, 1, Trace.Decide (1, [ m00 ]));
+    (3.0, 2, Trace.Decide (1, [ m00 ]));
+    (3.5, 0, Trace.Adeliver m00);
+    (3.5, 1, Trace.Adeliver m00);
+    (3.5, 2, Trace.Adeliver m00);
   ]
 
 let test_clean_trace_passes () =
@@ -47,13 +55,13 @@ let test_clean_trace_passes () =
 let test_validity_violation_detected () =
   (* p0 is correct, abroadcasts, never adelivers its own message. *)
   let events =
-    [ (1.0, 0, Trace.Abroadcast "p0#0") ]
+    [ (1.0, 0, Trace.Abroadcast m00) ]
   in
   let run = run_of events ~n:3 in
   checkb "validity flagged" true (has run Checker.check_atomic_broadcast "abcast.validity")
 
 let test_validity_crashed_broadcaster_exempt () =
-  let events = [ (1.0, 0, Trace.Abroadcast "p0#0"); (2.0, 0, Trace.Crash) ] in
+  let events = [ (1.0, 0, Trace.Abroadcast m00); (2.0, 0, Trace.Crash) ] in
   let run = run_of events ~n:3 in
   checkb "faulty broadcaster exempt" false
     (has run Checker.check_atomic_broadcast "abcast.validity")
@@ -61,11 +69,11 @@ let test_validity_crashed_broadcaster_exempt () =
 let test_duplicate_delivery_detected () =
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (2.0, 0, Trace.Adeliver "p0#0");
-      (2.0, 1, Trace.Adeliver "p0#0");
-      (2.0, 2, Trace.Adeliver "p0#0");
-      (3.0, 1, Trace.Adeliver "p0#0");
+      (1.0, 0, Trace.Abroadcast m00);
+      (2.0, 0, Trace.Adeliver m00);
+      (2.0, 1, Trace.Adeliver m00);
+      (2.0, 2, Trace.Adeliver m00);
+      (3.0, 1, Trace.Adeliver m00);
     ]
   in
   let run = run_of events ~n:3 in
@@ -73,7 +81,7 @@ let test_duplicate_delivery_detected () =
     (has run Checker.check_atomic_broadcast "abcast.uniform-integrity")
 
 let test_unsourced_delivery_detected () =
-  let events = [ (2.0, 1, Trace.Adeliver "ghost") ] in
+  let events = [ (2.0, 1, Trace.Adeliver ghost) ] in
   let run = run_of events ~n:3 in
   checkb "ghost flagged" true
     (has run Checker.check_atomic_broadcast "abcast.uniform-integrity")
@@ -82,8 +90,8 @@ let test_uniform_agreement_violation () =
   (* p0 delivers then crashes; p1/p2 never deliver. *)
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (2.0, 0, Trace.Adeliver "p0#0");
+      (1.0, 0, Trace.Abroadcast m00);
+      (2.0, 0, Trace.Adeliver m00);
       (3.0, 0, Trace.Crash);
     ]
   in
@@ -94,14 +102,14 @@ let test_uniform_agreement_violation () =
 let test_total_order_violation () =
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "a");
-      (1.0, 1, Trace.Abroadcast "b");
-      (2.0, 0, Trace.Adeliver "a");
-      (2.1, 0, Trace.Adeliver "b");
-      (2.0, 1, Trace.Adeliver "b");
-      (2.1, 1, Trace.Adeliver "a");
-      (2.0, 2, Trace.Adeliver "a");
-      (2.1, 2, Trace.Adeliver "b");
+      (1.0, 0, Trace.Abroadcast ida);
+      (1.0, 1, Trace.Abroadcast idb);
+      (2.0, 0, Trace.Adeliver ida);
+      (2.1, 0, Trace.Adeliver idb);
+      (2.0, 1, Trace.Adeliver idb);
+      (2.1, 1, Trace.Adeliver ida);
+      (2.0, 2, Trace.Adeliver ida);
+      (2.1, 2, Trace.Adeliver idb);
     ]
   in
   let run = run_of events ~n:3 in
@@ -113,13 +121,13 @@ let test_prefix_sequences_allowed () =
      prefix. *)
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "a");
-      (1.1, 1, Trace.Abroadcast "b");
-      (2.0, 0, Trace.Adeliver "a");
-      (2.1, 0, Trace.Adeliver "b");
-      (2.0, 1, Trace.Adeliver "a");
-      (2.1, 1, Trace.Adeliver "b");
-      (2.0, 2, Trace.Adeliver "a");
+      (1.0, 0, Trace.Abroadcast ida);
+      (1.1, 1, Trace.Abroadcast idb);
+      (2.0, 0, Trace.Adeliver ida);
+      (2.1, 0, Trace.Adeliver idb);
+      (2.0, 1, Trace.Adeliver ida);
+      (2.1, 1, Trace.Adeliver idb);
+      (2.0, 2, Trace.Adeliver ida);
       (2.05, 2, Trace.Crash);
     ]
   in
@@ -130,11 +138,11 @@ let test_prefix_sequences_allowed () =
 let test_consensus_agreement_violation () =
   let events =
     [
-      (1.0, 0, Trace.Propose (1, [ "a" ]));
-      (1.0, 1, Trace.Propose (1, [ "b" ]));
-      (2.0, 0, Trace.Decide (1, [ "a" ]));
-      (2.0, 1, Trace.Decide (1, [ "b" ]));
-      (2.0, 2, Trace.Decide (1, [ "a" ]));
+      (1.0, 0, Trace.Propose (1, [ ida ]));
+      (1.0, 1, Trace.Propose (1, [ idb ]));
+      (2.0, 0, Trace.Decide (1, [ ida ]));
+      (2.0, 1, Trace.Decide (1, [ idb ]));
+      (2.0, 2, Trace.Decide (1, [ ida ]));
     ]
   in
   let run = run_of events ~n:3 in
@@ -144,11 +152,11 @@ let test_consensus_agreement_violation () =
 let test_consensus_integrity_violation () =
   let events =
     [
-      (1.0, 0, Trace.Propose (1, [ "a" ]));
-      (2.0, 0, Trace.Decide (1, [ "a" ]));
-      (3.0, 0, Trace.Decide (1, [ "a" ]));
-      (2.0, 1, Trace.Decide (1, [ "a" ]));
-      (2.0, 2, Trace.Decide (1, [ "a" ]));
+      (1.0, 0, Trace.Propose (1, [ ida ]));
+      (2.0, 0, Trace.Decide (1, [ ida ]));
+      (3.0, 0, Trace.Decide (1, [ ida ]));
+      (2.0, 1, Trace.Decide (1, [ ida ]));
+      (2.0, 2, Trace.Decide (1, [ ida ]));
     ]
   in
   let run = run_of events ~n:3 in
@@ -158,10 +166,10 @@ let test_consensus_integrity_violation () =
 let test_consensus_validity_violation () =
   let events =
     [
-      (1.0, 0, Trace.Propose (1, [ "a" ]));
-      (2.0, 0, Trace.Decide (1, [ "z" ]));
-      (2.0, 1, Trace.Decide (1, [ "z" ]));
-      (2.0, 2, Trace.Decide (1, [ "z" ]));
+      (1.0, 0, Trace.Propose (1, [ ida ]));
+      (2.0, 0, Trace.Decide (1, [ idz ]));
+      (2.0, 1, Trace.Decide (1, [ idz ]));
+      (2.0, 2, Trace.Decide (1, [ idz ]));
     ]
   in
   let run = run_of events ~n:3 in
@@ -172,16 +180,16 @@ let test_consensus_termination_violations () =
   (* Decided elsewhere but not by a correct process. *)
   let events =
     [
-      (1.0, 0, Trace.Propose (1, [ "a" ]));
-      (2.0, 0, Trace.Decide (1, [ "a" ]));
-      (2.0, 1, Trace.Decide (1, [ "a" ]));
+      (1.0, 0, Trace.Propose (1, [ ida ]));
+      (2.0, 0, Trace.Decide (1, [ ida ]));
+      (2.0, 1, Trace.Decide (1, [ ida ]));
     ]
   in
   let run = run_of events ~n:3 in
   checkb "missing decider flagged" true
     (has run Checker.check_consensus "consensus.termination");
   (* Proposed by a correct process, never decided anywhere. *)
-  let events2 = [ (1.0, 0, Trace.Propose (1, [ "a" ])) ] in
+  let events2 = [ (1.0, 0, Trace.Propose (1, [ ida ])) ] in
   let run2 = run_of events2 ~n:3 in
   checkb "undecided instance flagged" true
     (has run2 Checker.check_consensus "consensus.termination")
@@ -190,12 +198,12 @@ let test_no_loss_violation () =
   (* The decided id's payload was only ever held by the crashed process. *)
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (1.1, 0, Trace.Rdeliver "p0#0");
-      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
-      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+      (1.0, 0, Trace.Abroadcast m00);
+      (1.1, 0, Trace.Rdeliver m00);
+      (2.0, 0, Trace.Propose (1, [ m00 ]));
+      (3.0, 0, Trace.Decide (1, [ m00 ]));
+      (3.0, 1, Trace.Decide (1, [ m00 ]));
+      (3.0, 2, Trace.Decide (1, [ m00 ]));
       (4.0, 0, Trace.Crash);
     ]
   in
@@ -207,13 +215,13 @@ let test_no_loss_strict_vs_eventual () =
      eventual reading passes, the paper's strict reading fails. *)
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (1.1, 0, Trace.Rdeliver "p0#0");
-      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
-      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
-      (4.0, 1, Trace.Rdeliver "p0#0");
+      (1.0, 0, Trace.Abroadcast m00);
+      (1.1, 0, Trace.Rdeliver m00);
+      (2.0, 0, Trace.Propose (1, [ m00 ]));
+      (3.0, 0, Trace.Decide (1, [ m00 ]));
+      (3.0, 1, Trace.Decide (1, [ m00 ]));
+      (3.0, 2, Trace.Decide (1, [ m00 ]));
+      (4.0, 1, Trace.Rdeliver m00);
       (5.0, 0, Trace.Crash);
     ]
   in
@@ -227,12 +235,12 @@ let test_no_loss_strict_vs_eventual () =
   (* A pre-decision holder satisfies both. *)
   let ok_events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (1.1, 1, Trace.Rdeliver "p0#0");
-      (3.0, 0, Trace.Propose (1, [ "p0#0" ]));
-      (3.5, 0, Trace.Decide (1, [ "p0#0" ]));
-      (3.5, 1, Trace.Decide (1, [ "p0#0" ]));
-      (3.5, 2, Trace.Decide (1, [ "p0#0" ]));
+      (1.0, 0, Trace.Abroadcast m00);
+      (1.1, 1, Trace.Rdeliver m00);
+      (3.0, 0, Trace.Propose (1, [ m00 ]));
+      (3.5, 0, Trace.Decide (1, [ m00 ]));
+      (3.5, 1, Trace.Decide (1, [ m00 ]));
+      (3.5, 2, Trace.Decide (1, [ m00 ]));
     ]
   in
   let ok_run = run_of ok_events ~n:3 in
@@ -244,12 +252,12 @@ let test_no_loss_strict_vs_eventual () =
 let test_no_loss_satisfied_by_urb_delivery () =
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (1.5, 1, Trace.Urb_deliver "p0#0");
-      (2.0, 0, Trace.Propose (1, [ "p0#0" ]));
-      (3.0, 0, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 1, Trace.Decide (1, [ "p0#0" ]));
-      (3.0, 2, Trace.Decide (1, [ "p0#0" ]));
+      (1.0, 0, Trace.Abroadcast m00);
+      (1.5, 1, Trace.Urb_deliver m00);
+      (2.0, 0, Trace.Propose (1, [ m00 ]));
+      (3.0, 0, Trace.Decide (1, [ m00 ]));
+      (3.0, 1, Trace.Decide (1, [ m00 ]));
+      (3.0, 2, Trace.Decide (1, [ m00 ]));
       (4.0, 0, Trace.Crash);
     ]
   in
@@ -262,9 +270,9 @@ let test_rb_agreement_not_uniform () =
      not plain agreement. *)
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "p0#0");
-      (1.0, 0, Trace.Rbroadcast "p0#0");
-      (1.5, 0, Trace.Rdeliver "p0#0");
+      (1.0, 0, Trace.Abroadcast m00);
+      (1.0, 0, Trace.Rbroadcast m00);
+      (1.5, 0, Trace.Rdeliver m00);
       (2.0, 0, Trace.Crash);
     ]
   in
@@ -277,9 +285,9 @@ let test_rb_agreement_not_uniform () =
 let test_run_view () =
   let events =
     [
-      (1.0, 0, Trace.Abroadcast "a");
+      (1.0, 0, Trace.Abroadcast ida);
       (2.0, 1, Trace.Crash);
-      (3.0, 0, Trace.Adeliver "a");
+      (3.0, 0, Trace.Adeliver ida);
     ]
   in
   let run = run_of events ~n:3 in
@@ -287,10 +295,11 @@ let test_run_view () =
   Alcotest.(check (list int)) "crashed" [ 1 ] (Checker.Run.crashed run);
   Alcotest.(check (option (float 1e-9))) "crash time" (Some 2.0) (Checker.Run.crash_time run 1);
   checki "abroadcasts" 1 (List.length (Checker.Run.abroadcasts run));
-  Alcotest.(check (list string)) "adeliveries" [ "a" ] (Checker.Run.adeliveries run 0)
+  Alcotest.(check (list string)) "adeliveries" [ "p0#0" ]
+    (List.map Msg_id.to_string (Checker.Run.adeliveries run 0))
 
 let test_verdict_pp () =
-  let run = run_of [ (2.0, 1, Trace.Adeliver "ghost") ] ~n:2 in
+  let run = run_of [ (2.0, 1, Trace.Adeliver ghost) ] ~n:2 in
   let v = Checker.check_atomic_broadcast run in
   let s = Format.asprintf "%a" Checker.pp_verdict v in
   checkb "mentions property" true (Test_util.contains s "abcast.uniform-integrity");

@@ -51,7 +51,7 @@ let mutate rng events =
       (* ghost delivery of a never-broadcast id *)
       let i = pick_adeliver () in
       let e = arr.(i) in
-      ("ghost", events @ [ { e with Trace.kind = Trace.Adeliver "p9#999" } ])
+      ("ghost", events @ [ { e with Trace.kind = Trace.Adeliver (Ics_sim.Msg_id.make ~origin:9 ~seq:999) } ])
   | _ ->
       (* swap two distinct deliveries at one process: breaks total order *)
       let at_p p =

@@ -1,0 +1,94 @@
+(* Event-queue stress tests for the array-backed heap: FIFO tie-breaking
+   must survive internal growth, and a cleared queue must be reusable.
+   These pin down the exact (time, seq) total order the engine's
+   determinism guarantee rests on. *)
+
+module Event_queue = Ics_sim.Event_queue
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rec drain q =
+  match Event_queue.pop q with
+  | Some (_, run) ->
+      run ();
+      drain q
+  | None -> ()
+
+(* 300 same-time pushes cross the initial capacity (256), forcing at least
+   one grow mid-sequence; pops must still come back in insertion order. *)
+let test_fifo_across_growth () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  for i = 1 to 300 do
+    Event_queue.push q ~time:5.0 (fun () -> out := i :: !out)
+  done;
+  checki "all queued" 300 (Event_queue.size q);
+  let rec loop () =
+    match Event_queue.pop q with
+    | Some (t, run) ->
+        Alcotest.(check (float 1e-9)) "same time" 5.0 t;
+        run ();
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  Alcotest.(check (list int)) "insertion order across grow"
+    (List.init 300 (fun i -> i + 1))
+    (List.rev !out)
+
+let test_clear_then_reuse () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:(float_of_int i) (fun () -> ())
+  done;
+  Event_queue.clear q;
+  checkb "empty after clear" true (Event_queue.is_empty q);
+  (* Reuse: the queue must behave like a fresh one, including FIFO ties. *)
+  let out = ref [] in
+  for i = 1 to 5 do
+    Event_queue.push q ~time:2.0 (fun () -> out := i :: !out)
+  done;
+  Event_queue.push q ~time:1.0 (fun () -> out := 0 :: !out);
+  drain q;
+  Alcotest.(check (list int)) "reused queue pops in (time, seq) order"
+    [ 0; 1; 2; 3; 4; 5 ] (List.rev !out)
+
+(* Property: pop order is exactly the sort of pushes by (time, seq) — time
+   ascending, insertion sequence breaking ties.  This is the total order
+   the engine's determinism rests on, checked against a reference sort. *)
+let qcheck_pop_matches_time_seq_sort =
+  QCheck.Test.make ~name:"pop order = sort by (time, seq)" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 400) (int_bound 50))
+    (fun raw ->
+      let times = List.map float_of_int raw in
+      let q = Event_queue.create () in
+      let popped = ref [] in
+      List.iteri
+        (fun seq t -> Event_queue.push q ~time:t (fun () -> popped := seq :: !popped))
+        times;
+      let rec loop () =
+        match Event_queue.pop q with
+        | Some (_, run) ->
+            run ();
+            loop ()
+        | None -> ()
+      in
+      loop ();
+      let expected =
+        List.mapi (fun seq t -> (t, seq)) times
+        |> List.sort (fun (t1, s1) (t2, s2) ->
+               match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+        |> List.map snd
+      in
+      List.rev !popped = expected)
+
+let suites =
+  [
+    ( "event-queue-stress",
+      [
+        Alcotest.test_case "fifo across growth" `Quick test_fifo_across_growth;
+        Alcotest.test_case "clear then reuse" `Quick test_clear_then_reuse;
+        QCheck_alcotest.to_alcotest qcheck_pop_matches_time_seq_sort;
+      ] );
+  ]

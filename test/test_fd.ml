@@ -73,7 +73,7 @@ let test_heartbeat_trust_restored () =
      which is exactly what makes it a ◇S and not a P. *)
   let e = Engine.create ~n:2 () in
   let outage (msg : Ics_net.Message.t) =
-    if msg.Ics_net.Message.layer = "fd" && msg.sent_at > 100.0 && msg.sent_at < 200.0 then
+    if Ics_net.Message.layer_name msg = "fd" && msg.sent_at > 100.0 && msg.sent_at < 200.0 then
       Model.Drop
     else Model.Pass
   in

@@ -186,7 +186,7 @@ let test_faulty_stack_wedges_on_crash () =
     }
   in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.layer = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
+    if Ics_net.Message.layer_name m = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
   in
   let stack =
     Test_util.run_stack ~rule config
@@ -208,7 +208,7 @@ let test_indirect_stack_survives_same_schedule () =
     }
   in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.layer = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
+    if Ics_net.Message.layer_name m = "rb" && Pid.equal m.src 0 then Model.Drop else Model.Pass
   in
   let stack =
     Test_util.run_stack ~rule config

@@ -91,7 +91,7 @@ let test_lb_indirect_wedge_immunity () =
   (* The §2.2 schedule against the LB stack: the accept-guard nacks the
      orphan id and the system reroutes, exactly like CT-indirect. *)
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.layer = "rb" && m.src = 0 then Ics_net.Model.Drop
+    if Ics_net.Message.layer_name m = "rb" && m.src = 0 then Ics_net.Model.Drop
     else Ics_net.Model.Pass
   in
   let stack =
@@ -109,7 +109,7 @@ let test_lb_faulty_variant_wedges () =
   (* And the plain variant on ids reproduces the wedge, showing the guard
      is what saves it — the CT story generalizes to ballots. *)
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.layer = "rb" && m.src = 0 then Ics_net.Model.Drop
+    if Ics_net.Message.layer_name m = "rb" && m.src = 0 then Ics_net.Model.Drop
     else Ics_net.Model.Pass
   in
   let config = { lb_config with Stack.ordering = Abcast.Consensus_on_ids } in
@@ -138,6 +138,7 @@ let qcheck_lb_safety_under_loss =
           broadcast = Stack.Flood;
           setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.3 };
           fd_kind = Stack.Oracle 15.0;
+          trace = `On;
         }
       in
       let rng = Ics_prelude.Rng.create (Int64.of_int (seed + 41)) in

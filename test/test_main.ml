@@ -7,6 +7,7 @@ let () =
          Test_rng.suites;
          Test_stats.suites;
          Test_sim.suites;
+         Test_event_queue.suites;
          Test_net.suites;
          Test_fd.suites;
          Test_broadcast.suites;

@@ -72,7 +72,7 @@ let test_switched_store_and_forward_bytes () =
   let m = Model.switched { Model.net_fixed = 0.0; net_per_byte = 0.001 } ~n:2 in
   let arrived = ref 0.0 in
   let msg =
-    { Message.src = 0; dst = 1; layer = "t"; payload = More_test; body_bytes = 952;
+    { Message.src = 0; dst = 1; layer = Ics_net.Layer.unregistered "t"; payload = More_test; body_bytes = 952;
       sent_at = 0.0 }
   in
   (* wire = 952 + 48 = 1000 bytes; 1 ms per hop, two hops. *)
@@ -82,7 +82,7 @@ let test_switched_store_and_forward_bytes () =
 
 let test_message_wire_size_and_pp () =
   let msg =
-    { Message.src = 0; dst = 1; layer = "rb"; payload = More_test; body_bytes = 10;
+    { Message.src = 0; dst = 1; layer = Ics_net.Layer.unregistered "rb"; payload = More_test; body_bytes = 10;
       sent_at = 1.5 }
   in
   checki "wire size" (10 + Wire.header_bytes) (Message.wire_size msg);
@@ -99,8 +99,8 @@ let test_transport_counts_dropped_sends () =
       ~rule:(fun _ -> Model.Drop)
   in
   let tr = Transport.create e ~model ~host:Host.instant in
-  Transport.register tr 1 ~layer:"t" (fun _ -> Alcotest.fail "must not arrive");
-  Transport.send tr ~src:0 ~dst:1 ~layer:"t" ~body_bytes:5 More_test;
+  Transport.register tr 1 ~layer:(Transport.intern tr "t") (fun _ -> Alcotest.fail "must not arrive");
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "t") ~body_bytes:5 More_test;
   Engine.run e;
   checki "counted" 1 (Transport.sent_messages tr)
 

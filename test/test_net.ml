@@ -7,6 +7,7 @@ module Wire = Ics_net.Wire
 module Msg_id = Ics_net.Msg_id
 module App_msg = Ics_net.App_msg
 module Message = Ics_net.Message
+module Layer = Ics_net.Layer
 module Model = Ics_net.Model
 module Host = Ics_net.Host
 module Transport = Ics_net.Transport
@@ -60,7 +61,7 @@ let test_host_costs () =
 (* Models *)
 
 let mk_msg ?(src = 0) ?(dst = 1) ?(bytes = 52) ?(sent_at = 0.0) () =
-  { Message.src; dst; layer = "t"; payload = Test_payload 0; body_bytes = bytes; sent_at }
+  { Message.src; dst; layer = Layer.unregistered "t"; payload = Test_payload 0; body_bytes = bytes; sent_at }
 
 let test_constant_model_delay () =
   let e = Engine.create ~n:2 () in
@@ -154,27 +155,27 @@ let mk_transport ?(n = 3) ?host () =
 let test_transport_dispatch () =
   let e, tr = mk_transport () in
   let got = ref [] in
-  Transport.register tr 1 ~layer:"a" (fun msg ->
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun msg ->
       match msg.Message.payload with
       | Test_payload v -> got := v :: !got
       | _ -> ());
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:10 (Test_payload 42);
-  Transport.send tr ~src:0 ~dst:1 ~layer:"other" ~body_bytes:10 (Test_payload 7);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:10 (Test_payload 42);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "other") ~body_bytes:10 (Test_payload 7);
   Engine.run e;
   Alcotest.(check (list int)) "dispatch by layer" [ 42 ] !got
 
 let test_transport_duplicate_layer () =
   let _, tr = mk_transport () in
-  Transport.register tr 0 ~layer:"x" (fun _ -> ());
+  Transport.register tr 0 ~layer:(Transport.intern tr "x") (fun _ -> ());
   Alcotest.check_raises "duplicate"
     (Invalid_argument "Transport.register: duplicate layer x at p0") (fun () ->
-      Transport.register tr 0 ~layer:"x" (fun _ -> ()))
+      Transport.register tr 0 ~layer:(Transport.intern tr "x") (fun _ -> ()))
 
 let test_transport_local_send () =
   let e, tr = mk_transport () in
   let got = ref 0 in
-  Transport.register tr 0 ~layer:"a" (fun _ -> incr got);
-  Transport.send tr ~src:0 ~dst:0 ~layer:"a" ~body_bytes:1 (Test_payload 0);
+  Transport.register tr 0 ~layer:(Transport.intern tr "a") (fun _ -> incr got);
+  Transport.send tr ~src:0 ~dst:0 ~layer:(Transport.intern tr "a") ~body_bytes:1 (Test_payload 0);
   Engine.run e;
   checki "local delivery" 1 !got;
   Alcotest.(check (float 1e-9)) "local is fast (no network delay)" 0.0 (Engine.now e)
@@ -182,10 +183,10 @@ let test_transport_local_send () =
 let test_transport_fifo_per_channel () =
   let e, tr = mk_transport () in
   let got = ref [] in
-  Transport.register tr 1 ~layer:"a" (fun msg ->
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun msg ->
       match msg.Message.payload with Test_payload v -> got := v :: !got | _ -> ());
   for i = 1 to 10 do
-    Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:1 (Test_payload i)
+    Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:1 (Test_payload i)
   done;
   Engine.run e;
   Alcotest.(check (list int)) "fifo" (List.init 10 (fun i -> i + 1)) (List.rev !got)
@@ -193,17 +194,17 @@ let test_transport_fifo_per_channel () =
 let test_transport_crash_drops () =
   let e, tr = mk_transport ~host:Host.pentium3 () in
   let got = ref 0 in
-  Transport.register tr 1 ~layer:"a" (fun _ -> incr got);
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> incr got);
   (* Sender dead: send is a no-op. *)
   Engine.crash e 0;
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:1 (Test_payload 0);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:1 (Test_payload 0);
   Engine.run e;
   checki "dead sender" 0 !got;
   (* Receiver dead at delivery: dropped. *)
   let e, tr = mk_transport () in
   let got = ref 0 in
-  Transport.register tr 1 ~layer:"a" (fun _ -> incr got);
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:1 (Test_payload 0);
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> incr got);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:1 (Test_payload 0);
   Engine.crash_at e 1 ~at:0.5;
   Engine.run e;
   checki "dead receiver" 0 !got
@@ -213,9 +214,9 @@ let test_transport_crash_mid_serialization () =
      still on the sender's CPU when the crash hits: it must die. *)
   let e, tr = mk_transport ~host:Host.pentium3 () in
   let got = ref 0 in
-  Transport.register tr 1 ~layer:"a" (fun _ -> incr got);
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> incr got);
   Engine.schedule e ~at:1.0 (fun () ->
-      Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:1_000_000 (Test_payload 0);
+      Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:1_000_000 (Test_payload 0);
       (* Serializing ~1MB takes ~20ms on the P-III profile. *)
       Engine.crash_at e 0 ~at:1.001);
   Engine.run e;
@@ -225,12 +226,12 @@ let test_transport_multicast_and_counters () =
   let e, tr = mk_transport () in
   let got = Array.make 3 0 in
   List.iter
-    (fun p -> Transport.register tr p ~layer:"a" (fun _ -> got.(p) <- got.(p) + 1))
+    (fun p -> Transport.register tr p ~layer:(Transport.intern tr "a") (fun _ -> got.(p) <- got.(p) + 1))
     [ 0; 1; 2 ];
-  Transport.send_to_others tr ~src:0 ~layer:"a" ~body_bytes:2 (Test_payload 0);
+  Transport.send_to_others tr ~src:0 ~layer:(Transport.intern tr "a") ~body_bytes:2 (Test_payload 0);
   Engine.run e;
   Alcotest.(check (array int)) "others only" [| 0; 1; 1 |] got;
-  Transport.send_to_all tr ~src:0 ~layer:"a" ~body_bytes:2 (Test_payload 0);
+  Transport.send_to_all tr ~src:0 ~layer:(Transport.intern tr "a") ~body_bytes:2 (Test_payload 0);
   Engine.run e;
   Alcotest.(check (array int)) "all" [| 1; 2; 2 |] got;
   checki "message counter" 5 (Transport.sent_messages tr);
@@ -238,15 +239,41 @@ let test_transport_multicast_and_counters () =
 
 let test_per_layer_stats () =
   let e, tr = mk_transport () in
-  Transport.register tr 1 ~layer:"a" (fun _ -> ());
-  Transport.register tr 1 ~layer:"b" (fun _ -> ());
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:10 (Test_payload 0);
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:10 (Test_payload 0);
-  Transport.send tr ~src:0 ~dst:1 ~layer:"b" ~body_bytes:20 (Test_payload 0);
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> ());
+  Transport.register tr 1 ~layer:(Transport.intern tr "b") (fun _ -> ());
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:10 (Test_payload 0);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:10 (Test_payload 0);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "b") ~body_bytes:20 (Test_payload 0);
   Engine.run e;
   Alcotest.(check (list (triple string int int)))
     "per-layer decomposition"
     [ ("a", 2, 2 * (10 + Wire.header_bytes)); ("b", 1, 20 + Wire.header_bytes) ]
+    (Transport.per_layer_stats tr)
+
+let test_layer_interning () =
+  let _, tr = mk_transport () in
+  let a1 = Transport.intern tr "a" in
+  let a2 = Transport.intern tr "a" in
+  let b = Transport.intern tr "b" in
+  checkb "idempotent: same token" true (a1 == a2);
+  checkb "layer equal" true (Layer.equal a1 a2);
+  checki "dense ids from zero" 0 (Layer.id a1);
+  checki "next layer next id" 1 (Layer.id b);
+  Alcotest.(check string) "name kept" "a" (Layer.name a1)
+
+let test_foreign_token_resolves_by_name () =
+  (* A token minted elsewhere (or the unregistered sentinel) must still
+     dispatch correctly: the transport falls back to interning its name. *)
+  let e, tr = mk_transport () in
+  let got = ref 0 in
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> incr got);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Layer.unregistered "a") ~body_bytes:1
+    (Test_payload 0);
+  Engine.run e;
+  checki "delivered via name fallback" 1 !got;
+  (* And the traffic lands in the right per-layer bucket. *)
+  Alcotest.(check (list (triple string int int)))
+    "accounting merged" [ ("a", 1, 1 + Wire.header_bytes) ]
     (Transport.per_layer_stats tr)
 
 let test_transport_charge_cpu_delays () =
@@ -255,8 +282,8 @@ let test_transport_charge_cpu_delays () =
   let model = Model.constant ~delay:1.0 ~n:2 ~seed:1L () in
   let tr = Transport.create e ~model ~host in
   let at = ref [] in
-  Transport.register tr 1 ~layer:"a" (fun _ -> at := Engine.now e :: !at);
-  Transport.send tr ~src:0 ~dst:1 ~layer:"a" ~body_bytes:1 (Test_payload 0);
+  Transport.register tr 1 ~layer:(Transport.intern tr "a") (fun _ -> at := Engine.now e :: !at);
+  Transport.send tr ~src:0 ~dst:1 ~layer:(Transport.intern tr "a") ~body_bytes:1 (Test_payload 0);
   (* A protocol-level CPU charge at t=0 pushes the message's receive
      processing back. *)
   Transport.charge_cpu tr 1 5.0;
@@ -292,6 +319,8 @@ let suites =
         Alcotest.test_case "crash mid serialization" `Quick test_transport_crash_mid_serialization;
         Alcotest.test_case "multicast and counters" `Quick test_transport_multicast_and_counters;
         Alcotest.test_case "per-layer stats" `Quick test_per_layer_stats;
+        Alcotest.test_case "layer interning" `Quick test_layer_interning;
+        Alcotest.test_case "foreign token fallback" `Quick test_foreign_token_resolves_by_name;
         Alcotest.test_case "charge cpu delays dispatch" `Quick test_transport_charge_cpu_delays;
       ] );
   ]

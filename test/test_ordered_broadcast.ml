@@ -140,10 +140,10 @@ let test_causal_implies_fifo () =
 
 let test_fifo_checker_catches_violation () =
   let tr = Trace.create () in
-  Trace.record tr ~time:1.0 ~pid:0 (Trace.Rbroadcast "p0#0");
-  Trace.record tr ~time:1.1 ~pid:0 (Trace.Rbroadcast "p0#1");
-  Trace.record tr ~time:2.0 ~pid:1 (Trace.Rdeliver "p0#1");
-  Trace.record tr ~time:2.1 ~pid:1 (Trace.Rdeliver "p0#0");
+  Trace.record tr ~time:1.0 ~pid:0 (Trace.Rbroadcast (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr ~time:1.1 ~pid:0 (Trace.Rbroadcast (Msg_id.make ~origin:0 ~seq:1));
+  Trace.record tr ~time:2.0 ~pid:1 (Trace.Rdeliver (Msg_id.make ~origin:0 ~seq:1));
+  Trace.record tr ~time:2.1 ~pid:1 (Trace.Rdeliver (Msg_id.make ~origin:0 ~seq:0));
   let run = Checker.Run.of_trace tr ~n:2 in
   checkb "fifo violation flagged" true
     (Test_util.has_violation (Checker.check_fifo_order run) "broadcast.fifo-order")
@@ -151,20 +151,20 @@ let test_fifo_checker_catches_violation () =
 let test_causal_checker_catches_violation () =
   let tr = Trace.create () in
   (* p0 sends a; p1 delivers a then sends b; p2 delivers b before a. *)
-  Trace.record tr ~time:1.0 ~pid:0 (Trace.Rbroadcast "a");
-  Trace.record tr ~time:2.0 ~pid:1 (Trace.Rdeliver "a");
-  Trace.record tr ~time:3.0 ~pid:1 (Trace.Rbroadcast "b");
-  Trace.record tr ~time:4.0 ~pid:2 (Trace.Rdeliver "b");
-  Trace.record tr ~time:5.0 ~pid:2 (Trace.Rdeliver "a");
+  Trace.record tr ~time:1.0 ~pid:0 (Trace.Rbroadcast (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr ~time:2.0 ~pid:1 (Trace.Rdeliver (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr ~time:3.0 ~pid:1 (Trace.Rbroadcast (Msg_id.make ~origin:1 ~seq:0));
+  Trace.record tr ~time:4.0 ~pid:2 (Trace.Rdeliver (Msg_id.make ~origin:1 ~seq:0));
+  Trace.record tr ~time:5.0 ~pid:2 (Trace.Rdeliver (Msg_id.make ~origin:0 ~seq:0));
   let run = Checker.Run.of_trace tr ~n:3 in
   checkb "causal violation flagged" true
     (Test_util.has_violation (Checker.check_causal_order run) "broadcast.causal-order");
   (* The missing-predecessor form too. *)
   let tr2 = Trace.create () in
-  Trace.record tr2 ~time:1.0 ~pid:0 (Trace.Rbroadcast "a");
-  Trace.record tr2 ~time:2.0 ~pid:1 (Trace.Rdeliver "a");
-  Trace.record tr2 ~time:3.0 ~pid:1 (Trace.Rbroadcast "b");
-  Trace.record tr2 ~time:4.0 ~pid:2 (Trace.Rdeliver "b");
+  Trace.record tr2 ~time:1.0 ~pid:0 (Trace.Rbroadcast (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr2 ~time:2.0 ~pid:1 (Trace.Rdeliver (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr2 ~time:3.0 ~pid:1 (Trace.Rbroadcast (Msg_id.make ~origin:1 ~seq:0));
+  Trace.record tr2 ~time:4.0 ~pid:2 (Trace.Rdeliver (Msg_id.make ~origin:1 ~seq:0));
   let run2 = Checker.Run.of_trace tr2 ~n:3 in
   checkb "missing predecessor flagged" true
     (Test_util.has_violation (Checker.check_causal_order run2) "broadcast.causal-order")

@@ -123,7 +123,7 @@ let test_ct_lagging_process_catches_up () =
   let n = 3 in
   let engine = Engine.create ~n () in
   let rule (m : Ics_net.Message.t) =
-    if m.Ics_net.Message.layer = "consensus" && Pid.equal m.dst 2 then
+    if Ics_net.Message.layer_name m = "consensus" && Pid.equal m.dst 2 then
       Model.Delay_by 30.0
     else Model.Pass
   in

@@ -7,6 +7,7 @@ module Resource = Ics_sim.Resource
 module Time = Ics_sim.Time
 module Pid = Ics_sim.Pid
 module Trace = Ics_sim.Trace
+module Msg_id = Ics_sim.Msg_id
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -268,8 +269,8 @@ let test_time_units () =
 
 let test_trace_recording () =
   let tr = Trace.create () in
-  Trace.record tr ~time:1.0 ~pid:0 (Trace.Abroadcast "p0#0");
-  Trace.record tr ~time:2.0 ~pid:1 (Trace.Adeliver "p0#0");
+  Trace.record tr ~time:1.0 ~pid:0 (Trace.Abroadcast (Msg_id.make ~origin:0 ~seq:0));
+  Trace.record tr ~time:2.0 ~pid:1 (Trace.Adeliver (Msg_id.make ~origin:0 ~seq:0));
   checki "length" 2 (Trace.length tr);
   let events = Trace.events tr in
   checkb "chronological" true
@@ -278,7 +279,7 @@ let test_trace_recording () =
   checki "filter by pid" 1 (List.length at_p1)
 
 let test_trace_pp () =
-  let s = Format.asprintf "%a" Trace.pp_kind (Trace.Propose (3, [ "a"; "b" ])) in
+  let s = Format.asprintf "%a" Trace.pp_kind (Trace.Propose (3, [ Msg_id.make ~origin:0 ~seq:0; Msg_id.make ~origin:1 ~seq:0 ])) in
   checkb "propose rendering" true (Test_util.contains s "propose(#3");
   let s2 = Format.asprintf "%a" Trace.pp_kind (Trace.Suspect 2) in
   checkb "suspect rendering" true (Test_util.contains s2 "suspect(p2)")

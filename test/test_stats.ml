@@ -52,6 +52,40 @@ let test_acc_matches_batch () =
   checkf "max" s.Stats.max (Stats.Acc.max acc);
   Alcotest.(check int) "count" s.Stats.count (Stats.Acc.count acc)
 
+let test_nan_rejected () =
+  Alcotest.check_raises "summarize_array NaN"
+    (Invalid_argument "Stats.summarize_array: NaN sample") (fun () ->
+      ignore (Stats.summarize_array [| 1.0; Float.nan; 2.0 |]));
+  let s = Stats.Samples.create () in
+  Alcotest.check_raises "Samples.add NaN"
+    (Invalid_argument "Stats.Samples.add: NaN sample") (fun () ->
+      Stats.Samples.add s Float.nan)
+
+let test_samples_matches_list () =
+  (* The unboxed buffer must summarize identically to the list path,
+     including across internal growth (capacity 2 forces doubling). *)
+  let data = List.init 999 (fun i -> Float.of_int ((i * 131) mod 577) /. 7.0) in
+  let s = Stats.Samples.create ~capacity:2 () in
+  List.iter (Stats.Samples.add s) data;
+  Alcotest.(check int) "length" 999 (Stats.Samples.length s);
+  let a = Stats.Samples.summarize s in
+  let b = Stats.summarize data in
+  checkf "mean" b.Stats.mean a.Stats.mean;
+  checkf "stddev" b.Stats.stddev a.Stats.stddev;
+  checkf "p50" b.Stats.p50 a.Stats.p50;
+  checkf "p99" b.Stats.p99 a.Stats.p99;
+  checkf "min" b.Stats.min a.Stats.min;
+  checkf "max" b.Stats.max a.Stats.max;
+  Alcotest.(check int) "to_array order" 999
+    (Array.length (Stats.Samples.to_array s))
+
+let test_negative_zero_sort () =
+  (* Array.sort compare on floats mis-sorts -0.0 vs 0.0 boxes; Float.compare
+     orders them consistently and the summary must not care. *)
+  let s = Stats.summarize_array [| 0.0; -0.0; 1.0 |] in
+  checkf "min" 0.0 s.Stats.min;
+  checkf "max" 1.0 s.Stats.max
+
 let test_ci_shrinks () =
   let narrow = Stats.summarize (List.init 1000 (fun i -> Float.of_int (i mod 10))) in
   let wide = Stats.summarize (List.init 10 (fun i -> Float.of_int i)) in
@@ -141,6 +175,9 @@ let suites =
         Alcotest.test_case "mean" `Quick test_mean;
         Alcotest.test_case "acc matches batch" `Quick test_acc_matches_batch;
         Alcotest.test_case "ci shrinks" `Quick test_ci_shrinks;
+        Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+        Alcotest.test_case "samples buffer matches list" `Quick test_samples_matches_list;
+        Alcotest.test_case "negative zero" `Quick test_negative_zero_sort;
         QCheck_alcotest.to_alcotest qcheck_mean_bounded;
         QCheck_alcotest.to_alcotest qcheck_percentiles_monotone;
         QCheck_alcotest.to_alcotest qcheck_stddev_nonneg;
