@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf verify clean
+.PHONY: all build test bench perf chaos chaos-smoke verify clean
 
 all: build
 
@@ -17,7 +17,15 @@ bench:
 perf:
 	dune exec bench/main.exe -- perf quick
 
-verify: build test perf
+# Full chaos sweep: 100 seeds x every stack x every fault plan (~a minute).
+chaos:
+	dune exec bin/ics_cli.exe -- chaos --seeds 100
+
+# Quick sweep for the pre-merge gate (a few seconds).
+chaos-smoke:
+	dune exec bin/ics_cli.exe -- chaos --seeds 5
+
+verify: build test perf chaos-smoke
 
 clean:
 	dune clean

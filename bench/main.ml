@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- quick   # quarter-length simulation sweeps
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
-                                         # claims, micro, perf (combinable)
+                                         # faults, claims, micro, perf
+                                         # (combinable)
 
    The perf section measures real wall-clock time and allocation on a fixed
    deterministic workload and writes the numbers to BENCH_PR1.json. *)
@@ -331,6 +332,88 @@ let extension_scalability ~quick =
     "expectation: all grow with n; the O(n) fd-relay broadcast flattens the@.\
      curve relative to the flood, and URB's ack storm grows fastest.@."
 
+(* --- Fault injection: the cost of lossy links ----------------------------- *)
+
+(* What does packet loss cost once the retransmission channel heals it?
+   Latency should degrade gracefully with the drop probability (each lost
+   frame costs ~one RTO), and the retransmit/ack overhead quantifies the
+   bandwidth price of quasi-reliability over a fair-lossy link. *)
+let run_faults ~quick =
+  section "Fault injection: lossy links healed by retransmission (indirect, n=3, 200 msg/s, 64B)";
+  let module Nemesis = Ics_faults.Nemesis in
+  let module Retransmit = Ics_net.Retransmit in
+  let table =
+    Table.create ~title:"per-frame drop probability vs delivery cost"
+      ~columns:
+        [ "drop-p"; "latency[ms]"; "retx/abcast"; "acks/abcast"; "drops"; "quiescent" ]
+  in
+  let scale = if quick then 0.25 else 1.0 in
+  List.iter
+    (fun p ->
+      let fstats = ref None in
+      let rstats = ref None in
+      let setup =
+        Stack.Custom
+          {
+            name = Printf.sprintf "lossy-%.2f" p;
+            build =
+              (fun ~n ->
+                let base =
+                  Ics_net.Model.constant ~delay:1.0 ~n ~seed:4242L ()
+                in
+                let plan =
+                  if p = 0.0 then []
+                  else
+                    [
+                      Nemesis.Drop
+                        { link = Nemesis.any_link; prob = p; window = Nemesis.always };
+                    ]
+                in
+                let lossy, fs = Nemesis.apply ~seed:7L ~plan ~base () in
+                let model, rs = Retransmit.wrap lossy in
+                fstats := Some fs;
+                rstats := Some rs;
+                (model, Ics_net.Host.instant));
+          }
+      in
+      let config =
+        { Stack.abcast_indirect with Stack.setup; fd_kind = Stack.Oracle 10.0 }
+      in
+      let load =
+        {
+          Experiment.throughput = 200.0;
+          body_bytes = 64;
+          duration = 500.0 +. (scale *. 2_000.0);
+          warmup = 500.0;
+        }
+      in
+      let r = Experiment.run config load in
+      let ab = float_of_int (max 1 r.Experiment.abroadcasts) in
+      let retx, acks =
+        match !rstats with
+        | Some s -> (s.Retransmit.retransmits, s.Retransmit.acks_sent)
+        | None -> (0, 0)
+      in
+      let drops =
+        match !fstats with
+        | Some fs -> Ics_net.Model.Fault_stats.total_drops fs
+        | None -> 0
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" p;
+          Printf.sprintf "%.3f" r.Experiment.latency.Stats.mean;
+          Printf.sprintf "%.2f" (float_of_int retx /. ab);
+          Printf.sprintf "%.2f" (float_of_int acks /. ab);
+          string_of_int drops;
+          string_of_bool r.Experiment.quiescent;
+        ])
+    [ 0.0; 0.01; 0.05; 0.10 ];
+  Table.print table;
+  Format.printf
+    "expectation: latency degrades gracefully with drop-p (a lost frame costs@.\
+     ~one RTO); retransmits track the loss rate; every run stays quiescent.@."
+
 (* --- Claim verification --------------------------------------------------- *)
 
 let run_claims ~quick =
@@ -508,6 +591,7 @@ let () =
     extension_algorithms ~quick;
     extension_scalability ~quick
   end;
+  if want "faults" then run_faults ~quick;
   if want "claims" then run_claims ~quick;
   if want "micro" then run_micro ();
   if want "perf" then run_perf ~quick;

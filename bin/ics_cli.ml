@@ -8,6 +8,7 @@ module Abcast = Ics_core.Abcast
 module Experiment = Ics_workload.Experiment
 module Figures = Ics_workload.Figures
 module Scenarios = Ics_workload.Scenarios
+module Chaos = Ics_workload.Chaos
 module Table = Ics_prelude.Table
 module Stats = Ics_prelude.Stats
 
@@ -237,6 +238,87 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump the full protocol trace of a small execution")
     Term.(const exec $ n $ algo $ ordering $ messages $ crash $ csv)
 
+(* `chaos` command: seeded fault-injection sweep over stacks × plans. *)
+
+let chaos_cmd =
+  let exec seeds seed_base n stacks plans no_retransmit verbose =
+    let parse_csv ~what ~of_string ~all s =
+      if s = "all" then all
+      else
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun name ->
+               match of_string name with
+               | Some v -> v
+               | None ->
+                   Format.eprintf "unknown %s %s@." what name;
+                   exit 1)
+    in
+    let stacks =
+      parse_csv ~what:"stack" ~of_string:Chaos.stack_of_string
+        ~all:Chaos.all_stacks stacks
+    in
+    let plans =
+      parse_csv ~what:"plan" ~of_string:Chaos.plan_of_string
+        ~all:Chaos.all_plans plans
+    in
+    let progress =
+      if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> ()
+    in
+    let cells =
+      Chaos.sweep ~retransmit:(not no_retransmit) ?n ~seed_base ~seeds
+        ~progress ~stacks ~plans ()
+    in
+    Chaos.report ~verbose Format.std_formatter cells;
+    if Chaos.indirect_clean cells then begin
+      Format.printf "indirect stacks clean over %d seeds@." seeds;
+      if List.exists (fun c -> c.Chaos.failures <> []) cells then
+        Format.printf
+          "on-ids failures above are expected: that stack is the paper's \
+           counterexample@."
+    end
+    else begin
+      Format.printf "FAIL: an indirect stack violated its properties@.";
+      exit 1
+    end
+  in
+  let seeds =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"Seeds per (stack, plan) cell.")
+  in
+  let seed_base =
+    Arg.(value & opt int64 1L & info [ "seed-base" ] ~doc:"First seed; cell seeds are base..base+seeds-1.")
+  in
+  let n =
+    Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Override the per-stack process count.")
+  in
+  let stacks =
+    Arg.(
+      value & opt string "all"
+      & info [ "stacks" ] ~doc:"Comma-separated: ct-indirect, mr-indirect, ct-on-ids; or 'all'.")
+  in
+  let plans =
+    Arg.(
+      value & opt string "all"
+      & info [ "plans" ]
+          ~doc:"Comma-separated: drop, dup, reorder, partition, storm, blackout, mixed; or 'all'.")
+  in
+  let no_retransmit =
+    Arg.(
+      value & flag
+      & info [ "no-retransmit" ]
+          ~doc:"Run directly over the lossy links, without the retransmission channel.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-cell progress and every failing seed.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds)")
+    Term.(
+      const exec $ seeds $ seed_base $ n $ stacks $ plans $ no_retransmit
+      $ verbose)
+
 let list_cmd =
   let exec () =
     List.iter
@@ -249,4 +331,4 @@ let () =
   let doc = "Atomic broadcast with indirect consensus (Ekwall & Schiper, DSN 2006) simulator" in
   let info = Cmd.info "ics-cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; violation_cmd; trace_cmd; list_cmd ]))
+    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; violation_cmd; chaos_cmd; trace_cmd; list_cmd ]))

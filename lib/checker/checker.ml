@@ -76,7 +76,11 @@ module Run = struct
         | Trace.Rbroadcast id | Trace.Urb_broadcast id ->
             rbroadcasts := (e.pid, id) :: !rbroadcasts;
             local_events.(e.pid) <- `Bcast id :: local_events.(e.pid)
-        | Trace.Suspect _ | Trace.Trust _ | Trace.Note _ -> ());
+        | Trace.Suspect _ | Trace.Trust _ | Trace.Note _
+        (* Injected faults are environment events, not protocol steps: the
+           properties are checked against what the protocol did under them. *)
+        | Trace.Net_drop _ | Trace.Net_dup _ | Trace.Net_delay _
+        | Trace.Partition_start _ | Trace.Partition_heal _ -> ());
     let adeliveries = Array.map List.rev adeliv in
     let rdeliveries = Array.map List.rev rdeliv in
     {

@@ -132,6 +132,11 @@ let utilization ?horizon t =
   in
   cpus @ List.map resource (Model.resources t.model)
 
+let fault_counters t =
+  match Model.fault_stats t.model with
+  | Some stats -> Model.Fault_stats.to_list stats
+  | None -> []
+
 let describe t =
   let ordering =
     match t.config.ordering with

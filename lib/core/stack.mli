@@ -112,5 +112,10 @@ val utilization : ?horizon:Time.t -> t -> (string * float) list
     model's links/bus) over [horizon] (default: the virtual time elapsed
     so far) — the direct way to see what saturates in a saturated run. *)
 
+val fault_counters : t -> (string * int) list
+(** Injected-fault counters of the stack's network model (scripted rules or
+    a nemesis plan): drops, duplicates, delays, partition drops, per-layer
+    drops.  Empty when the model injects no faults. *)
+
 val describe : t -> string
 (** e.g. ["abcast(indirect, ct-indirect, rb-flood(O(n^2)), setup1, n=3)"]. *)

@@ -1,0 +1,225 @@
+module Engine = Ics_sim.Engine
+module Time = Ics_sim.Time
+module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
+module Rng = Ics_prelude.Rng
+module Model = Ics_net.Model
+module Message = Ics_net.Message
+
+type window = { from_t : Time.t; until_t : Time.t }
+
+let always = { from_t = Time.zero; until_t = infinity }
+let window ~from_t ~until_t = { from_t; until_t }
+let in_window w now = now >= w.from_t && now < w.until_t
+
+type link = {
+  l_src : Pid.t option;
+  l_dst : Pid.t option;
+  l_layer : string option;
+}
+
+let any_link = { l_src = None; l_dst = None; l_layer = None }
+
+let link_matches l (msg : Message.t) =
+  (match l.l_src with None -> true | Some p -> p = msg.src)
+  && (match l.l_dst with None -> true | Some p -> p = msg.dst)
+  && match l.l_layer with
+     | None -> true
+     | Some name -> String.equal name (Message.layer_name msg)
+
+type clause =
+  | Drop of { link : link; prob : float; window : window }
+  | Duplicate of { link : link; prob : float; window : window }
+  | Delay of { link : link; prob : float; max_extra : Time.t; window : window }
+  | Slow of { link : link; extra : Time.t; window : window }
+  | Partition of { groups : Pid.t list list; window : window }
+  | Isolate of { pid : Pid.t; inbound : bool; outbound : bool; window : window }
+  | Crash of { pid : Pid.t; at : Time.t }
+
+type plan = clause list
+
+let pp_window ppf w =
+  if w.until_t = infinity then
+    if w.from_t = Time.zero then Format.fprintf ppf "always"
+    else Format.fprintf ppf "[%a,inf)" Time.pp w.from_t
+  else Format.fprintf ppf "[%a,%a)" Time.pp w.from_t Time.pp w.until_t
+
+let pp_link ppf l =
+  let part name = function
+    | None -> []
+    | Some v -> [ Printf.sprintf "%s=%s" name v ]
+  in
+  let parts =
+    part "src" (Option.map string_of_int l.l_src)
+    @ part "dst" (Option.map string_of_int l.l_dst)
+    @ part "layer" l.l_layer
+  in
+  match parts with
+  | [] -> Format.fprintf ppf "*"
+  | parts -> Format.fprintf ppf "%s" (String.concat "," parts)
+
+let pp_clause ppf = function
+  | Drop { link; prob; window } ->
+      Format.fprintf ppf "drop(%a, p=%.2f, %a)" pp_link link prob pp_window
+        window
+  | Duplicate { link; prob; window } ->
+      Format.fprintf ppf "dup(%a, p=%.2f, %a)" pp_link link prob pp_window
+        window
+  | Delay { link; prob; max_extra; window } ->
+      Format.fprintf ppf "delay(%a, p=%.2f, max=%a, %a)" pp_link link prob
+        Time.pp max_extra pp_window window
+  | Slow { link; extra; window } ->
+      Format.fprintf ppf "slow(%a, +%a, %a)" pp_link link Time.pp extra
+        pp_window window
+  | Partition { groups; window } ->
+      let group g = "{" ^ String.concat " " (List.map string_of_int g) ^ "}" in
+      Format.fprintf ppf "partition(%s, %a)"
+        (String.concat "|" (List.map group groups))
+        pp_window window
+  | Isolate { pid; inbound; outbound; window } ->
+      Format.fprintf ppf "isolate(p%d, in=%b, out=%b, %a)" pid inbound outbound
+        pp_window window
+  | Crash { pid; at } -> Format.fprintf ppf "crash(p%d at %a)" pid Time.pp at
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       pp_clause)
+    plan
+
+let plan_to_string plan = Format.asprintf "%a" pp_plan plan
+
+let partition_name groups =
+  String.concat "|"
+    (List.map
+       (fun g -> "{" ^ String.concat " " (List.map string_of_int g) ^ "}")
+       groups)
+
+(* A partition cuts (src, dst) iff both appear in listed groups and the
+   groups differ; a pid absent from every group is unaffected. *)
+let partition_cuts groups ~src ~dst =
+  let find p =
+    List.find_index (fun g -> List.mem p g) groups
+  in
+  match (find src, find dst) with
+  | Some a, Some b -> a <> b
+  | _ -> false
+
+let apply ?engine ~seed ~plan ~base () =
+  let rng = Rng.create seed in
+  let stats = Model.Fault_stats.create () in
+  (* Scheduled clauses (crashes, partition trace markers) need an engine at
+     build time; probabilistic clauses do not — [engine] is optional so
+     engineless harnesses (bench table builders) can still use lossy plans. *)
+  (match engine with
+  | None -> ()
+  | Some engine ->
+      List.iter
+        (fun clause ->
+          match clause with
+          | Crash { pid; at } ->
+              Engine.schedule engine ~at (fun () ->
+                  if Engine.is_alive engine pid then (
+                    stats.Model.Fault_stats.crashes <-
+                      stats.Model.Fault_stats.crashes + 1;
+                    Engine.crash engine pid))
+          | Partition { groups; window } ->
+              let name = partition_name groups in
+              Engine.schedule engine ~at:window.from_t (fun () ->
+                  Engine.record engine 0 (Trace.Partition_start name));
+              if window.until_t < infinity then
+                Engine.schedule engine ~at:window.until_t (fun () ->
+                    Engine.record engine 0 (Trace.Partition_heal name))
+          | Isolate { pid; window; _ } ->
+              let name = Printf.sprintf "isolate(p%d)" pid in
+              Engine.schedule engine ~at:window.from_t (fun () ->
+                  Engine.record engine 0 (Trace.Partition_start name));
+              if window.until_t < infinity then
+                Engine.schedule engine ~at:window.until_t (fun () ->
+                    Engine.record engine 0 (Trace.Partition_heal name))
+          | Drop _ | Duplicate _ | Delay _ | Slow _ -> ())
+        plan);
+  let cut_by_partition now (msg : Message.t) =
+    List.exists
+      (fun clause ->
+        match clause with
+        | Partition { groups; window } ->
+            in_window window now
+            && partition_cuts groups ~src:msg.src ~dst:msg.dst
+        | Isolate { pid; inbound; outbound; window } ->
+            in_window window now
+            && ((inbound && msg.dst = pid) || (outbound && msg.src = pid))
+        | _ -> false)
+      plan
+  in
+  let send engine msg ~arrive =
+    let now = Engine.now engine in
+    if cut_by_partition now msg then (
+      stats.Model.Fault_stats.partition_drops <-
+        stats.Model.Fault_stats.partition_drops + 1;
+      Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
+      Engine.record engine msg.Message.src (Trace.Net_drop msg.Message.dst))
+    else begin
+      (* Probabilistic clauses draw from the plan RNG in fixed plan order,
+         and keep drawing even after a drop decision, so the stream of
+         draws — hence every later decision — depends only on the message
+         sequence, not on earlier outcomes. *)
+      let dropped = ref false in
+      let dup = ref false in
+      let extra = ref Time.zero in
+      List.iter
+        (fun clause ->
+          match clause with
+          | Drop { link; prob; window } ->
+              if in_window window now && link_matches link msg then
+                if Rng.float rng 1.0 < prob then dropped := true
+          | Duplicate { link; prob; window } ->
+              if in_window window now && link_matches link msg then
+                if Rng.float rng 1.0 < prob then dup := true
+          | Delay { link; prob; max_extra; window } ->
+              if in_window window now && link_matches link msg then
+                if Rng.float rng 1.0 < prob then begin
+                  extra := Time.( + ) !extra (Rng.float rng max_extra);
+                  if not !dropped then begin
+                    stats.Model.Fault_stats.delays <-
+                      stats.Model.Fault_stats.delays + 1;
+                    Engine.record engine msg.Message.src
+                      (Trace.Net_delay msg.Message.dst)
+                  end
+                end
+          | Slow { link; extra = e; window } ->
+              if in_window window now && link_matches link msg then begin
+                extra := Time.( + ) !extra e;
+                if not !dropped then
+                  stats.Model.Fault_stats.slowdowns <-
+                    stats.Model.Fault_stats.slowdowns + 1
+              end
+          | Partition _ | Isolate _ | Crash _ -> ())
+        plan;
+      if !dropped then begin
+        stats.Model.Fault_stats.drops <- stats.Model.Fault_stats.drops + 1;
+        Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
+        Engine.record engine msg.Message.src (Trace.Net_drop msg.Message.dst)
+      end
+      else begin
+        let forward () =
+          Model.send base engine msg ~arrive;
+          if !dup then begin
+            stats.Model.Fault_stats.dups <- stats.Model.Fault_stats.dups + 1;
+            Engine.record engine msg.Message.src
+              (Trace.Net_dup msg.Message.dst);
+            Model.send base engine msg ~arrive
+          end
+        in
+        if !extra > Time.zero then Engine.after engine ~delay:!extra forward
+        else forward ()
+      end
+    end
+  in
+  let model =
+    Model.make ~faults:stats
+      ~name:("nemesis(" ^ Model.name base ^ ")")
+      ~resources:(Model.resources base) send
+  in
+  (model, stats)

@@ -1,0 +1,92 @@
+(** Composable, seeded fault injection over any network model.
+
+    A {e plan} is a list of declarative fault clauses — probabilistic
+    per-link drop/duplicate/delay, deterministic slowdown windows,
+    symmetric partitions with scheduled heal, per-process isolation, and
+    scheduled crashes.  {!apply} compiles a plan into a {!Model.t} wrapper
+    around any base model: every message consults the plan, all random
+    choices come from one RNG derived from [seed] (same seed + same plan +
+    same run ⇒ bit-identical faults), every injected fault is recorded in
+    the engine trace ({!Trace.Net_drop}, {!Trace.Net_dup},
+    {!Trace.Net_delay}, {!Trace.Partition_start}/[_heal]) and counted in
+    the returned {!Model.Fault_stats}.
+
+    The nemesis models a {e fair-lossy} environment: it may lose, duplicate,
+    reorder (via random extra delay) and slow messages, but it never
+    corrupts them and never forges them.  Layer it under {!Retransmit.wrap}
+    to recover the quasi-reliable channels the protocol stack assumes. *)
+
+module Engine = Ics_sim.Engine
+module Time = Ics_sim.Time
+module Pid = Ics_sim.Pid
+module Model = Ics_net.Model
+
+(** {1 Plan grammar} *)
+
+type window = { from_t : Time.t; until_t : Time.t }
+(** Half-open activity interval [\[from_t, until_t)] in virtual time. *)
+
+val always : window
+val window : from_t:Time.t -> until_t:Time.t -> window
+val in_window : window -> Time.t -> bool
+
+type link = {
+  l_src : Pid.t option;  (** [None] matches any sender *)
+  l_dst : Pid.t option;  (** [None] matches any receiver *)
+  l_layer : string option;  (** [None] matches any protocol layer *)
+}
+(** A link selector; unspecified fields are wildcards. *)
+
+val any_link : link
+val link_matches : link -> Ics_net.Message.t -> bool
+
+type clause =
+  | Drop of { link : link; prob : float; window : window }
+      (** lose each matching message independently with probability [prob] *)
+  | Duplicate of { link : link; prob : float; window : window }
+      (** deliver each matching message twice with probability [prob] *)
+  | Delay of { link : link; prob : float; max_extra : Time.t; window : window }
+      (** add uniform extra latency in [\[0, max_extra)] with probability
+          [prob] — the reordering fault, since other traffic overtakes *)
+  | Slow of { link : link; extra : Time.t; window : window }
+      (** add fixed extra latency to every matching message (degraded-link
+          window) *)
+  | Partition of { groups : Pid.t list list; window : window }
+      (** cut every link between different groups for the window; the heal
+          is the window's end.  Pids absent from all groups are unaffected
+          (asymmetric partitions come from {!Isolate}) *)
+  | Isolate of { pid : Pid.t; inbound : bool; outbound : bool; window : window }
+      (** cut [pid]'s inbound and/or outbound links — [outbound]-only is an
+          asymmetric partition: the victim hears everyone but nobody hears
+          it *)
+  | Crash of { pid : Pid.t; at : Time.t }
+      (** schedule a crash-stop failure (requires [?engine] in {!apply}) *)
+
+type plan = clause list
+
+val pp_window : Format.formatter -> window -> unit
+val pp_link : Format.formatter -> link -> unit
+val pp_clause : Format.formatter -> clause -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val plan_to_string : plan -> string
+(** Compact one-line rendering, printed by the chaos sweep for replay. *)
+
+(** {1 Applying a plan} *)
+
+val apply :
+  ?engine:Engine.t ->
+  seed:int64 ->
+  plan:plan ->
+  base:Model.t ->
+  unit ->
+  Model.t * Model.Fault_stats.t
+(** Wrap [base] with the plan's faults.  [engine] is needed to schedule
+    [Crash] clauses and partition trace markers at build time; plans with
+    only probabilistic clauses work without it (engineless bench
+    harnesses).  Probabilistic clauses draw from a dedicated RNG seeded
+    with [seed] in fixed plan order per message, so fault decisions are a
+    deterministic function of (seed, plan, message sequence) and replays
+    are bit-identical.  The returned stats record is also reachable
+    through {!Model.fault_stats} on the wrapped model (and so through
+    [Stack.fault_counters]). *)

@@ -10,6 +10,7 @@ type t = {
   suspected : bool array array;  (* suspected.(observer).(target) *)
   mutable suspect_subs : (Pid.t -> unit) list array;
   mutable trust_subs : (Pid.t -> unit) list array;
+  mutable stopped : bool;
 }
 
 let make engine =
@@ -19,7 +20,10 @@ let make engine =
     suspected = Array.init n (fun _ -> Array.make n false);
     suspect_subs = Array.make n [];
     trust_subs = Array.make n [];
+    stopped = false;
   }
+
+let stop t = t.stopped <- true
 
 let is_suspected t ~by target = t.suspected.(by).(target)
 
@@ -71,22 +75,40 @@ let heartbeat transport ~period ~timeout =
   let layer = Transport.intern transport "fd" in
   let t = make engine in
   let last_hb = Array.init n (fun _ -> Array.make n Time.zero) in
-  (* Sender side: emit heartbeats forever (until crash). *)
+  (* Self-rearming loops must not outlive the run: rescheduling past the
+     engine's horizon (or after [stop]) would keep the event queue
+     non-empty forever, so a horizon-less [Engine.run] would never
+     return. *)
+  let rearm ~delay k =
+    if not t.stopped then
+      match Engine.horizon engine with
+      | Some h when Time.compare (Time.( + ) (Engine.now engine) delay) h > 0 ->
+          ()
+      | _ -> Engine.after engine ~delay k
+  in
+  (* Sender side: emit heartbeats until crash, stop or horizon. *)
   let rec emit p () =
-    if Engine.is_alive engine p then begin
+    if Engine.is_alive engine p && not t.stopped then begin
       Transport.send_to_others transport ~src:p ~layer ~body_bytes:hb_body_bytes
         Heartbeat;
-      Engine.after engine ~delay:period (emit p)
+      rearm ~delay:period (Engine.alive_guard engine p (emit p))
     end
   in
   (* Observer side: check each target's deadline; a target with no fresh
-     heartbeat is suspected until one arrives. *)
+     heartbeat is suspected until one arrives.  A dead target that is
+     already suspected is settled — crash-stop means it can never need
+     re-trusting, so the loop retires. *)
   let rec check observer target () =
-    if Engine.is_alive engine observer then begin
+    if Engine.is_alive engine observer && not t.stopped then begin
       let now = Engine.now engine in
       let silent_for = Time.( - ) now last_hb.(observer).(target) in
       if silent_for >= timeout then set_suspected t ~observer target;
-      Engine.after engine ~delay:period (check observer target)
+      let settled =
+        (not (Engine.is_alive engine target))
+        && t.suspected.(observer).(target)
+      in
+      if not settled then
+        rearm ~delay:period (Engine.alive_guard engine observer (check observer target))
     end
   in
   List.iter
@@ -101,7 +123,8 @@ let heartbeat transport ~period ~timeout =
       List.iter
         (fun q ->
           last_hb.(p).(q) <- Engine.now engine;
-          Engine.after engine ~delay:timeout (check p q))
+          Engine.after engine ~delay:timeout
+            (Engine.alive_guard engine p (check p q)))
         (Pid.others ~n p))
     (Pid.all ~n);
   t

@@ -53,7 +53,18 @@ val heartbeat : Ics_net.Transport.t -> period:Time.t -> timeout:Time.t -> t
     no heartbeat arrived for [timeout]; a late heartbeat restores trust.
     [timeout] should comfortably exceed [period] plus worst-case latency to
     avoid false suspicions in good runs.
+
+    The emit/check loops stop rescheduling once their next firing would
+    fall past {!Engine.horizon} (or after {!stop}), so a run with a
+    heartbeat detector still quiesces; an observer also retires a target's
+    check loop once the target is dead {e and} suspected (settled under
+    crash-stop).
     @raise Invalid_argument if [period <= 0] or [timeout <= period]. *)
+
+val stop : t -> unit
+(** Retire the detector's timer loops (heartbeat emission and deadline
+    checks stop rescheduling).  Suspicion state freezes; {!oracle} and
+    {!manual} detectors have no timers and are unaffected. *)
 
 (** Handle to drive a {!manual} detector from a test. *)
 module Control : sig

@@ -6,11 +6,76 @@ module Variate = Ics_prelude.Variate
 
 type send_fn = Engine.t -> Message.t -> arrive:(unit -> unit) -> unit
 
-type t = { name : string; send : send_fn; resources : Resource.t list }
+(* Shared accounting for every fault-injecting wrapper ({!scripted} here,
+   [Nemesis] in ics_faults): one counter record, so a stack exposes the
+   same stats whatever injected the faults. *)
+module Fault_stats = struct
+  type t = {
+    mutable drops : int;
+    mutable dups : int;
+    mutable delays : int;
+    mutable slowdowns : int;
+    mutable partition_drops : int;
+    mutable crashes : int;
+    drops_by_layer : (string, int ref) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      drops = 0;
+      dups = 0;
+      delays = 0;
+      slowdowns = 0;
+      partition_drops = 0;
+      crashes = 0;
+      drops_by_layer = Hashtbl.create 8;
+    }
+
+  let count_layer_drop t layer =
+    match Hashtbl.find_opt t.drops_by_layer layer with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.drops_by_layer layer (ref 1)
+
+  let total_drops t = t.drops + t.partition_drops
+
+  let to_list t =
+    let base =
+      [
+        ("drops", t.drops);
+        ("dups", t.dups);
+        ("delays", t.delays);
+        ("slowdowns", t.slowdowns);
+        ("partition-drops", t.partition_drops);
+        ("crashes", t.crashes);
+      ]
+    in
+    let per_layer =
+      Hashtbl.fold
+        (fun layer r acc -> (Printf.sprintf "drops[%s]" layer, !r) :: acc)
+        t.drops_by_layer []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.filter (fun (_, c) -> c > 0) (base @ per_layer)
+
+  let pp ppf t =
+    Format.fprintf ppf "%s"
+      (String.concat " "
+         (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) (to_list t)))
+end
+
+type t = {
+  name : string;
+  send : send_fn;
+  resources : Resource.t list;
+  faults : Fault_stats.t option;
+}
 
 let name t = t.name
 let send t engine msg ~arrive = t.send engine msg ~arrive
 let resources t = t.resources
+let fault_stats t = t.faults
+
+let make ?faults ~name ~resources send = { name; send; resources; faults }
 
 type net_params = { net_fixed : Time.t; net_per_byte : Time.t }
 
@@ -30,7 +95,7 @@ let shared_bus p =
     let done_at = Resource.reserve bus ~now:(Engine.now engine) ~service:(frame_time p msg) in
     Engine.schedule engine ~at:done_at arrive
   in
-  { name = "shared-bus"; send; resources = [ bus ] }
+  { name = "shared-bus"; send; resources = [ bus ]; faults = None }
 
 let switched p ~n =
   let uplink = Array.init n (fun i -> Resource.create (Printf.sprintf "uplink%d" i)) in
@@ -46,7 +111,7 @@ let switched p ~n =
         in
         Engine.schedule engine ~at:down_done arrive)
   in
-  { name = "switched"; send; resources = Array.to_list uplink @ Array.to_list downlink }
+  { name = "switched"; send; resources = Array.to_list uplink @ Array.to_list downlink; faults = None }
 
 let constant ?(jitter = 0.0) ~delay ~n ~seed () =
   if delay < 0.0 || jitter < 0.0 then invalid_arg "Model.constant: negative delay";
@@ -62,16 +127,27 @@ let constant ?(jitter = 0.0) ~delay ~n ~seed () =
     last.(chan) <- at;
     Engine.schedule engine ~at arrive
   in
-  { name = "constant"; send; resources = [] }
+  { name = "constant"; send; resources = []; faults = None }
 
 type action = Pass | Drop | Delay_by of Time.t
 
 let scripted ~base ~rule =
+  let stats = Fault_stats.create () in
   let send engine msg ~arrive =
     match rule msg with
     | Pass -> base.send engine msg ~arrive
-    | Drop -> ()
+    | Drop ->
+        stats.Fault_stats.drops <- stats.Fault_stats.drops + 1;
+        Fault_stats.count_layer_drop stats (Message.layer_name msg);
+        Engine.record engine msg.Message.src (Ics_sim.Trace.Net_drop msg.Message.dst)
     | Delay_by extra ->
+        stats.Fault_stats.delays <- stats.Fault_stats.delays + 1;
+        Engine.record engine msg.Message.src (Ics_sim.Trace.Net_delay msg.Message.dst);
         Engine.after engine ~delay:extra (fun () -> base.send engine msg ~arrive)
   in
-  { name = "scripted(" ^ base.name ^ ")"; send; resources = base.resources }
+  {
+    name = "scripted(" ^ base.name ^ ")";
+    send;
+    resources = base.resources;
+    faults = Some stats;
+  }

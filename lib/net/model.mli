@@ -24,6 +24,33 @@ module Resource = Ics_sim.Resource
 
 type t
 
+type send_fn = Engine.t -> Message.t -> arrive:(unit -> unit) -> unit
+
+(** Counters shared by every fault-injecting model wrapper ({!scripted}
+    here, the nemesis in [Ics_faults]), so stacks report injected faults
+    uniformly whatever produced them. *)
+module Fault_stats : sig
+  type t = {
+    mutable drops : int;  (** probabilistic/scripted losses *)
+    mutable dups : int;
+    mutable delays : int;
+    mutable slowdowns : int;  (** messages slowed by a slowdown window *)
+    mutable partition_drops : int;  (** losses due to an active partition *)
+    mutable crashes : int;  (** crashes injected by a fault plan *)
+    drops_by_layer : (string, int ref) Hashtbl.t;
+  }
+
+  val create : unit -> t
+  val count_layer_drop : t -> string -> unit
+  val total_drops : t -> int
+
+  val to_list : t -> (string * int) list
+  (** Non-zero counters as (name, count), per-layer drops as
+      ["drops[layer]"]; stable order. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val name : t -> string
 
 val send : t -> Engine.t -> Message.t -> arrive:(unit -> unit) -> unit
@@ -33,6 +60,14 @@ val send : t -> Engine.t -> Message.t -> arrive:(unit -> unit) -> unit
 
 val resources : t -> Resource.t list
 (** The model's internal resources, for utilization reports. *)
+
+val fault_stats : t -> Fault_stats.t option
+(** The model's injected-fault counters, when it is a fault-injecting
+    wrapper (or wraps one that propagates them). *)
+
+val make : ?faults:Fault_stats.t -> name:string -> resources:Resource.t list -> send_fn -> t
+(** Build a model from a raw send function — the extension point used by
+    channel adapters ({!Retransmit}) and the fault nemesis. *)
 
 (** {1 Constructors} *)
 

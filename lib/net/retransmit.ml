@@ -1,0 +1,206 @@
+module Engine = Ics_sim.Engine
+module Time = Ics_sim.Time
+module Pid = Ics_sim.Pid
+
+type params = {
+  rto : Time.t;
+  backoff : float;
+  max_rto : Time.t;
+  ack_bytes : int;
+}
+
+let default_params = { rto = 8.0; backoff = 2.0; max_rto = 128.0; ack_bytes = 8 }
+
+type stats = {
+  mutable transmissions : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable dup_suppressed : int;
+  mutable held_out_of_order : int;
+}
+
+let stats_to_list s =
+  [
+    ("transmissions", s.transmissions);
+    ("retransmits", s.retransmits);
+    ("acks", s.acks_sent);
+    ("dups-suppressed", s.dup_suppressed);
+    ("held-out-of-order", s.held_out_of_order);
+  ]
+
+type Message.payload += Ack of { upto : int }
+
+type pending = {
+  seq : int;
+  msg : Message.t;
+  deliver : unit -> unit;
+  mutable last_tx : Time.t;
+}
+
+(* One record per (src, dst, layer) connection: the sender half (go-back-N
+   window of unacked transmissions, one backoff timer) and the receiver half
+   (next expected sequence number, out-of-order hold buffer).  Keying by
+   layer mirrors a stack that opens one socket per protocol layer — and
+   keeps a blackholed layer from head-of-line-blocking the others. *)
+type chan = {
+  c_src : Pid.t;
+  c_dst : Pid.t;
+  mutable next_seq : int;
+  mutable unacked : pending list;  (* oldest first *)
+  mutable timer_armed : bool;
+  mutable cur_rto : Time.t;
+  mutable expected : int;
+  mutable held : (int * (unit -> unit)) list;
+}
+
+let wrap ?(params = default_params) base =
+  if params.rto <= 0.0 || params.backoff < 1.0 || params.max_rto < params.rto then
+    invalid_arg "Retransmit.wrap: bad params";
+  let stats =
+    {
+      transmissions = 0;
+      retransmits = 0;
+      acks_sent = 0;
+      dup_suppressed = 0;
+      held_out_of_order = 0;
+    }
+  in
+  let ack_layer = Layer.unregistered "retx-ack" in
+  let channels : (Pid.t * Pid.t * string, chan) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let chan (msg : Message.t) =
+    let key = (msg.src, msg.dst, Message.layer_name msg) in
+    match Hashtbl.find_opt channels key with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            c_src = msg.src;
+            c_dst = msg.dst;
+            next_seq = 0;
+            unacked = [];
+            timer_armed = false;
+            cur_rto = params.rto;
+            expected = 0;
+            held = [];
+          }
+        in
+        Hashtbl.add channels key c;
+        c
+  in
+  let rec transmit engine c p ~retx =
+    stats.transmissions <- stats.transmissions + 1;
+    if retx then stats.retransmits <- stats.retransmits + 1;
+    p.last_tx <- Engine.now engine;
+    Model.send base engine p.msg ~arrive:(fun () -> on_data engine c p)
+  (* Receiver side, running when the base model delivers a (possibly
+     duplicated, possibly stale) transmission at the destination NIC. *)
+  and on_data engine c p =
+    if Engine.is_alive engine c.c_dst then
+      if p.seq < c.expected then (
+        stats.dup_suppressed <- stats.dup_suppressed + 1;
+        send_ack engine c (* re-ack: the previous ack may have been lost *))
+      else if p.seq = c.expected then (
+        p.deliver ();
+        c.expected <- c.expected + 1;
+        drain_held engine c;
+        send_ack engine c)
+      else (
+        (* Out of order: hold for in-order release, ack cumulatively. *)
+        if not (List.mem_assoc p.seq c.held) then (
+          stats.held_out_of_order <- stats.held_out_of_order + 1;
+          c.held <- (p.seq, p.deliver) :: c.held);
+        send_ack engine c)
+  and drain_held engine c =
+    match List.assoc_opt c.expected c.held with
+    | None -> ()
+    | Some deliver ->
+        c.held <- List.remove_assoc c.expected c.held;
+        deliver ();
+        c.expected <- c.expected + 1;
+        drain_held engine c
+  and send_ack engine c =
+    stats.acks_sent <- stats.acks_sent + 1;
+    let upto = c.expected in
+    let ack =
+      {
+        Message.src = c.c_dst;
+        dst = c.c_src;
+        layer = ack_layer;
+        payload = Ack { upto };
+        body_bytes = params.ack_bytes;
+        sent_at = Engine.now engine;
+      }
+    in
+    Model.send base engine ack ~arrive:(fun () -> on_ack engine c ~upto)
+  and on_ack engine c ~upto =
+    let before = List.length c.unacked in
+    c.unacked <- List.filter (fun p -> p.seq >= upto) c.unacked;
+    if List.length c.unacked < before then (
+      (* Forward progress: the peer is reachable again, restart backoff. *)
+      c.cur_rto <- params.rto;
+      if c.unacked <> [] then arm engine c)
+  and arm_at engine c ~at =
+    if not c.timer_armed then begin
+      let beyond_horizon =
+        match Engine.horizon engine with
+        | Some h -> Time.compare at h > 0
+        | None -> false
+      in
+      (* Past the horizon the run is over: stop rescheduling so the queue
+         can drain.  A later ack or fresh send re-arms if needed. *)
+      if not beyond_horizon then begin
+        c.timer_armed <- true;
+        Engine.schedule engine ~at (fun () -> on_timer engine c)
+      end
+    end
+  and arm engine c =
+    (* The deadline belongs to the oldest unacked frame — newer frames must
+       not be retried early just because an older frame's timer fired. *)
+    match c.unacked with
+    | [] -> ()
+    | oldest :: _ -> arm_at engine c ~at:(Time.( + ) oldest.last_tx c.cur_rto)
+  and on_timer engine c =
+    c.timer_armed <- false;
+    match c.unacked with
+    | [] -> ()
+    | oldest :: _ ->
+        if
+          (not (Engine.is_alive engine c.c_src))
+          || not (Engine.is_alive engine c.c_dst)
+        then
+          (* Crash-stop purge: a dead endpoint will never make progress, and
+             retrying forever would keep the event queue non-empty. *)
+          c.unacked <- []
+        else begin
+          let deadline = Time.( + ) oldest.last_tx c.cur_rto in
+          if Time.compare (Engine.now engine) deadline < 0 then
+            (* An ack made progress since this timer was set; the oldest
+               frame's deadline is still in the future. *)
+            arm_at engine c ~at:deadline
+          else begin
+            (* Go-back-N: resend the whole window, back off exponentially. *)
+            List.iter (fun p -> transmit engine c p ~retx:true) c.unacked;
+            c.cur_rto <- Float.min (c.cur_rto *. params.backoff) params.max_rto;
+            arm engine c
+          end
+        end
+  in
+  let send engine msg ~arrive =
+    let c = chan msg in
+    let p =
+      { seq = c.next_seq; msg; deliver = arrive; last_tx = Engine.now engine }
+    in
+    c.next_seq <- c.next_seq + 1;
+    c.unacked <- c.unacked @ [ p ];
+    transmit engine c p ~retx:false;
+    arm engine c
+  in
+  let model =
+    Model.make
+      ?faults:(Model.fault_stats base)
+      ~name:("retransmit(" ^ Model.name base ^ ")")
+      ~resources:(Model.resources base) send
+  in
+  (model, stats)

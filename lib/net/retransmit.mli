@@ -1,0 +1,56 @@
+(** Quasi-reliable channel adapter over a fair-lossy network model.
+
+    The paper (and every layer in this repo above the network model)
+    assumes {e quasi-reliable} channels: if correct process [p] sends [m]
+    to correct process [q], then [q] eventually receives [m], and FIFO
+    order per channel is preserved.  A {e fair-lossy} link only promises
+    that a message retransmitted infinitely often is eventually received.
+    [Retransmit.wrap] closes that gap the way real stacks do — per-channel
+    sequence numbers, cumulative acknowledgements, and timeout-driven
+    go-back-N retransmission with exponential backoff — so Rb_flood, Urb
+    and both consensus algorithms run unmodified over the lossy models
+    produced by [Ics_faults.Nemesis].
+
+    Retransmission timers consult {!Engine.horizon} and stop rescheduling
+    past it, and purge their window when either endpoint has crashed
+    (crash-stop), so wrapped runs still quiesce. *)
+
+module Engine = Ics_sim.Engine
+module Time = Ics_sim.Time
+
+type params = {
+  rto : Time.t;  (** initial retransmission timeout *)
+  backoff : float;  (** multiplicative backoff factor, >= 1 *)
+  max_rto : Time.t;  (** backoff cap *)
+  ack_bytes : int;  (** body size of an acknowledgement frame *)
+}
+
+val default_params : params
+(** rto = 8 ms, backoff ×2 capped at 128 ms, 8-byte acks. *)
+
+type stats = {
+  mutable transmissions : int;  (** every frame given to the base model *)
+  mutable retransmits : int;  (** subset of transmissions that were retries *)
+  mutable acks_sent : int;
+  mutable dup_suppressed : int;  (** stale frames discarded at the receiver *)
+  mutable held_out_of_order : int;  (** frames buffered for in-order release *)
+}
+
+val stats_to_list : stats -> (string * int) list
+
+type Message.payload += Ack of { upto : int }
+(** Cumulative acknowledgement: every sequence number [< upto] on this
+    channel has been received.  Travels on the unregistered ["retx-ack"]
+    layer through the base model (and is itself subject to its losses). *)
+
+val wrap : ?params:params -> Model.t -> Model.t * stats
+(** [wrap base] builds a model that sequences every message per
+    (src, dst, layer) connection — one logical socket per protocol layer,
+    as a layered stack would open — delivers in order exactly once at the
+    receiver, and retransmits unacknowledged messages until acked or an
+    endpoint crashes.  Per-layer keying means a layer whose traffic is
+    entirely suppressed cannot head-of-line-block other layers of the same
+    process pair.  The base model's {!Model.fault_stats} (when it is a
+    lossy nemesis or scripted wrapper) are propagated to the wrapped model.
+    @raise Invalid_argument on non-positive [rto], [backoff < 1], or
+    [max_rto < rto]. *)

@@ -5,6 +5,7 @@ type t = {
   queue : Event_queue.t;
   mutable now : Time.t;
   mutable stopped : bool;
+  mutable horizon : Time.t option;
   mutable executed : int;
   alive : bool array;
   trace : Trace.t;
@@ -22,6 +23,7 @@ let create ?(seed = 1L) ?(trace = `On) ~n () =
     queue = Event_queue.create ();
     now = Time.zero;
     stopped = false;
+    horizon = None;
     executed = 0;
     alive = Array.make n true;
     trace = Trace.create ();
@@ -57,6 +59,10 @@ let step t =
 
 let run ?until ?max_events t =
   t.stopped <- false;
+  (* The horizon persists across later horizon-less runs, so self-rearming
+     timers (heartbeats, retransmission) know when to stop and a draining
+     [run t] after a [run ~until] terminates. *)
+  (match until with Some h -> t.horizon <- Some h | None -> ());
   let budget = match max_events with None -> max_int | Some m -> m in
   let executed = ref 0 in
   (match until with
@@ -87,6 +93,7 @@ let run ?until ?max_events t =
 
 let pending t = Event_queue.size t.queue
 let stop t = t.stopped <- true
+let horizon t = t.horizon
 
 let is_alive t p = t.alive.(p)
 

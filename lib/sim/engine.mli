@@ -39,7 +39,18 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Execute pending events in timestamp order until the queue is empty, the
     optional horizon [until] is passed (events strictly later than [until]
     stay queued and [now] advances to [until]), [max_events] have run, or
-    {!stop} is called. *)
+    {!stop} is called.
+
+    Passing [until] also records it as the engine's {!horizon}; a later
+    [run] without [until] keeps the previous horizon (so it can drain
+    leftovers and return), while a new [until] replaces it. *)
+
+val horizon : t -> Time.t option
+(** The most recent [until] passed to {!run}, if any.  Self-rearming timer
+    loops (heartbeat failure detectors, retransmission channels) consult it
+    to stop rescheduling once their next firing would fall beyond it —
+    without this, such loops keep the event queue non-empty forever and a
+    horizon-less {!run} never returns. *)
 
 val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)

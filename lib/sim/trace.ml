@@ -10,6 +10,11 @@ type kind =
   | Decide of int * Msg_id.t list
   | Suspect of Pid.t
   | Trust of Pid.t
+  | Net_drop of Pid.t
+  | Net_dup of Pid.t
+  | Net_delay of Pid.t
+  | Partition_start of string
+  | Partition_heal of string
   | Note of string
 
 type event = { time : Time.t; pid : Pid.t; kind : kind }
@@ -72,6 +77,11 @@ let pp_kind ppf = function
   | Decide (k, ids) -> Format.fprintf ppf "decide(#%d, %a)" k pp_ids ids
   | Suspect q -> Format.fprintf ppf "suspect(%a)" Pid.pp q
   | Trust q -> Format.fprintf ppf "trust(%a)" Pid.pp q
+  | Net_drop q -> Format.fprintf ppf "net-drop(->%a)" Pid.pp q
+  | Net_dup q -> Format.fprintf ppf "net-dup(->%a)" Pid.pp q
+  | Net_delay q -> Format.fprintf ppf "net-delay(->%a)" Pid.pp q
+  | Partition_start s -> Format.fprintf ppf "partition-start(%s)" s
+  | Partition_heal s -> Format.fprintf ppf "partition-heal(%s)" s
   | Note s -> Format.fprintf ppf "note(%s)" s
 
 let pp_event ppf e =

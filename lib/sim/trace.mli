@@ -19,6 +19,12 @@ type kind =
   | Decide of int * Msg_id.t list  (** consensus instance, decided id set *)
   | Suspect of Pid.t  (** failure detector starts suspecting [pid] *)
   | Trust of Pid.t  (** failure detector stops suspecting [pid] *)
+  | Net_drop of Pid.t
+      (** fault injection lost a message from this process to [pid] *)
+  | Net_dup of Pid.t  (** fault injection duplicated a message to [pid] *)
+  | Net_delay of Pid.t  (** fault injection delayed a message to [pid] *)
+  | Partition_start of string  (** a partition/isolation window opened *)
+  | Partition_heal of string  (** the window closed; links flow again *)
   | Note of string  (** free-form, for debugging only *)
 
 type event = { time : Time.t; pid : Pid.t; kind : kind }

@@ -1,0 +1,329 @@
+module Engine = Ics_sim.Engine
+module Time = Ics_sim.Time
+module Pid = Ics_sim.Pid
+module Rng = Ics_prelude.Rng
+module Table = Ics_prelude.Table
+module Model = Ics_net.Model
+module Retransmit = Ics_net.Retransmit
+module Host = Ics_net.Host
+module Nemesis = Ics_faults.Nemesis
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Checker = Ics_checker.Checker
+
+type stack_kind = Ct_indirect | Mr_indirect | Ct_on_ids
+
+let stack_name = function
+  | Ct_indirect -> "ct-indirect"
+  | Mr_indirect -> "mr-indirect"
+  | Ct_on_ids -> "ct-on-ids"
+
+let stack_of_string = function
+  | "ct-indirect" -> Some Ct_indirect
+  | "mr-indirect" -> Some Mr_indirect
+  | "ct-on-ids" -> Some Ct_on_ids
+  | _ -> None
+
+let all_stacks = [ Ct_indirect; Mr_indirect; Ct_on_ids ]
+
+(* MR's two-thirds quorums need n = 5 to tolerate one crash; CT's majority
+   quorums are happy at n = 3. *)
+let default_n = function Ct_indirect | Ct_on_ids -> 3 | Mr_indirect -> 5
+
+type plan_kind = Drop | Dup | Reorder | Partition | Storm | Blackout | Mixed
+
+let plan_name = function
+  | Drop -> "drop"
+  | Dup -> "dup"
+  | Reorder -> "reorder"
+  | Partition -> "partition"
+  | Storm -> "storm"
+  | Blackout -> "blackout"
+  | Mixed -> "mixed"
+
+let plan_of_string = function
+  | "drop" -> Some Drop
+  | "dup" -> Some Dup
+  | "reorder" -> Some Reorder
+  | "partition" -> Some Partition
+  | "storm" -> Some Storm
+  | "blackout" -> Some Blackout
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let all_plans = [ Drop; Dup; Reorder; Partition; Storm; Blackout; Mixed ]
+
+(* Plan generation is a pure function of (kind, n, seed): the chaos CLI can
+   replay a failure from nothing but the printed seed. *)
+let gen_plan kind ~n ~seed =
+  let rng = Rng.create (Int64.logxor seed 0x6b656d657369734cL) in
+  let any = Nemesis.any_link in
+  let always = Nemesis.always in
+  match kind with
+  | Drop ->
+      [ Nemesis.Drop { link = any; prob = 0.05 +. Rng.float rng 0.20; window = always } ]
+  | Dup ->
+      [ Nemesis.Duplicate { link = any; prob = 0.10 +. Rng.float rng 0.20; window = always } ]
+  | Reorder ->
+      [
+        Nemesis.Delay
+          {
+            link = any;
+            prob = 0.20 +. Rng.float rng 0.20;
+            max_extra = 2.0 +. Rng.float rng 8.0;
+            window = always;
+          };
+      ]
+  | Partition ->
+      let pids = Array.init n (fun i -> i) in
+      Rng.shuffle rng pids;
+      let k = 1 + Rng.int rng (n - 1) in
+      let pids = Array.to_list pids in
+      let left = List.filteri (fun i _ -> i < k) pids in
+      let right = List.filteri (fun i _ -> i >= k) pids in
+      let from_t = 5.0 +. Rng.float rng 15.0 in
+      let until_t = from_t +. 15.0 +. Rng.float rng 25.0 in
+      [
+        Nemesis.Partition
+          { groups = [ left; right ]; window = Nemesis.window ~from_t ~until_t };
+      ]
+  | Storm ->
+      let victim = Rng.int rng n in
+      [
+        Nemesis.Crash { pid = victim; at = 10.0 +. Rng.float rng 20.0 };
+        Nemesis.Drop { link = any; prob = 0.10; window = always };
+      ]
+  | Blackout ->
+      (* §2.2 as a fault plan: the first origin's reliable-broadcast
+         payloads never reach the wire (consensus traffic flows), and the
+         origin crashes once consensus has had time to order the id.
+         Retransmission cannot help — every retry is also dropped. *)
+      [
+        Nemesis.Drop
+          {
+            link = { l_src = Some 0; l_dst = None; l_layer = Some "rb" };
+            prob = 1.0;
+            window = always;
+          };
+        Nemesis.Crash { pid = 0; at = 10.0 };
+      ]
+  | Mixed ->
+      let from_t = 8.0 +. Rng.float rng 10.0 in
+      [
+        Nemesis.Drop { link = any; prob = 0.05; window = always };
+        Nemesis.Duplicate { link = any; prob = 0.05; window = always };
+        Nemesis.Delay
+          { link = any; prob = 0.15; max_extra = 5.0; window = always };
+        Nemesis.Partition
+          {
+            groups = [ [ 0 ]; List.init (n - 1) (fun i -> i + 1) ];
+            window = Nemesis.window ~from_t ~until_t:(from_t +. 12.0);
+          };
+      ]
+
+type result = {
+  stack : stack_kind;
+  plan_kind : plan_kind;
+  n : int;
+  seed : int64;
+  retransmit : bool;
+  plan : Nemesis.plan;
+  verdict : Checker.verdict;
+  quiescent : bool;
+  delivered : int;
+  blocked : int;
+  faults : (string * int) list;
+  retx : (string * int) list;
+  fingerprint : string;
+}
+
+let passed r = Checker.ok r.verdict && r.quiescent
+
+let horizon = 5_000.0
+let messages = 10
+
+let run_one ?(retransmit = true) ?n stack plan_kind ~seed =
+  let n = match n with Some n -> n | None -> default_n stack in
+  let plan = gen_plan plan_kind ~n ~seed in
+  let engine = Engine.create ~seed ~trace:`On ~n () in
+  let base =
+    Model.constant ~delay:1.0 ~n ~seed:(Int64.add seed 7919L) ()
+  in
+  let lossy, fstats =
+    Nemesis.apply ~engine ~seed:(Int64.add seed 0x5DEECE66DL) ~plan ~base ()
+  in
+  let model, rstats =
+    if retransmit then
+      let m, s = Retransmit.wrap lossy in
+      (m, Some s)
+    else (lossy, None)
+  in
+  let algo, ordering =
+    match stack with
+    | Ct_indirect -> (Stack.Ct, Abcast.Indirect_consensus)
+    | Mr_indirect -> (Stack.Mr, Abcast.Indirect_consensus)
+    | Ct_on_ids -> (Stack.Ct, Abcast.Consensus_on_ids)
+  in
+  let config =
+    {
+      Stack.default_config with
+      n;
+      seed;
+      algo;
+      ordering;
+      setup =
+        Stack.Custom
+          { name = "chaos"; build = (fun ~n:_ -> (model, Host.instant)) };
+      fd_kind = Stack.Oracle 10.0;
+      trace = `On;
+    }
+  in
+  let stack_t = Stack.create ~engine config in
+  (* Deterministic workload: [messages] abroadcasts, origin 0 first (the
+     blackout victim must originate), then round-robin at seeded spacing. *)
+  let wrng = Rng.create (Int64.add seed 104729L) in
+  let at = ref 1.0 in
+  for i = 0 to messages - 1 do
+    let t = !at in
+    Engine.schedule engine ~at:t (fun () ->
+        ignore (Stack.abroadcast stack_t ~src:(i mod n) ~body_bytes:32));
+    at := t +. 2.0 +. Rng.float wrng 4.0
+  done;
+  Stack.run ~until:horizon stack_t;
+  let quiescent = Engine.pending engine = 0 in
+  let trace = Engine.trace engine in
+  let run = Checker.Run.of_trace trace ~n in
+  let verdict = Checker.check_all_abcast run in
+  let correct = Checker.Run.correct run in
+  let delivered =
+    List.fold_left
+      (fun acc p ->
+        acc + List.length (Abcast.delivered_sequence stack_t.Stack.abcast p))
+      0 correct
+  in
+  let blocked =
+    List.length
+      (List.filter
+         (fun p -> Abcast.blocked_head stack_t.Stack.abcast p <> None)
+         correct)
+  in
+  let fingerprint =
+    Digest.to_hex (Digest.string (Format.asprintf "%a" Ics_sim.Trace.pp trace))
+  in
+  {
+    stack;
+    plan_kind;
+    n;
+    seed;
+    retransmit;
+    plan;
+    verdict;
+    quiescent;
+    delivered;
+    blocked;
+    faults = Model.Fault_stats.to_list fstats;
+    retx =
+      (match rstats with Some s -> Retransmit.stats_to_list s | None -> []);
+    fingerprint;
+  }
+
+let replay_hint r =
+  Printf.sprintf
+    "ics_cli chaos --stacks %s --plans %s --seeds 1 --seed-base %Ld%s%s"
+    (stack_name r.stack) (plan_name r.plan_kind) r.seed
+    (if r.retransmit then "" else " --no-retransmit")
+    (if r.n <> default_n r.stack then Printf.sprintf " --n %d" r.n else "")
+
+type cell = {
+  c_stack : stack_kind;
+  c_plan : plan_kind;
+  runs : int;
+  failures : result list;  (** chronological; empty for a clean cell *)
+}
+
+let sweep ?(retransmit = true) ?n ?(seed_base = 1L) ?(seeds = 100)
+    ?(progress = fun _ -> ()) ~stacks ~plans () =
+  List.concat_map
+    (fun stack ->
+      List.map
+        (fun plan_kind ->
+          let failures = ref [] in
+          for i = 0 to seeds - 1 do
+            let seed = Int64.add seed_base (Int64.of_int i) in
+            let r = run_one ?n ~retransmit stack plan_kind ~seed in
+            if not (passed r) then failures := r :: !failures
+          done;
+          progress
+            (Printf.sprintf "%s/%s: %d/%d pass" (stack_name stack)
+               (plan_name plan_kind)
+               (seeds - List.length !failures)
+               seeds);
+          {
+            c_stack = stack;
+            c_plan = plan_kind;
+            runs = seeds;
+            failures = List.rev !failures;
+          })
+        plans)
+    stacks
+
+let matrix_table cells =
+  let stacks =
+    List.sort_uniq compare (List.map (fun c -> c.c_stack) cells)
+  in
+  let plans = List.sort_uniq compare (List.map (fun c -> c.c_plan) cells) in
+  let table =
+    Table.create ~title:"chaos sweep (pass/runs)"
+      ~columns:("plan" :: List.map stack_name stacks)
+  in
+  List.iter
+    (fun plan ->
+      let row =
+        List.map
+          (fun stack ->
+            match
+              List.find_opt
+                (fun c -> c.c_stack = stack && c.c_plan = plan)
+                cells
+            with
+            | None -> "-"
+            | Some c ->
+                let pass = c.runs - List.length c.failures in
+                if c.failures = [] then Printf.sprintf "%d/%d" pass c.runs
+                else Printf.sprintf "%d/%d FAIL" pass c.runs)
+          stacks
+      in
+      Table.add_row table (plan_name plan :: row))
+    plans;
+  table
+
+let pp_failure ppf r =
+  Format.fprintf ppf "%s x %s seed=%Ld%s@," (stack_name r.stack)
+    (plan_name r.plan_kind) r.seed
+    (if r.quiescent then "" else " (not quiescent)");
+  Format.fprintf ppf "  plan: %a@," Nemesis.pp_plan r.plan;
+  List.iter
+    (fun v -> Format.fprintf ppf "  %a@," Checker.pp_violation v)
+    r.verdict.Checker.violations;
+  Format.fprintf ppf "  replay: %s@," (replay_hint r)
+
+let report ?(verbose = false) ppf cells =
+  Format.fprintf ppf "%a" Table.pp (matrix_table cells);
+  let failing = List.filter (fun c -> c.failures <> []) cells in
+  List.iter
+    (fun c ->
+      let shown = if verbose then c.failures else [ List.hd c.failures ] in
+      Format.fprintf ppf "@,@[<v>%a@]" (Format.pp_print_list pp_failure) shown;
+      if (not verbose) && List.length c.failures > 1 then
+        Format.fprintf ppf "  (+%d more failing seeds in this cell)@,"
+          (List.length c.failures - 1))
+    failing;
+  Format.fprintf ppf "@."
+
+(* The sweep's exit criterion: the correct (indirect) stacks must be clean
+   everywhere; the known-faulty on-ids stack is expected to fail (that
+   failing is the point — §2.2 reproduced by fault injection). *)
+let indirect_clean cells =
+  List.for_all
+    (fun c -> c.c_stack = Ct_on_ids || c.failures = [])
+    cells

@@ -1,0 +1,102 @@
+(** Seeded chaos sweep: protocol stacks × fault plans × seeds.
+
+    Each run builds a full stack over a nemesis-faulted network (optionally
+    healed by {!Ics_net.Retransmit}), injects a small deterministic
+    workload, runs to quiescence and validates the trace with
+    {!Checker.check_all_abcast}.  Everything — fault plan, fault decisions,
+    workload timing — is a pure function of the run's seed, so any failure
+    the sweep prints is replayable bit-identically from the seed alone
+    ({!run_one} with equal arguments gives an equal {!result.fingerprint}).
+
+    The sweep's purpose is asymmetric: the indirect-consensus stacks must
+    stay clean under every plan, while the known-faulty consensus-on-ids
+    stack is expected to produce violations (the [blackout] plan is §2.2 of
+    the paper expressed as a fault plan). *)
+
+module Time = Ics_sim.Time
+module Nemesis = Ics_faults.Nemesis
+module Checker = Ics_checker.Checker
+
+type stack_kind =
+  | Ct_indirect  (** Chandra–Toueg, indirect consensus, n = 3 *)
+  | Mr_indirect  (** Mostéfaoui–Raynal, indirect consensus, n = 5 *)
+  | Ct_on_ids  (** the faulty legacy stack (consensus on bare ids), n = 3 *)
+
+val stack_name : stack_kind -> string
+val stack_of_string : string -> stack_kind option
+val all_stacks : stack_kind list
+val default_n : stack_kind -> int
+
+type plan_kind =
+  | Drop  (** uniform per-message loss, p ∈ [0.05, 0.25) *)
+  | Dup  (** per-message duplication, p ∈ [0.10, 0.30) *)
+  | Reorder  (** random extra delay, so later messages overtake *)
+  | Partition  (** random two-group split, healed after 15–40 ms *)
+  | Storm  (** one random crash plus background loss *)
+  | Blackout
+      (** §2.2: origin 0's rb payloads suppressed entirely, origin crashes
+          at t = 10 ms — undetectable by retransmission *)
+  | Mixed  (** mild drop + dup + delay + brief isolation of p0 *)
+
+val plan_name : plan_kind -> string
+val plan_of_string : string -> plan_kind option
+val all_plans : plan_kind list
+
+val gen_plan : plan_kind -> n:int -> seed:int64 -> Nemesis.plan
+(** Deterministic in (kind, n, seed) — the replay contract. *)
+
+type result = {
+  stack : stack_kind;
+  plan_kind : plan_kind;
+  n : int;
+  seed : int64;
+  retransmit : bool;
+  plan : Nemesis.plan;
+  verdict : Checker.verdict;
+  quiescent : bool;  (** did the event queue drain before the horizon *)
+  delivered : int;  (** adeliveries summed over correct processes *)
+  blocked : int;  (** correct processes stuck on an undeliverable head *)
+  faults : (string * int) list;  (** nemesis counters, {!Stack.fault_counters} format *)
+  retx : (string * int) list;  (** retransmission-channel counters; [[]] without it *)
+  fingerprint : string;  (** digest of the rendered trace — replay witness *)
+}
+
+val passed : result -> bool
+(** Clean verdict and quiescent. *)
+
+val run_one :
+  ?retransmit:bool -> ?n:int -> stack_kind -> plan_kind -> seed:int64 -> result
+(** One run.  [retransmit] (default true) layers {!Ics_net.Retransmit.wrap}
+    over the nemesis model; [n] defaults per stack ({!default_n}). *)
+
+val replay_hint : result -> string
+(** The exact CLI invocation that reproduces this run. *)
+
+type cell = {
+  c_stack : stack_kind;
+  c_plan : plan_kind;
+  runs : int;
+  failures : result list;  (** chronological; empty for a clean cell *)
+}
+
+val sweep :
+  ?retransmit:bool ->
+  ?n:int ->
+  ?seed_base:int64 ->
+  ?seeds:int ->
+  ?progress:(string -> unit) ->
+  stacks:stack_kind list ->
+  plans:plan_kind list ->
+  unit ->
+  cell list
+(** Run [seeds] seeds ([seed_base + i]) for every stack × plan pair. *)
+
+val matrix_table : cell list -> Ics_prelude.Table.t
+val report : ?verbose:bool -> Format.formatter -> cell list -> unit
+(** The pass/fail matrix, then per failing cell the failing plan, seed,
+    violations and replay command (first failure only unless [verbose]). *)
+
+val indirect_clean : cell list -> bool
+(** True when every indirect-stack cell is failure-free — the sweep's
+    pass/fail exit criterion ([Ct_on_ids] cells are allowed, and expected,
+    to fail). *)

@@ -106,6 +106,30 @@ let test_heartbeat_validation () =
     (Invalid_argument "Failure_detector.heartbeat: timeout <= period") (fun () ->
       ignore (Fd.heartbeat tr ~period:10.0 ~timeout:10.0))
 
+let test_heartbeat_quiesces_at_horizon () =
+  (* The heartbeat loop is self-rearming; without the horizon check it
+     keeps the queue non-empty forever and this second, horizon-less
+     [run] would never return. *)
+  let e, tr = mk_transport 3 in
+  ignore (Fd.heartbeat tr ~period:10.0 ~timeout:50.0);
+  Engine.run ~until:400.0 e;
+  (* Frames emitted right at the horizon may still be in flight; what must
+     NOT remain is a self-rearming timer.  The horizon-less run drains the
+     in-flight leftovers and returns — with the rescheduling bug it would
+     never terminate. *)
+  checkb "only in-flight frames remain" true (Engine.pending e <= 6);
+  Engine.run e;
+  checki "queue fully drained" 0 (Engine.pending e)
+
+let test_heartbeat_stop_quiesces_without_horizon () =
+  let e, tr = mk_transport 2 in
+  let fd = Fd.heartbeat tr ~period:10.0 ~timeout:50.0 in
+  Engine.schedule e ~at:55.0 (fun () -> Fd.stop fd);
+  (* No horizon at all: only [stop] lets this run terminate. *)
+  Engine.run e;
+  checki "queue drained after stop" 0 (Engine.pending e);
+  checkb "clock stopped shortly after stop" true (Engine.now e < 200.0)
+
 let test_manual_control () =
   let e = Engine.create ~n:3 () in
   let ctl = Fd.manual e in
@@ -145,6 +169,10 @@ let suites =
         Alcotest.test_case "heartbeat trust restored" `Quick test_heartbeat_trust_restored;
         Alcotest.test_case "heartbeat traces" `Quick test_heartbeat_records_trace;
         Alcotest.test_case "heartbeat validation" `Quick test_heartbeat_validation;
+        Alcotest.test_case "heartbeat quiesces at horizon" `Quick
+          test_heartbeat_quiesces_at_horizon;
+        Alcotest.test_case "heartbeat stop quiesces" `Quick
+          test_heartbeat_stop_quiesces_without_horizon;
         Alcotest.test_case "manual control" `Quick test_manual_control;
         Alcotest.test_case "manual suspect everywhere" `Quick test_manual_suspect_everywhere;
       ] );

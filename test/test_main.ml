@@ -10,6 +10,7 @@ let () =
          Test_event_queue.suites;
          Test_net.suites;
          Test_fd.suites;
+         Test_faults.suites;
          Test_broadcast.suites;
          Test_ordered_broadcast.suites;
          Test_consensus.suites;
