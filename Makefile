@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke verify clean
+.PHONY: all build test bench perf chaos chaos-smoke cluster-smoke verify clean
 
 all: build
 
@@ -25,7 +25,15 @@ chaos:
 chaos-smoke:
 	dune exec bin/ics_cli.exe -- chaos --seeds 5
 
-verify: build test perf chaos-smoke
+# Live 3-node loopback cluster, checker-verified (exit 2 = sandbox has no
+# sockets, which is a skip, not a failure).
+cluster-smoke:
+	dune exec bin/ics_cli.exe -- cluster -n 3 --algo ct --broadcast flood --count 10 --timeout 20; \
+	rc=$$?; \
+	if [ $$rc -eq 2 ]; then echo "cluster-smoke: skipped (no loopback sockets)"; \
+	elif [ $$rc -ne 0 ]; then exit $$rc; fi
+
+verify: build test perf chaos-smoke cluster-smoke
 
 clean:
 	dune clean

@@ -10,8 +10,8 @@
      dune exec bench/main.exe -- quick   # quarter-length simulation sweeps
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
-                                         # faults, claims, micro, perf
-                                         # (combinable)
+                                         # faults, claims, micro, wire,
+                                         # perf (combinable)
 
    The perf section measures real wall-clock time and allocation on a fixed
    deterministic workload and writes the numbers to BENCH_PR1.json. *)
@@ -506,6 +506,151 @@ let run_perf ~quick =
   close_out oc;
   Format.printf "wrote BENCH_PR1.json@."
 
+(* --- Wire: codec throughput + live loopback clusters --------------------- *)
+
+module Codec = Ics_codec.Codec
+module Codecs = Ics_core.Codecs
+module Node = Ics_runtime.Node
+module Cluster = Ics_runtime.Cluster
+
+let run_wire ~quick =
+  section "Wire: codec throughput and live loopback clusters";
+  Codecs.ensure ();
+  (* Codec throughput on the two hot payload shapes: a full application
+     message riding the rb layer, and a consensus estimate carrying a
+     16-id proposal. *)
+  (* Constructors stay private to their layers; draw representative
+     payloads from each layer's registered fuzz generator. *)
+  let payload_of name =
+    let rng = Ics_prelude.Rng.create 7L in
+    match
+      List.find_opt (fun (e : Codec.entry) -> e.Codec.name = name) (Codec.entries ())
+    with
+    | Some e -> e.Codec.gen rng
+    | None -> Fmt.failwith "no codec named %s" name
+  in
+  let app = payload_of "rb.data" in
+  let est = payload_of "ct.est" in
+  let codec_cell name payload =
+    let iters = if quick then 50_000 else 200_000 in
+    let w = Buffer.create 256 in
+    (* encode *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Buffer.clear w;
+      Codec.encode_payload w payload
+    done;
+    let enc_s = Unix.gettimeofday () -. t0 in
+    let bytes = Buffer.contents w in
+    (* decode *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Codec.decode_payload (Ics_codec.Prim.reader bytes))
+    done;
+    let dec_s = Unix.gettimeofday () -. t0 in
+    let mbps s = float_of_int (iters * String.length bytes) /. s /. 1e6 in
+    ( name,
+      String.length bytes,
+      float_of_int iters /. enc_s,
+      mbps enc_s,
+      float_of_int iters /. dec_s,
+      mbps dec_s )
+  in
+  let codec_rows = [ codec_cell "rb.data" app; codec_cell "ct.est" est ] in
+  let table =
+    Table.create ~title:"codec throughput (single core)"
+      ~columns:[ "payload"; "bytes"; "enc[Mop/s]"; "enc[MB/s]"; "dec[Mop/s]"; "dec[MB/s]" ]
+  in
+  List.iter
+    (fun (name, bytes, enc_ops, enc_mb, dec_ops, dec_mb) ->
+      Table.add_row table
+        [
+          name;
+          string_of_int bytes;
+          Printf.sprintf "%.2f" (enc_ops /. 1e6);
+          Printf.sprintf "%.0f" enc_mb;
+          Printf.sprintf "%.2f" (dec_ops /. 1e6);
+          Printf.sprintf "%.0f" dec_mb;
+        ])
+    codec_rows;
+  Table.print table;
+  (* Live loopback clusters: real processes, real TCP, checker-verified. *)
+  let live_rows =
+    if not (Cluster.supported ()) then begin
+      Format.printf "live clusters skipped: no loopback sockets here@.";
+      []
+    end
+    else
+      List.filter_map
+        (fun n ->
+          let count = if quick then 20 else 50 in
+          let node =
+            {
+              Node.default_workload with
+              Node.n;
+              count;
+              gap_ms = 2.0;
+              deadline_ms = 30_000.0;
+            }
+          in
+          match Cluster.run { Cluster.default with Cluster.node } with
+          | Error e ->
+              Format.printf "n=%d: skipped (%s)@." n e;
+              None
+          | Ok o ->
+              let ok = Cluster.ok o in
+              let mean, p95 =
+                match o.Cluster.latency with
+                | Some l -> (l.Cluster.mean_ms, l.Cluster.p95_ms)
+                | None -> (Float.nan, Float.nan)
+              in
+              Some (n, count, ok, mean, p95, o.Cluster.throughput_msg_s))
+        [ 3; 5; 7 ]
+  in
+  if live_rows <> [] then begin
+    let table =
+      Table.create
+        ~title:"live loopback abcast (ct, indirect, flood; every node broadcasts)"
+        ~columns:[ "n"; "msgs/node"; "checker"; "mean[ms]"; "p95[ms]"; "tput[msg/s]" ]
+    in
+    List.iter
+      (fun (n, count, ok, mean, p95, tput) ->
+        Table.add_row table
+          [
+            string_of_int n;
+            string_of_int count;
+            (if ok then "ok" else "FAIL");
+            Printf.sprintf "%.2f" mean;
+            Printf.sprintf "%.2f" p95;
+            Printf.sprintf "%.0f" tput;
+          ])
+      live_rows;
+    Table.print table
+  end;
+  let oc = open_out "BENCH_PR3.json" in
+  let codec_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, bytes, enc_ops, enc_mb, dec_ops, dec_mb) ->
+           Printf.sprintf
+             {|    {"payload": %S, "bytes": %d, "enc_ops_s": %.0f, "enc_mb_s": %.1f, "dec_ops_s": %.0f, "dec_mb_s": %.1f}|}
+             name bytes enc_ops enc_mb dec_ops dec_mb)
+         codec_rows)
+  in
+  let live_json =
+    String.concat ",\n"
+      (List.map
+         (fun (n, count, ok, mean, p95, tput) ->
+           Printf.sprintf
+             {|    {"n": %d, "msgs_per_node": %d, "checker_ok": %b, "latency_mean_ms": %.3f, "latency_p95_ms": %.3f, "throughput_msg_s": %.0f}|}
+             n count ok mean p95 tput)
+         live_rows)
+  in
+  Printf.fprintf oc "{\n  \"codec\": [\n%s\n  ],\n  \"live_loopback\": [\n%s\n  ]\n}\n"
+    codec_json live_json;
+  close_out oc;
+  Format.printf "wrote BENCH_PR3.json@."
+
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
 
 let micro_tests () =
@@ -594,5 +739,6 @@ let () =
   if want "faults" then run_faults ~quick;
   if want "claims" then run_claims ~quick;
   if want "micro" then run_micro ();
+  if want "wire" then run_wire ~quick;
   if want "perf" then run_perf ~quick;
   Format.printf "@.done.@."

@@ -319,6 +319,237 @@ let chaos_cmd =
       const exec $ seeds $ seed_base $ n $ stacks $ plans $ no_retransmit
       $ verbose)
 
+(* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
+   the merged delivery logs; `node` runs a single process of one (for
+   driving a cluster by hand across terminals). *)
+
+module Node = Ics_runtime.Node
+module Cluster = Ics_runtime.Cluster
+
+let node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout timeout =
+  {
+    Node.default_workload with
+    Node.n;
+    algo;
+    ordering;
+    broadcast;
+    count;
+    body_bytes = size;
+    gap_ms = gap;
+    warmup_ms = warmup;
+    hb_period_ms = hb_period;
+    hb_timeout_ms = hb_timeout;
+    deadline_ms = timeout *. 1000.0;
+  }
+
+let workload_args =
+  let count =
+    Arg.(value & opt int 20 & info [ "count" ] ~doc:"A-broadcasts per node.")
+  in
+  let size = Arg.(value & opt int 128 & info [ "size" ] ~doc:"Payload bytes.") in
+  let gap =
+    Arg.(value & opt float 5.0 & info [ "gap" ] ~doc:"Milliseconds between a node's A-broadcasts.")
+  in
+  let warmup =
+    Arg.(value & opt float 150.0 & info [ "warmup" ] ~doc:"Milliseconds before the first A-broadcast.")
+  in
+  let hb_period =
+    Arg.(value & opt float 25.0 & info [ "hb-period" ] ~doc:"Heartbeat period, ms.")
+  in
+  let hb_timeout =
+    Arg.(value & opt float 120.0 & info [ "hb-timeout" ] ~doc:"Heartbeat suspicion timeout, ms.")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0 & info [ "timeout" ] ~doc:"Hard deadline, seconds.")
+  in
+  (count, size, gap, warmup, hb_period, hb_timeout, timeout)
+
+let pp_latency ppf (l : Cluster.latency) =
+  Format.fprintf ppf "mean=%.2f ms p95=%.2f ms max=%.2f ms (%d samples)" l.Cluster.mean_ms
+    l.Cluster.p95_ms l.Cluster.max_ms l.Cluster.samples
+
+let cluster_cmd =
+  let exec n algo ordering broadcast count size gap warmup hb_period hb_timeout timeout
+      keep_dir =
+    let config =
+      {
+        Cluster.default with
+        Cluster.node =
+          node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout
+            timeout;
+        keep_dir;
+      }
+    in
+    match Cluster.run config with
+    | Error reason ->
+        Format.eprintf "cluster: skip: %s@." reason;
+        exit 2
+    | Ok o ->
+        Format.printf "cluster: n=%d, %d msgs/node, %d B payloads over loopback TCP@." n
+          count size;
+        Array.iteri
+          (fun i d ->
+            Format.printf "  node %d: %d/%d adelivered, exit %d@." i d
+              o.Cluster.expected_per_node o.Cluster.exits.(i))
+          o.Cluster.delivered_per_node;
+        (match o.Cluster.latency with
+        | Some l -> Format.printf "latency: %a@." pp_latency l
+        | None -> ());
+        Format.printf "throughput: %.0f msg/s over %.1f ms (%d trace events)@."
+          o.Cluster.throughput_msg_s o.Cluster.duration_ms o.Cluster.events;
+        if keep_dir then Format.printf "traces: %s@." o.Cluster.trace_dir;
+        Format.printf "checker: %a@." Ics_checker.Checker.pp_verdict o.Cluster.verdict;
+        if not (Cluster.ok o) then exit 1
+  in
+  let n =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Number of node processes to fork.")
+  in
+  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Abcast.Indirect_consensus
+      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
+  in
+  let broadcast =
+    Arg.(
+      value & opt broadcast_conv Stack.Flood
+      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
+  in
+  let count, size, gap, warmup, hb_period, hb_timeout, timeout = workload_args in
+  let keep_dir =
+    Arg.(value & flag & info [ "keep-traces" ] ~doc:"Keep the per-node trace files.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Fork a live n-node cluster over loopback TCP and check the merged delivery logs"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Forks $(b,--n) real OS processes, each running the full protocol stack \
+              over the binary wire codec and a localhost TCP mesh. Every node \
+              A-broadcasts $(b,--count) messages; the run ends when all nodes have \
+              A-delivered everything (or at $(b,--timeout)). The per-node delivery \
+              logs are merged and replayed through the same checker the simulator \
+              uses. Exit status: 0 on success, 1 if the checker or a node failed, 2 \
+              if the environment cannot create loopback sockets.";
+         ])
+    Term.(
+      const exec $ n $ algo $ ordering $ broadcast $ count $ size $ gap $ warmup $ hb_period
+      $ hb_timeout $ timeout $ keep_dir)
+
+let node_cmd =
+  let exec self ports algo ordering broadcast count size gap warmup hb_period hb_timeout
+      timeout epoch =
+    let ports =
+      String.split_on_char ',' ports
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some p when p > 0 && p < 65536 -> p
+             | _ ->
+                 Format.eprintf "node: bad port %s@." s;
+                 exit 2)
+    in
+    let n = List.length ports in
+    if n < 2 then begin
+      Format.eprintf "node: need at least two ports@.";
+      exit 2
+    end;
+    if self < 0 || self >= n then begin
+      Format.eprintf "node: --self %d out of range for %d ports@." self n;
+      exit 2
+    end;
+    let addrs =
+      Array.of_list
+        (List.map (fun p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)) ports)
+    in
+    let listen =
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "node: skip: cannot create sockets (%s)@." (Unix.error_message e);
+          exit 2
+      | fd -> (
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          match
+            Unix.bind fd addrs.(self);
+            Unix.listen fd 64
+          with
+          | () -> fd
+          | exception Unix.Unix_error (e, _, _) ->
+              Format.eprintf "node: cannot bind port %d: %s@." (List.nth ports self)
+                (Unix.error_message e);
+              exit 2)
+    in
+    let epoch = match epoch with Some e -> e | None -> Unix.gettimeofday () in
+    let config =
+      {
+        (node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout
+           timeout)
+        with
+        Node.self;
+      }
+    in
+    let r = Node.run ~epoch ~listen ~peer_addrs:addrs config in
+    Format.printf "node %d: %d/%d adelivered, %s@." self r.Node.delivered r.Node.expected
+      (if r.Node.clean_exit then "all nodes done" else "deadline hit");
+    Format.printf "net: %d frames out (%d B), %d frames in (%d B), %d decode errors@."
+      r.Node.net.Ics_runtime.Socket_transport.frames_out
+      r.Node.net.Ics_runtime.Socket_transport.bytes_out
+      r.Node.net.Ics_runtime.Socket_transport.frames_in
+      r.Node.net.Ics_runtime.Socket_transport.bytes_in
+      r.Node.net.Ics_runtime.Socket_transport.decode_errors;
+    if not r.Node.clean_exit then exit 1
+  in
+  let self =
+    Arg.(required & opt (some int) None & info [ "self" ] ~doc:"This node's index into the port list.")
+  in
+  let ports =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ports" ] ~docv:"P0,P1,..."
+          ~doc:"Comma-separated loopback ports, one per node; index $(b,--self) is ours.")
+  in
+  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Abcast.Indirect_consensus
+      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
+  in
+  let broadcast =
+    Arg.(
+      value & opt broadcast_conv Stack.Flood
+      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
+  in
+  let count, size, gap, warmup, hb_period, hb_timeout, timeout = workload_args in
+  let epoch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epoch" ]
+          ~doc:"Shared time origin (seconds since the Unix epoch); defaults to now. Give \
+                all nodes the same value to align their workload timers.")
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:"Run one live node of a cluster (for driving a cluster by hand)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs a single process of an n-node stack over loopback TCP, dialing the \
+              peers in $(b,--ports). Start one in each terminal; they retry their \
+              dials briefly, so start order does not matter. Exit status: 0 when all \
+              nodes completed the workload, 1 on deadline, 2 on setup errors.";
+         ])
+    Term.(
+      const exec $ self $ ports $ algo $ ordering $ broadcast $ count $ size $ gap $ warmup
+      $ hb_period $ hb_timeout $ timeout $ epoch)
+
 let list_cmd =
   let exec () =
     List.iter
@@ -331,4 +562,15 @@ let () =
   let doc = "Atomic broadcast with indirect consensus (Ekwall & Schiper, DSN 2006) simulator" in
   let info = Cmd.info "ics-cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; violation_cmd; chaos_cmd; trace_cmd; list_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            figure_cmd;
+            violation_cmd;
+            chaos_cmd;
+            trace_cmd;
+            cluster_cmd;
+            node_cmd;
+            list_cmd;
+          ]))

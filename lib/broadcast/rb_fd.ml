@@ -11,6 +11,15 @@ type Message.payload += Data of App_msg.t
 
 let layer = "rb"
 
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  Codec.register ~tag:0x12 ~name:"rb-fd.data"
+    ~fits:(function Data _ -> true | _ -> false)
+    ~size:(function Data m -> App_msg.rb_body_bytes m | _ -> assert false)
+    ~enc:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
+    ~dec:(fun r -> Data (Codec.dec_app_msg r))
+    ~gen:(fun rng -> Data (Codec.gen_app_msg rng))
+
 type proc_state = {
   delivered : App_msg.t Msg_id.Table.t;  (* id -> message, also the store *)
   relayed : unit Msg_id.Table.t;

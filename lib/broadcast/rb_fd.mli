@@ -22,3 +22,7 @@ val create :
   fd:Ics_fd.Failure_detector.t ->
   deliver:Broadcast_intf.deliver ->
   Broadcast_intf.handle
+
+val register_codec : unit -> unit
+(** Register this layer's payload codecs with {!Ics_codec.Codec}
+    (idempotent); {!Ics_core.Codecs.ensure} calls every layer's. *)

@@ -10,6 +10,15 @@ type Message.payload += Data of App_msg.t
 
 let layer = "rb"
 
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  Codec.register ~tag:0x10 ~name:"rb.data"
+    ~fits:(function Data _ -> true | _ -> false)
+    ~size:(function Data m -> App_msg.rb_body_bytes m | _ -> assert false)
+    ~enc:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
+    ~dec:(fun r -> Data (Codec.dec_app_msg r))
+    ~gen:(fun rng -> Data (Codec.gen_app_msg rng))
+
 type proc_state = { delivered : unit Msg_id.Table.t }
 
 let create transport ~deliver =

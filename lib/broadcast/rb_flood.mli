@@ -22,3 +22,7 @@ val create :
   Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle
 (** Installs handlers for every process.  [deliver] is called exactly once
     per (alive process, message), in a zero-time event after receipt. *)
+
+val register_codec : unit -> unit
+(** Register this layer's payload codecs with {!Ics_codec.Codec}
+    (idempotent); {!Ics_core.Codecs.ensure} calls every layer's. *)

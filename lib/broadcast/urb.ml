@@ -14,6 +14,27 @@ type Message.payload +=
 
 let layer = "urb"
 
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  Codec.register ~tag:0x18 ~name:"urb.data"
+    ~fits:(function Data _ -> true | _ -> false)
+    ~size:(function Data m -> App_msg.rb_body_bytes m | _ -> assert false)
+    ~enc:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
+    ~dec:(fun r -> Data (Codec.dec_app_msg r))
+    ~gen:(fun rng -> Data (Codec.gen_app_msg rng));
+  Codec.register ~tag:0x19 ~name:"urb.ack"
+    ~fits:(function Ack _ -> true | _ -> false)
+    ~size:(fun _ -> Wire.id_only_bytes)
+    ~enc:(fun w -> function Ack id -> Codec.enc_msg_id w id | _ -> assert false)
+    ~dec:(fun r -> Ack (Codec.dec_msg_id r))
+    ~gen:(fun rng -> Ack (Codec.gen_msg_id rng));
+  Codec.register ~tag:0x1A ~name:"urb.pull"
+    ~fits:(function Pull _ -> true | _ -> false)
+    ~size:(fun _ -> Wire.id_only_bytes)
+    ~enc:(fun w -> function Pull id -> Codec.enc_msg_id w id | _ -> assert false)
+    ~dec:(fun r -> Pull (Codec.dec_msg_id r))
+    ~gen:(fun rng -> Pull (Codec.gen_msg_id rng))
+
 type entry = {
   mutable payload : App_msg.t option;
   mutable ackers : Pid.t list;  (* distinct processes whose ack we counted *)
@@ -63,7 +84,7 @@ let create transport ~deliver =
   let ack_out p id e =
     if not e.acked then begin
       e.acked <- true;
-      Transport.send_to_others transport ~src:p ~layer ~body_bytes:Wire.ack_bytes (Ack id);
+      Transport.send_to_others transport ~src:p ~layer ~body_bytes:Wire.id_only_bytes (Ack id);
       count_ack p id e p
     end
   in
@@ -91,7 +112,7 @@ let create transport ~deliver =
               if fresh && e.payload = None then begin
                 e.pulled <- true;
                 Transport.send transport ~src:p ~dst:msg.Message.src ~layer
-                  ~body_bytes:Wire.ack_bytes (Pull id)
+                  ~body_bytes:Wire.id_only_bytes (Pull id)
               end
           | Pull id -> (
               match Msg_id.Table.find_opt states.(p).entries id with

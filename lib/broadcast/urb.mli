@@ -27,3 +27,7 @@ val create :
   Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle
 (** [holds] on the returned handle reports payload possession (not
     delivery), which is what an [rcv]-style predicate needs. *)
+
+val register_codec : unit -> unit
+(** Register this layer's payload codecs with {!Ics_codec.Codec}
+    (idempotent); {!Ics_core.Codecs.ensure} calls every layer's. *)

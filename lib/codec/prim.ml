@@ -1,0 +1,115 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Writer: a Buffer with fixed-width big-endian primitives. *)
+
+type writer = Buffer.t
+
+let zeros = String.make 4096 '\x00'
+
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let u16 w v =
+  if v < 0 || v > 0xffff then fail "u16 out of range: %d" v;
+  u8 w (v lsr 8);
+  u8 w v
+
+let u32 w v =
+  if v < 0 || v > 0xffffffff then fail "u32 out of range: %d" v;
+  u8 w (v lsr 24);
+  u8 w (v lsr 16);
+  u8 w (v lsr 8);
+  u8 w v
+
+let f64 w v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    u8 w (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let bool w b = u8 w (if b then 1 else 0)
+
+let filler w n =
+  if n < 0 then fail "negative filler: %d" n;
+  let rec go n =
+    if n > 0 then begin
+      let k = Stdlib.min n (String.length zeros) in
+      Buffer.add_substring w zeros 0 k;
+      go (n - k)
+    end
+  in
+  go n
+
+(* Reader over an immutable string slice.  All failures raise {!Error};
+   nothing else escapes. *)
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len buf =
+  let limit = match len with Some l -> pos + l | None -> String.length buf in
+  if pos < 0 || limit > String.length buf || pos > limit then
+    fail "reader: bad slice %d+%d/%d" pos (limit - pos) (String.length buf);
+  { buf; pos; limit }
+
+let remaining r = r.limit - r.pos
+
+let need r n =
+  if remaining r < n then
+    fail "truncated: need %d bytes, have %d" n (remaining r)
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  let hi = r_u8 r in
+  (hi lsl 8) lor r_u8 r
+
+let r_u32 r =
+  let hi = r_u16 r in
+  (hi lsl 16) lor r_u16 r
+
+let r_f64 r =
+  need r 8;
+  let bits = ref 0L in
+  for _ = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 r))
+  done;
+  Int64.float_of_bits !bits
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "bad bool byte: %d" v
+
+let r_skip r n =
+  if n < 0 then fail "negative skip: %d" n;
+  need r n;
+  r.pos <- r.pos + n
+
+let expect_end r =
+  if remaining r <> 0 then fail "trailing garbage: %d bytes" (remaining r)
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let table = Lazy.force crc_table in
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,47 @@
+(** Binary encoding primitives: fixed-width big-endian writers over a
+    [Buffer.t], readers over a string slice, and the CRC-32 used by the
+    frame checksum.
+
+    Every decode failure — short input, out-of-range field, trailing
+    bytes — raises {!Error} and nothing else, so callers can turn any
+    malformed input into one clean error path. *)
+
+exception Error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+(** {1 Writing} *)
+
+type writer = Buffer.t
+
+val u8 : writer -> int -> unit
+val u16 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val f64 : writer -> float -> unit
+val bool : writer -> bool -> unit
+
+val filler : writer -> int -> unit
+(** Append [n] zero bytes — the stand-in for application payload content,
+    whose size (not content) is what the protocols carry. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+val remaining : reader -> int
+val r_u8 : reader -> int
+val r_u16 : reader -> int
+val r_u32 : reader -> int
+val r_f64 : reader -> float
+val r_bool : reader -> bool
+val r_skip : reader -> int -> unit
+
+val expect_end : reader -> unit
+(** @raise Error if any input remains. *)
+
+(** {1 Checksum} *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 (IEEE) of the slice, as a non-negative int below [2^32]. *)

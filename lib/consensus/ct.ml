@@ -4,7 +4,6 @@ module Trace = Ics_sim.Trace
 module Transport = Ics_net.Transport
 module Message = Ics_net.Message
 module Host = Ics_net.Host
-module Wire = Ics_net.Wire
 module Failure_detector = Ics_fd.Failure_detector
 
 type Message.payload +=
@@ -14,6 +13,76 @@ type Message.payload +=
   | Decide of { k : int; est : Proposal.t }
 
 type config = { layer : string; rcv : Consensus_intf.rcv option }
+
+(* Exact encoded body sizes (tag byte + fields + proposal). *)
+let est_bytes est = 13 + Proposal.encoded_bytes est
+let prop_bytes est = 9 + Proposal.encoded_bytes est
+let ack_bytes = 10
+let decide_bytes est = 5 + Proposal.encoded_bytes est
+
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  let module Prim = Ics_codec.Prim in
+  let module Rng = Ics_prelude.Rng in
+  let gen_k rng = Ics_prelude.Rng.int rng 100 in
+  let gen_r rng = 1 + Ics_prelude.Rng.int rng 8 in
+  Codec.register ~tag:0x20 ~name:"ct.est"
+    ~fits:(function Est _ -> true | _ -> false)
+    ~size:(function Est { est; _ } -> est_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Est { k; r; est; ts } ->
+          Prim.u32 w k;
+          Prim.u32 w r;
+          Prim.u32 w ts;
+          Proposal.encode w est
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let r = Prim.r_u32 rd in
+      let ts = Prim.r_u32 rd in
+      Est { k; r; est = Proposal.decode rd; ts })
+    ~gen:(fun rng ->
+      Est { k = gen_k rng; r = gen_r rng; est = Proposal.gen rng; ts = Rng.int rng 8 });
+  Codec.register ~tag:0x21 ~name:"ct.prop"
+    ~fits:(function Prop _ -> true | _ -> false)
+    ~size:(function Prop { est; _ } -> prop_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Prop { k; r; est } ->
+          Prim.u32 w k;
+          Prim.u32 w r;
+          Proposal.encode w est
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let r = Prim.r_u32 rd in
+      Prop { k; r; est = Proposal.decode rd })
+    ~gen:(fun rng -> Prop { k = gen_k rng; r = gen_r rng; est = Proposal.gen rng });
+  Codec.register ~tag:0x22 ~name:"ct.ack"
+    ~fits:(function Ack _ -> true | _ -> false)
+    ~size:(fun _ -> ack_bytes)
+    ~enc:(fun w -> function
+      | Ack { k; r; ok } ->
+          Prim.u32 w k;
+          Prim.u32 w r;
+          Prim.bool w ok
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let r = Prim.r_u32 rd in
+      Ack { k; r; ok = Prim.r_bool rd })
+    ~gen:(fun rng -> Ack { k = gen_k rng; r = gen_r rng; ok = Rng.bool rng });
+  Codec.register ~tag:0x23 ~name:"ct.decide"
+    ~fits:(function Decide _ -> true | _ -> false)
+    ~size:(function Decide { est; _ } -> decide_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Decide { k; est } ->
+          Prim.u32 w k;
+          Proposal.encode w est
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Decide { k; est = Proposal.decode rd })
+    ~gen:(fun rng -> Decide { k = gen_k rng; est = Proposal.gen rng })
 
 (* Coordinator-side state of the round the process currently leads. *)
 type coord_phase =
@@ -90,8 +159,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           (Pid.others ~n p)
       in
       Transport.multicast transport ~src:p ~dsts ~layer
-        ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes est))
-        (Decide { k = inst.k; est });
+        ~body_bytes:(decide_bytes est) (Decide { k = inst.k; est });
       Engine.record engine p (Trace.Decide (inst.k, Proposal.ids est));
       cb.on_decide p inst.k est
     end
@@ -121,7 +189,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
               (List.hd ests) (List.tl ests)
           in
           inst.coord <- Waiting_acks best;
-          send_all ~src:p ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes best))
+          send_all ~src:p ~bytes:(prop_bytes best)
             (Prop { k = inst.k; r = inst.r; est = best });
           coord_check_acks p inst
         end
@@ -137,7 +205,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
         inst.estimate <- est;
         inst.ts <- inst.r
       end;
-      send ~src:p ~dst:c ~bytes:Wire.ack_bytes (Ack { k = inst.k; r = inst.r; ok });
+      send ~src:p ~dst:c ~bytes:ack_bytes (Ack { k = inst.k; r = inst.r; ok });
       if not (Pid.equal p c) then advance_round p inst
     end
 
@@ -149,7 +217,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
     | None ->
         if Failure_detector.is_suspected fd ~by:p c then begin
           inst.waiting_prop <- false;
-          send ~src:p ~dst:c ~bytes:Wire.ack_bytes (Ack { k = inst.k; r = inst.r; ok = false });
+          send ~src:p ~dst:c ~bytes:ack_bytes (Ack { k = inst.k; r = inst.r; ok = false });
           if not (Pid.equal p c) then advance_round p inst
         end
 
@@ -158,8 +226,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
       let c = Pid.coordinator ~n ~round:inst.r in
       (* Phase 1: send the timestamped estimate to the coordinator. *)
       if inst.r > 1 then
-        send ~src:p ~dst:c
-          ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+        send ~src:p ~dst:c ~bytes:(est_bytes inst.estimate)
           (Est { k = inst.k; r = inst.r; est = inst.estimate; ts = inst.ts });
       (* Phase 2 entry for the coordinator. *)
       if Pid.equal p c then begin
@@ -167,8 +234,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           (* First round: the coordinator proposes its own estimate without
              gathering (Algorithm 2 line 20). *)
           inst.coord <- Waiting_acks inst.estimate;
-          send_all ~src:p
-            ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+          send_all ~src:p ~bytes:(prop_bytes inst.estimate)
             (Prop { k = inst.k; r = 1; est = inst.estimate })
         end
         else begin
@@ -267,7 +333,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           && Pid.equal (Pid.coordinator ~n ~round:inst.r) suspect
         then begin
           inst.waiting_prop <- false;
-          send ~src:p ~dst:suspect ~bytes:Wire.ack_bytes
+          send ~src:p ~dst:suspect ~bytes:ack_bytes
             (Ack { k = inst.k; r = inst.r; ok = false });
           advance_round p inst
         end)

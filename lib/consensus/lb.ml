@@ -4,7 +4,6 @@ module Trace = Ics_sim.Trace
 module Transport = Ics_net.Transport
 module Message = Ics_net.Message
 module Host = Ics_net.Host
-module Wire = Ics_net.Wire
 module Failure_detector = Ics_fd.Failure_detector
 
 type Message.payload +=
@@ -17,6 +16,129 @@ type Message.payload +=
   | Decide of { k : int; v : Proposal.t }
 
 type config = { layer : string; rcv : Consensus_intf.rcv option }
+
+(* Exact encoded body sizes (tag byte + fields + proposal, where carried).
+   Ballot numbers and [promised] are shifted by one on the wire so the
+   sentinel -1 fits an unsigned field. *)
+let kick_bytes = 5
+let prepare_bytes = 9
+let promise_bytes = function
+  | Some (_, v) -> 14 + Proposal.encoded_bytes v
+  | None -> 10
+let accept_bytes v = 9 + Proposal.encoded_bytes v
+let accepted_bytes = 9
+let nack_bytes = 13
+let decide_bytes v = 5 + Proposal.encoded_bytes v
+
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  let module Prim = Ics_codec.Prim in
+  let module Rng = Ics_prelude.Rng in
+  let gen_k rng = Rng.int rng 100 in
+  let gen_b rng = Rng.int rng 16 in
+  Codec.register ~tag:0x30 ~name:"lb.kick"
+    ~fits:(function Kick _ -> true | _ -> false)
+    ~size:(fun _ -> kick_bytes)
+    ~enc:(fun w -> function Kick { k } -> Prim.u32 w k | _ -> assert false)
+    ~dec:(fun rd -> Kick { k = Prim.r_u32 rd })
+    ~gen:(fun rng -> Kick { k = gen_k rng });
+  Codec.register ~tag:0x31 ~name:"lb.prepare"
+    ~fits:(function Prepare _ -> true | _ -> false)
+    ~size:(fun _ -> prepare_bytes)
+    ~enc:(fun w -> function
+      | Prepare { k; b } ->
+          Prim.u32 w k;
+          Prim.u32 w b
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Prepare { k; b = Prim.r_u32 rd })
+    ~gen:(fun rng -> Prepare { k = gen_k rng; b = gen_b rng });
+  Codec.register ~tag:0x32 ~name:"lb.promise"
+    ~fits:(function Promise _ -> true | _ -> false)
+    ~size:(function Promise { accepted; _ } -> promise_bytes accepted | _ -> assert false)
+    ~enc:(fun w -> function
+      | Promise { k; b; accepted } -> (
+          Prim.u32 w k;
+          Prim.u32 w b;
+          match accepted with
+          | Some (ab, v) ->
+              Prim.bool w true;
+              Prim.u32 w ab;
+              Proposal.encode w v
+          | None -> Prim.bool w false)
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let b = Prim.r_u32 rd in
+      let accepted =
+        if Prim.r_bool rd then begin
+          let ab = Prim.r_u32 rd in
+          Some (ab, Proposal.decode rd)
+        end
+        else None
+      in
+      Promise { k; b; accepted })
+    ~gen:(fun rng ->
+      Promise
+        {
+          k = gen_k rng;
+          b = gen_b rng;
+          accepted =
+            (if Rng.bool rng then Some (gen_b rng, Proposal.gen rng) else None);
+        });
+  Codec.register ~tag:0x33 ~name:"lb.accept"
+    ~fits:(function Accept _ -> true | _ -> false)
+    ~size:(function Accept { v; _ } -> accept_bytes v | _ -> assert false)
+    ~enc:(fun w -> function
+      | Accept { k; b; v } ->
+          Prim.u32 w k;
+          Prim.u32 w b;
+          Proposal.encode w v
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let b = Prim.r_u32 rd in
+      Accept { k; b; v = Proposal.decode rd })
+    ~gen:(fun rng -> Accept { k = gen_k rng; b = gen_b rng; v = Proposal.gen rng });
+  Codec.register ~tag:0x34 ~name:"lb.accepted"
+    ~fits:(function Accepted _ -> true | _ -> false)
+    ~size:(fun _ -> accepted_bytes)
+    ~enc:(fun w -> function
+      | Accepted { k; b } ->
+          Prim.u32 w k;
+          Prim.u32 w b
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Accepted { k; b = Prim.r_u32 rd })
+    ~gen:(fun rng -> Accepted { k = gen_k rng; b = gen_b rng });
+  Codec.register ~tag:0x35 ~name:"lb.nack"
+    ~fits:(function Nack _ -> true | _ -> false)
+    ~size:(fun _ -> nack_bytes)
+    ~enc:(fun w -> function
+      | Nack { k; b; promised } ->
+          Prim.u32 w k;
+          Prim.u32 w b;
+          Prim.u32 w (promised + 1)
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let b = Prim.r_u32 rd in
+      Nack { k; b; promised = Prim.r_u32 rd - 1 })
+    ~gen:(fun rng -> Nack { k = gen_k rng; b = gen_b rng; promised = Rng.int rng 16 - 1 });
+  Codec.register ~tag:0x36 ~name:"lb.decide"
+    ~fits:(function Decide _ -> true | _ -> false)
+    ~size:(function Decide { v; _ } -> decide_bytes v | _ -> assert false)
+    ~enc:(fun w -> function
+      | Decide { k; v } ->
+          Prim.u32 w k;
+          Proposal.encode w v
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Decide { k; v = Proposal.decode rd })
+    ~gen:(fun rng -> Decide { k = gen_k rng; v = Proposal.gen rng })
 
 type leader_phase = Idle | Preparing | Accepting of Proposal.t
 
@@ -76,8 +198,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           (Pid.others ~n p)
       in
       Transport.multicast transport ~src:p ~dsts ~layer
-        ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes v))
-        (Decide { k = inst.k; v });
+        ~body_bytes:(decide_bytes v) (Decide { k = inst.k; v });
       Engine.record engine p (Trace.Decide (inst.k, Proposal.ids v));
       cb.on_decide p inst.k v
     end
@@ -94,13 +215,12 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
         (* Nothing can have been accepted below ballot 0: go straight to
            the accept phase with our own estimate. *)
         inst.phase <- Accepting inst.estimate;
-        send_all ~src:p
-          ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes inst.estimate))
+        send_all ~src:p ~bytes:(accept_bytes inst.estimate)
           (Accept { k = inst.k; b; v = inst.estimate })
       end
       else begin
         inst.phase <- Preparing;
-        send_all ~src:p ~bytes:Wire.ack_bytes (Prepare { k = inst.k; b })
+        send_all ~src:p ~bytes:prepare_bytes (Prepare { k = inst.k; b })
       end
     end
   in
@@ -133,7 +253,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
       if Pid.equal l p then begin
         if inst.phase = Idle then start_ballot p inst
       end
-      else send ~src:p ~dst:l ~bytes:Wire.ack_bytes (Kick { k = inst.k })
+      else send ~src:p ~dst:l ~bytes:kick_bytes (Kick { k = inst.k })
     end
   in
 
@@ -171,16 +291,11 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           inst.highest_seen <- max inst.highest_seen b;
           if b >= inst.promised then begin
             inst.promised <- b;
-            send ~src:p ~dst:msg.src
-              ~bytes:
-                (Wire.estimate_bytes
-                   (match inst.accepted with
-                   | Some (_, v) -> Proposal.wire_bytes v
-                   | None -> 0))
+            send ~src:p ~dst:msg.src ~bytes:(promise_bytes inst.accepted)
               (Promise { k; b; accepted = inst.accepted })
           end
           else
-            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes
+            send ~src:p ~dst:msg.src ~bytes:nack_bytes
               (Nack { k; b; promised = inst.promised })
         end
     | Promise { k; b; accepted } ->
@@ -191,9 +306,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
             let v = leader_pick_value inst in
             inst.phase <- Accepting v;
             inst.accepts <- 0;
-            send_all ~src:p
-              ~bytes:(Wire.estimate_bytes (Proposal.wire_bytes v))
-              (Accept { k; b; v })
+            send_all ~src:p ~bytes:(accept_bytes v) (Accept { k; b; v })
           end
         end
     | Accept { k; b; v } ->
@@ -203,10 +316,10 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           if b >= inst.promised && rcv_holds p v then begin
             inst.promised <- b;
             inst.accepted <- Some (b, v);
-            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes (Accepted { k; b })
+            send ~src:p ~dst:msg.src ~bytes:accepted_bytes (Accepted { k; b })
           end
           else
-            send ~src:p ~dst:msg.src ~bytes:Wire.ack_bytes
+            send ~src:p ~dst:msg.src ~bytes:nack_bytes
               (Nack { k; b; promised = inst.promised })
         end
     | Accepted { k; b } ->

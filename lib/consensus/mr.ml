@@ -4,7 +4,6 @@ module Trace = Ics_sim.Trace
 module Transport = Ics_net.Transport
 module Message = Ics_net.Message
 module Host = Ics_net.Host
-module Wire = Ics_net.Wire
 module Failure_detector = Ics_fd.Failure_detector
 
 (* One message type per round: every process (coordinator included)
@@ -37,9 +36,54 @@ let get_list tbl key =
       Hashtbl.add tbl key l;
       l
 
+(* Exact encoded body sizes (tag byte + fields + optional proposal). *)
 let relay_bytes = function
-  | Some est -> Wire.estimate_bytes (Proposal.wire_bytes est)
-  | None -> Wire.ack_bytes
+  | Some est -> 10 + Proposal.encoded_bytes est
+  | None -> 10
+
+let decide_bytes est = 5 + Proposal.encoded_bytes est
+
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  let module Prim = Ics_codec.Prim in
+  let module Rng = Ics_prelude.Rng in
+  Codec.register ~tag:0x28 ~name:"mr.relay"
+    ~fits:(function Relay _ -> true | _ -> false)
+    ~size:(function Relay { est; _ } -> relay_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Relay { k; r; est } -> (
+          Prim.u32 w k;
+          Prim.u32 w r;
+          match est with
+          | Some e ->
+              Prim.bool w true;
+              Proposal.encode w e
+          | None -> Prim.bool w false)
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      let r = Prim.r_u32 rd in
+      let est = if Prim.r_bool rd then Some (Proposal.decode rd) else None in
+      Relay { k; r; est })
+    ~gen:(fun rng ->
+      Relay
+        {
+          k = Rng.int rng 100;
+          r = 1 + Rng.int rng 8;
+          est = (if Rng.bool rng then Some (Proposal.gen rng) else None);
+        });
+  Codec.register ~tag:0x29 ~name:"mr.decide"
+    ~fits:(function Decide _ -> true | _ -> false)
+    ~size:(function Decide { est; _ } -> decide_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Decide { k; est } ->
+          Prim.u32 w k;
+          Proposal.encode w est
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Decide { k; est = Proposal.decode rd })
+    ~gen:(fun rng -> Decide { k = Rng.int rng 100; est = Proposal.gen rng })
 
 let create transport fd config (cb : Consensus_intf.callbacks) =
   let engine = Transport.engine transport in
@@ -74,8 +118,7 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           (Pid.others ~n p)
       in
       Transport.multicast transport ~src:p ~dsts ~layer
-        ~body_bytes:(Wire.estimate_bytes (Proposal.wire_bytes est))
-        (Decide { k = inst.k; est });
+        ~body_bytes:(decide_bytes est) (Decide { k = inst.k; est });
       Engine.record engine p (Trace.Decide (inst.k, Proposal.ids est));
       cb.on_decide p inst.k est
     end

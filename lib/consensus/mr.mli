@@ -42,3 +42,7 @@ type config = {
 val create :
   Transport.t -> Failure_detector.t -> config -> Consensus_intf.callbacks ->
   Consensus_intf.handle
+
+val register_codec : unit -> unit
+(** Register this layer's payload codecs with {!Ics_codec.Codec}
+    (idempotent); {!Ics_core.Codecs.ensure} calls every layer's. *)

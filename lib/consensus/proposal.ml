@@ -30,5 +30,42 @@ let ids t = t.ids
 let wire_bytes t = t.wire_bytes
 let describe t = List.map Msg_id.to_string t.ids
 
+(* Wire form: u32 wire_bytes, u32 cardinality, the ids, then filler for
+   the payload bytes an on-messages value would carry.  [wire_bytes]
+   already includes the id-set length prefix, so the full encoding is
+   exactly [4 + wire_bytes] — consensus messages charge the codec size
+   and the checksum covers real bytes either way. *)
+let encoded_bytes t = 4 + t.wire_bytes
+
+module Prim = Ics_codec.Prim
+module Codec = Ics_codec.Codec
+
+let encode w t =
+  let k = List.length t.ids in
+  Prim.u32 w t.wire_bytes;
+  Prim.u32 w k;
+  List.iter (Codec.enc_msg_id w) t.ids;
+  Prim.filler w (t.wire_bytes - Wire.id_set_bytes k)
+
+let decode r =
+  let wire_bytes = Prim.r_u32 r in
+  let k = Prim.r_u32 r in
+  let ids = List.init k (fun _ -> Codec.dec_msg_id r) in
+  Prim.r_skip r (wire_bytes - Wire.id_set_bytes k);
+  { ids; wire_bytes }
+
+let gen rng =
+  let module Rng = Ics_prelude.Rng in
+  let k = Rng.int rng 6 in
+  let ids = List.init k (fun _ -> Codec.gen_msg_id rng) in
+  if Rng.bool rng then on_ids ids
+  else
+    on_messages
+      (List.map
+         (fun id ->
+           App_msg.make ~id ~body_bytes:(Rng.int rng 100)
+             ~created_at:(Rng.float rng 1_000.0))
+         ids)
+
 let pp ppf t =
   Format.fprintf ppf "{%s}/%dB" (String.concat ", " (describe t)) t.wire_bytes

@@ -36,4 +36,18 @@ val wire_bytes : t -> int
 val describe : t -> string list
 (** Identifier strings for trace events. *)
 
+(** {1 Wire form}
+
+    Proposals ride inside consensus messages; their encoding carries the
+    declared [wire_bytes] (so on-messages values occupy their payload
+    bytes as real filler) followed by the id set. *)
+
+val encoded_bytes : t -> int
+(** Exact encoded size: [4 + wire_bytes t]. *)
+
+val encode : Ics_codec.Prim.writer -> t -> unit
+val decode : Ics_codec.Prim.reader -> t
+val gen : Ics_prelude.Rng.t -> t
+(** Fuzz generator mixing on-ids and on-messages shapes. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(** Central codec registration.
+
+    Every protocol layer of the stack registers its
+    {!Ics_net.Message.payload} codecs with {!Ics_codec.Codec} through its
+    own [register_codec]; this module calls them all.  {!Stack.create}
+    and the live runtime both go through {!ensure}, so the registry is
+    complete wherever frames are encoded or decoded. *)
+
+val ensure : unit -> unit
+(** Register the codecs of every layer (idempotent). *)

@@ -78,6 +78,24 @@ let build_model config =
         Host.instant )
   | Custom { build; _ } -> build ~n:config.n
 
+(* The protocol wiring above the transport, shared verbatim between the
+   simulated stack and the live runtime's per-node stack. *)
+let assemble transport ~fd ~algo ~ordering ~broadcast ~on_deliver =
+  Codecs.ensure ();
+  let make_broadcast ~deliver =
+    match broadcast with
+    | Flood -> Rb_flood.create transport ~deliver
+    | Fd_relay -> Rb_fd.create transport ~fd ~deliver
+    | Uniform -> Urb.create transport ~deliver
+  in
+  let make_consensus ~rcv callbacks =
+    match algo with
+    | Ct -> Ics_consensus.Ct.create transport fd { layer = "consensus"; rcv } callbacks
+    | Mr -> Ics_consensus.Mr.create transport fd { layer = "consensus"; rcv } callbacks
+    | Lb -> Ics_consensus.Lb.create transport fd { layer = "consensus"; rcv } callbacks
+  in
+  Abcast.create transport ~ordering ~make_broadcast ~make_consensus ~deliver:on_deliver
+
 let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
   if config.n <= 0 then invalid_arg "Stack.create: n <= 0";
   let engine =
@@ -100,21 +118,9 @@ let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
         | Oracle detection_delay -> Failure_detector.oracle engine ~detection_delay
         | Heartbeat { period; timeout } -> Failure_detector.heartbeat transport ~period ~timeout)
   in
-  let make_broadcast ~deliver =
-    match config.broadcast with
-    | Flood -> Rb_flood.create transport ~deliver
-    | Fd_relay -> Rb_fd.create transport ~fd ~deliver
-    | Uniform -> Urb.create transport ~deliver
-  in
-  let make_consensus ~rcv callbacks =
-    match config.algo with
-    | Ct -> Ics_consensus.Ct.create transport fd { layer = "consensus"; rcv } callbacks
-    | Mr -> Ics_consensus.Mr.create transport fd { layer = "consensus"; rcv } callbacks
-    | Lb -> Ics_consensus.Lb.create transport fd { layer = "consensus"; rcv } callbacks
-  in
   let abcast =
-    Abcast.create transport ~ordering:config.ordering ~make_broadcast ~make_consensus
-      ~deliver:on_deliver
+    assemble transport ~fd ~algo:config.algo ~ordering:config.ordering
+      ~broadcast:config.broadcast ~on_deliver
   in
   { config; engine; transport; fd; abcast; model }
 

@@ -87,6 +87,19 @@ type t = {
   model : Model.t;
 }
 
+val assemble :
+  Transport.t ->
+  fd:Failure_detector.t ->
+  algo:algo ->
+  ordering:Abcast.ordering ->
+  broadcast:broadcast_kind ->
+  on_deliver:(Pid.t -> App_msg.t -> unit) ->
+  Abcast.t
+(** Wire the protocol layers above an existing transport (simulated or
+    live) and failure detector — the assembly shared by {!create} and the
+    live runtime's per-node stack.  Also registers all wire codecs
+    ({!Codecs.ensure}). *)
+
 val create :
   ?engine:Engine.t ->
   ?rule:(Ics_net.Message.t -> Model.action) ->

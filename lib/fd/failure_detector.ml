@@ -65,7 +65,17 @@ let oracle engine ~detection_delay =
 
 type Message.payload += Heartbeat
 
-let hb_body_bytes = 8
+(* A heartbeat is pure signal: its encoding is the tag byte alone. *)
+let hb_body_bytes = 1
+
+let register_codec () =
+  let module Codec = Ics_codec.Codec in
+  Codec.register ~tag:0x40 ~name:"fd.heartbeat"
+    ~fits:(function Heartbeat -> true | _ -> false)
+    ~size:(fun _ -> hb_body_bytes)
+    ~enc:(fun _ _ -> ())
+    ~dec:(fun _ -> Heartbeat)
+    ~gen:(fun _ -> Heartbeat)
 
 let heartbeat transport ~period ~timeout =
   if period <= 0.0 then invalid_arg "Failure_detector.heartbeat: period <= 0";

@@ -84,3 +84,7 @@ end
 val manual : Engine.t -> Control.t
 (** A detector whose output is entirely test-driven; initially nobody
     suspects anybody. *)
+
+val register_codec : unit -> unit
+(** Register this layer's payload codecs with {!Ics_codec.Codec}
+    (idempotent); {!Ics_core.Codecs.ensure} calls every layer's. *)

@@ -9,7 +9,7 @@ type params = {
   ack_bytes : int;
 }
 
-let default_params = { rto = 8.0; backoff = 2.0; max_rto = 128.0; ack_bytes = 8 }
+let default_params = { rto = 8.0; backoff = 2.0; max_rto = 128.0; ack_bytes = 5 }
 
 type stats = {
   mutable transmissions : int;

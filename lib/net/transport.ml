@@ -7,11 +7,20 @@ module Resource = Ics_sim.Resource
    dense ints once (at protocol construction), handler dispatch is an
    array index, and per-layer accounting increments flat int arrays. *)
 
+(* Two backends behind the one surface the protocol layers program
+   against.  [Sim] is the discrete-event path: CPU resources, a network
+   model, all [n] processes in one address space.  [Ext] is the live
+   path: this transport embodies the single process [self], remote sends
+   are handed to [emit] (the socket runtime encodes and ships them), and
+   frames received from peers come back through {!inject}. *)
+type backend =
+  | Sim of { model : Model.t; cpus : Resource.t array }
+  | Ext of { self : Pid.t; emit : Message.t -> unit }
+
 type t = {
   engine : Engine.t;
-  model : Model.t;
   host : Host.t;
-  cpus : Resource.t array;
+  backend : backend;
   intern_tbl : (string, Layer.t) Hashtbl.t;
   mutable layer_names : string array;  (* by layer id *)
   mutable layer_count : int;
@@ -22,22 +31,32 @@ type t = {
   mutable per_layer_bytes : int array;
 }
 
-let create engine ~model ~host =
-  let n = Engine.n engine in
+let make engine ~host ~backend =
   {
     engine;
-    model;
     host;
-    cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i));
+    backend;
     intern_tbl = Hashtbl.create 8;
     layer_names = [||];
     layer_count = 0;
-    handlers = Array.init n (fun _ -> [||]);
+    handlers = Array.init (Engine.n engine) (fun _ -> [||]);
     sent_messages = 0;
     sent_bytes = 0;
     per_layer_msgs = [||];
     per_layer_bytes = [||];
   }
+
+let create engine ~model ~host =
+  let n = Engine.n engine in
+  let cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i)) in
+  make engine ~host ~backend:(Sim { model; cpus })
+
+let create_ext engine ?(host = Host.instant) ~self ~emit () =
+  if self < 0 || self >= Engine.n engine then
+    invalid_arg "Transport.create_ext: self out of range";
+  make engine ~host ~backend:(Ext { self; emit })
+
+let self t = match t.backend with Ext { self; _ } -> Some self | Sim _ -> None
 
 let engine t = t.engine
 let host t = t.host
@@ -102,11 +121,17 @@ let dispatch t (msg : Message.t) =
           ()
   end
 
-let deliver_leg t (msg : Message.t) =
+let deliver_leg t ~cpus (msg : Message.t) =
   (* Receiver CPU: deserialization queues on the destination's processor. *)
   let service = Host.recv_cost t.host ~wire_bytes:(Message.wire_size msg) in
-  let done_at = Resource.reserve t.cpus.(msg.dst) ~now:(Engine.now t.engine) ~service in
+  let done_at = Resource.reserve cpus.(msg.dst) ~now:(Engine.now t.engine) ~service in
   Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
+
+let account t ~id ~wire =
+  t.sent_messages <- t.sent_messages + 1;
+  t.sent_bytes <- t.sent_bytes + wire;
+  t.per_layer_msgs.(id) <- t.per_layer_msgs.(id) + 1;
+  t.per_layer_bytes.(id) <- t.per_layer_bytes.(id) + wire
 
 let send t ~src ~dst ~layer ~body_bytes payload =
   if Engine.is_alive t.engine src then begin
@@ -115,27 +140,38 @@ let send t ~src ~dst ~layer ~body_bytes payload =
     let msg =
       { Message.src; dst; layer; payload; body_bytes; sent_at = Engine.now t.engine }
     in
-    let wire = Message.wire_size msg in
-    t.sent_messages <- t.sent_messages + 1;
-    t.sent_bytes <- t.sent_bytes + wire;
-    t.per_layer_msgs.(id) <- t.per_layer_msgs.(id) + 1;
-    t.per_layer_bytes.(id) <- t.per_layer_bytes.(id) + wire;
-    if Pid.equal src dst then begin
-      let done_at =
-        Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine)
-          ~service:t.host.Host.local_delivery
-      in
-      Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
-    end
-    else begin
-      let service = Host.send_cost t.host ~wire_bytes:wire in
-      let cpu_done = Resource.reserve t.cpus.(src) ~now:(Engine.now t.engine) ~service in
-      Engine.schedule t.engine ~at:cpu_done (fun () ->
-          (* A crash between the send call and the end of serialization kills
-             the message before it reaches the wire. *)
-          if Engine.is_alive t.engine src then
-            Model.send t.model t.engine msg ~arrive:(fun () -> deliver_leg t msg))
-    end
+    match t.backend with
+    | Sim { model; cpus } ->
+        let wire = Message.wire_size msg in
+        account t ~id ~wire;
+        if Pid.equal src dst then begin
+          let done_at =
+            Resource.reserve cpus.(src) ~now:(Engine.now t.engine)
+              ~service:t.host.Host.local_delivery
+          in
+          Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
+        end
+        else begin
+          let service = Host.send_cost t.host ~wire_bytes:wire in
+          let cpu_done = Resource.reserve cpus.(src) ~now:(Engine.now t.engine) ~service in
+          Engine.schedule t.engine ~at:cpu_done (fun () ->
+              (* A crash between the send call and the end of serialization kills
+                 the message before it reaches the wire. *)
+              if Engine.is_alive t.engine src then
+                Model.send model t.engine msg ~arrive:(fun () ->
+                    deliver_leg t ~cpus msg))
+        end
+    | Ext { self; emit } ->
+        (* The protocol layers instantiate state for all [n] pids, but a
+           live node embodies exactly one of them: sends attempted on a
+           foreign pid's behalf (e.g. its heartbeat loop) go nowhere. *)
+        if Pid.equal src self then begin
+          account t ~id ~wire:(Message.wire_size msg);
+          if Pid.equal dst self then
+            Engine.schedule t.engine ~at:(Engine.now t.engine) (fun () ->
+                dispatch t msg)
+          else emit msg
+        end
   end
 
 let multicast t ~src ~dsts ~layer ~body_bytes payload =
@@ -147,10 +183,27 @@ let send_to_all t ~src ~layer ~body_bytes payload =
 let send_to_others t ~src ~layer ~body_bytes payload =
   multicast t ~src ~dsts:(Pid.others ~n:(n t) src) ~layer ~body_bytes payload
 
-let charge_cpu t pid service =
-  ignore (Resource.reserve t.cpus.(pid) ~now:(Engine.now t.engine) ~service)
+let inject t (msg : Message.t) =
+  (* Frames decoded by the live runtime re-enter here; the layer token was
+     minted by the codec, so resolve it against this transport's ids. *)
+  let id = resolve t msg.layer in
+  let msg =
+    if id = Layer.id msg.layer then msg
+    else { msg with layer = Layer.make ~id ~name:(Layer.name msg.layer) }
+  in
+  dispatch t msg
 
-let cpu_resource t pid = t.cpus.(pid)
+let charge_cpu t pid service =
+  match t.backend with
+  | Sim { cpus; _ } ->
+      ignore (Resource.reserve cpus.(pid) ~now:(Engine.now t.engine) ~service)
+  | Ext _ -> ()  (* live CPUs charge themselves *)
+
+let cpu_resource t pid =
+  match t.backend with
+  | Sim { cpus; _ } -> cpus.(pid)
+  | Ext _ -> invalid_arg "Transport.cpu_resource: live transport has no modeled CPUs"
+
 let sent_messages t = t.sent_messages
 let sent_bytes t = t.sent_bytes
 

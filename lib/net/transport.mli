@@ -27,6 +27,26 @@ module Resource = Ics_sim.Resource
 type t
 
 val create : Engine.t -> model:Model.t -> host:Host.t -> t
+(** The simulated backend: all [n] processes in one address space, with
+    modeled CPUs and the given network model between them. *)
+
+val create_ext :
+  Engine.t -> ?host:Host.t -> self:Pid.t -> emit:(Message.t -> unit) -> unit -> t
+(** The live backend: this transport embodies the single process [self].
+    Remote sends are handed (synchronously) to [emit] — the socket
+    runtime encodes and ships them — and received frames re-enter via
+    {!inject}.  Sends whose [src] is not [self] are dropped: protocol
+    layers instantiate all [n] processes, but only [self] is real here.
+    [host] (default {!Host.instant}) only affects the [rcv]-check
+    accounting; live CPU time charges itself.
+    @raise Invalid_argument if [self] is out of range. *)
+
+val self : t -> Pid.t option
+(** The embodied process of a live transport; [None] for simulated. *)
+
+val inject : t -> Message.t -> unit
+(** Dispatch a message decoded from the wire to its destination handler
+    (no-op for unknown layers, exactly like simulated dispatch). *)
 
 val engine : t -> Engine.t
 val host : t -> Host.t

@@ -1,6 +1,7 @@
 let header_bytes = 48
-let id_bytes = 16
+let tag_bytes = 1
+let id_bytes = 6
 let id_set_bytes k = 4 + (k * id_bytes)
-let payload_with_id_bytes payload = id_bytes + payload
-let ack_bytes = 8
-let estimate_bytes value_bytes = 8 + value_bytes
+let app_msg_overhead = 4 + 8
+let payload_with_id_bytes payload = tag_bytes + id_bytes + app_msg_overhead + payload
+let id_only_bytes = tag_bytes + id_bytes

@@ -2,28 +2,38 @@
 
     The paper's whole point is that consensus on identifiers decouples the
     consensus traffic from the application payload size, so the simulator
-    must account bytes honestly.  Sizes below approximate the Neko/Java
-    implementation: a fixed per-message header (UDP/IP/Ethernet framing plus
-    Neko's own envelope) and a fixed encoding for message identifiers
-    (origin pid + per-origin sequence number + timestamps). *)
+    must account bytes honestly.  Since the codec landed, these are no
+    longer estimates: every constant below is pinned to the real encoded
+    size produced by [Ics_codec] (the codec test suite checks
+    [size p = |encode p|] for every registered payload).  Only
+    {!header_bytes} stays a model: it stands for the link-level framing
+    (UDP/IP/Ethernet) around each frame, which the simulator charges but
+    the loopback runtime does not send. *)
 
 val header_bytes : int
-(** Framing + envelope bytes added to every message on the wire (48). *)
+(** Link framing + envelope bytes charged per message on the modeled
+    wire (48).  Not part of the codec frame. *)
+
+val tag_bytes : int
+(** The payload-constructor tag byte that starts every encoded body (1). *)
 
 val id_bytes : int
-(** Encoded size of one message identifier (16). *)
+(** Encoded size of one message identifier: origin u16 + sequence u32
+    (6). *)
 
 val id_set_bytes : int -> int
-(** [id_set_bytes k] is the encoded size of a set of [k] identifiers (a
-    length prefix plus [k] encoded ids). *)
+(** [id_set_bytes k] is the encoded size of a set of [k] identifiers: a
+    u32 length prefix plus [k] encoded ids. *)
+
+val app_msg_overhead : int
+(** Per-application-message metadata beyond the identifier: declared
+    payload length u32 + creation stamp f64 (12). *)
 
 val payload_with_id_bytes : int -> int
-(** Size of an application message as carried by reliable broadcast: its
-    identifier plus its payload bytes. *)
+(** Size of an application message as carried by reliable broadcast:
+    tag + identifier + metadata + its payload bytes
+    ([tag_bytes + id_bytes + app_msg_overhead + payload]). *)
 
-val ack_bytes : int
-(** Size of an ack/nack body (round number + flag). *)
-
-val estimate_bytes : int -> int
-(** Size of a consensus estimate message whose value encodes to [k] bytes:
-    round, timestamp and the value. *)
+val id_only_bytes : int
+(** Size of a body carrying just one identifier (urb acks/pulls):
+    [tag_bytes + id_bytes]. *)

@@ -1,0 +1,15 @@
+(* The stdlib's Unix binding exposes no monotonic clock, so the live
+   runtime derives virtual time from [gettimeofday] relative to a shared
+   epoch and clamps it non-decreasing: a wall-clock step backwards (NTP
+   slew) must never move the engine's virtual clock backwards. *)
+
+type t = { epoch : float; mutable last : float }
+
+let create ~epoch = { epoch; last = 0.0 }
+
+let now t =
+  let ms = (Unix.gettimeofday () -. t.epoch) *. 1000.0 in
+  if ms > t.last then t.last <- ms;
+  t.last
+
+let epoch t = t.epoch

@@ -1,0 +1,16 @@
+(** Real time as engine time.
+
+    The live runtime drives {!Ics_sim.Engine} with the wall clock: virtual
+    time is milliseconds since a cluster-wide epoch (chosen by the parent
+    and inherited through fork), monotonically clamped so wall-clock
+    regressions never move the engine backwards. *)
+
+type t
+
+val create : epoch:float -> t
+(** [epoch] is a [Unix.gettimeofday] instant; times read as ms since it. *)
+
+val now : t -> float
+(** Milliseconds since the epoch; never decreases across calls. *)
+
+val epoch : t -> float

@@ -1,0 +1,226 @@
+module Trace = Ics_sim.Trace
+module Msg_id = Ics_net.Msg_id
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Checker = Ics_checker.Checker
+
+type config = {
+  node : Node.config;  (** [self] is ignored; each fork gets its own *)
+  dir : string option;  (** where per-node trace files go (default: temp) *)
+  keep_dir : bool;
+}
+
+let default = { node = Node.default_workload; dir = None; keep_dir = false }
+
+type latency = { samples : int; mean_ms : float; p95_ms : float; max_ms : float }
+
+type outcome = {
+  verdict : Checker.verdict;
+  delivered_per_node : int array;
+  expected_per_node : int;
+  exits : int array;  (** per-node exit codes (0 = clean barrier exit) *)
+  duration_ms : float;  (** first abroadcast to last adelivery, merged clock *)
+  latency : latency option;
+  throughput_msg_s : float;  (** distinct messages ordered per second *)
+  events : int;
+  trace_dir : string;
+}
+
+let ok outcome = Checker.ok outcome.verdict && Array.for_all (fun c -> c = 0) outcome.exits
+
+(* Can this sandbox do loopback TCP at all?  Some build environments
+   forbid socket creation; the smoke target skips gracefully there. *)
+let supported () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd -> (
+      match
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen fd 1
+      with
+      | () ->
+          Unix.close fd;
+          true
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          false)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "ics-cluster-%d-%d" (Unix.getpid ()) k)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (EEXIST, _, _) -> go (k + 1)
+  in
+  go 0
+
+let trace_path dir i = Filename.concat dir (Printf.sprintf "node%d.trace" i)
+
+(* Latency/throughput digest of the merged trace. *)
+let measure events =
+  let bcast = Msg_id.Table.create 256 in
+  let first_b = ref infinity and last_d = ref neg_infinity in
+  let samples = ref [] in
+  let ordered = Msg_id.Table.create 256 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Abroadcast id ->
+          if not (Msg_id.Table.mem bcast id) then Msg_id.Table.add bcast id e.Trace.time;
+          if e.Trace.time < !first_b then first_b := e.Trace.time
+      | Trace.Adeliver id ->
+          if e.Trace.time > !last_d then last_d := e.Trace.time;
+          Msg_id.Table.replace ordered id ();
+          (match Msg_id.Table.find_opt bcast id with
+          | Some t0 -> samples := (e.Trace.time -. t0) :: !samples
+          | None -> ())
+      | _ -> ())
+    events;
+  let duration = if !last_d > !first_b then !last_d -. !first_b else 0.0 in
+  let latency =
+    match !samples with
+    | [] -> None
+    | l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        let k = Array.length a in
+        let sum = Array.fold_left ( +. ) 0.0 a in
+        Some
+          {
+            samples = k;
+            mean_ms = sum /. float_of_int k;
+            p95_ms = a.(min (k - 1) (k * 95 / 100));
+            max_ms = a.(k - 1);
+          }
+  in
+  let throughput =
+    if duration > 0.0 then float_of_int (Msg_id.Table.length ordered) /. duration *. 1000.0
+    else 0.0
+  in
+  (duration, latency, throughput)
+
+let run config =
+  if not (supported ()) then Error "loopback sockets unavailable in this environment"
+  else begin
+    let n = config.node.Node.n in
+    if n <= 0 then invalid_arg "Cluster.run: n <= 0";
+    let dir = match config.dir with Some d -> d | None -> fresh_dir () in
+    (* Pre-bind every listener in the parent: children inherit them, so a
+       child's dial can never hit a not-yet-bound port. *)
+    let listeners =
+      Array.init n (fun _ ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+          Unix.listen fd 64;
+          fd)
+    in
+    let addrs = Array.map Unix.getsockname listeners in
+    let epoch = Unix.gettimeofday () in
+    flush stdout;
+    flush stderr;
+    let children =
+      Array.init n (fun i ->
+          match Unix.fork () with
+          | 0 ->
+              (* Child: embody pid [i].  [Unix._exit] skips at_exit (the
+                 parent's buffered output must not be re-flushed here). *)
+              let code =
+                try
+                  Array.iteri (fun j fd -> if j <> i then Unix.close fd) listeners;
+                  let r =
+                    Node.run ~epoch ~listen:listeners.(i) ~peer_addrs:addrs
+                      { config.node with Node.self = i }
+                  in
+                  Trace_io.save (trace_path dir i) r.Node.trace ~keep:(fun e ->
+                      e.Trace.pid = i);
+                  if r.Node.clean_exit then 0 else 10
+                with e ->
+                  Printf.eprintf "[node %d] fatal: %s\n%!" i (Printexc.to_string e);
+                  11
+              in
+              flush stdout;
+              flush stderr;
+              Unix._exit code
+          | pid -> pid)
+    in
+    Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+    (* Reap with a hard wall-clock cap: deadline + slack, then SIGKILL. *)
+    let slack_ms = 3_000.0 in
+    let give_up = epoch +. ((config.node.Node.deadline_ms +. slack_ms) /. 1000.0) in
+    let exits = Array.make n (-1) in
+    let remaining = ref n in
+    while !remaining > 0 && Unix.gettimeofday () < give_up do
+      Array.iteri
+        (fun i pid ->
+          if exits.(i) < 0 then
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> ()
+            | _, Unix.WEXITED c ->
+                exits.(i) <- c;
+                decr remaining
+            | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+                exits.(i) <- 12;
+                decr remaining
+            | exception Unix.Unix_error (ECHILD, _, _) ->
+                exits.(i) <- 13;
+                decr remaining)
+        children;
+      if !remaining > 0 then Unix.sleepf 0.02
+    done;
+    Array.iteri
+      (fun i pid ->
+        if exits.(i) < 0 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          exits.(i) <- 14
+        end)
+      children;
+    (* Merge the per-node logs and replay the checker over them — in a
+       live run the checker, not determinism, is the oracle. *)
+    let per_node =
+      Array.to_list
+        (Array.init n (fun i ->
+             let path = trace_path dir i in
+             if Sys.file_exists path then Trace_io.load path else []))
+    in
+    let merged = Trace_io.merge per_node in
+    let run = Checker.Run.of_trace merged ~n in
+    let verdict =
+      match config.node.Node.ordering with
+      | Abcast.Indirect_consensus -> Checker.check_all_abcast run
+      | Abcast.Consensus_on_messages | Abcast.Consensus_on_ids ->
+          Checker.check_atomic_broadcast run
+    in
+    let events_list = Trace.events merged in
+    let duration_ms, latency, throughput_msg_s = measure events_list in
+    let delivered_per_node =
+      Array.init n (fun i -> List.length (Checker.Run.adeliveries run i))
+    in
+    let outcome =
+      {
+        verdict;
+        delivered_per_node;
+        expected_per_node = config.node.Node.count * n;
+        exits;
+        duration_ms;
+        latency;
+        throughput_msg_s;
+        events = Trace.length merged;
+        trace_dir = dir;
+      }
+    in
+    if (not config.keep_dir) && config.dir = None then begin
+      Array.iter
+        (fun i ->
+          let p = trace_path dir i in
+          if Sys.file_exists p then Sys.remove p)
+        (Array.init n Fun.id);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end;
+    Ok outcome
+  end

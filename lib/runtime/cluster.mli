@@ -1,0 +1,43 @@
+(** Fork-and-check driver: a real [n]-node cluster over loopback TCP.
+
+    The parent pre-binds one listener per node on [127.0.0.1:0] (so a
+    child's dial can never race an unbound port), forks [n] children
+    that each run {!Node.run} for one pid, reaps them against the run
+    deadline, merges the per-node delivery logs, and replays the
+    existing {!Ics_checker.Checker} over the merged trace.  Live runs
+    are not deterministic — the checker is the oracle. *)
+
+module Checker = Ics_checker.Checker
+
+type config = {
+  node : Node.config;  (** [self] is ignored; each fork gets its own *)
+  dir : string option;  (** where per-node trace files go (default: temp) *)
+  keep_dir : bool;  (** keep trace files after a successful run *)
+}
+
+val default : config
+
+type latency = { samples : int; mean_ms : float; p95_ms : float; max_ms : float }
+
+type outcome = {
+  verdict : Checker.verdict;
+  delivered_per_node : int array;
+  expected_per_node : int;
+  exits : int array;  (** per-node exit codes (0 = clean barrier exit) *)
+  duration_ms : float;  (** first abroadcast to last adelivery, merged clock *)
+  latency : latency option;  (** abroadcast → adelivery, all (msg, node) pairs *)
+  throughput_msg_s : float;  (** distinct messages ordered per second *)
+  events : int;  (** merged trace size *)
+  trace_dir : string;
+}
+
+val ok : outcome -> bool
+(** Checker verdict passed and every node exited via the done barrier. *)
+
+val supported : unit -> bool
+(** Whether this environment can create and bind loopback TCP sockets
+    (some sandboxes cannot; callers should skip gracefully). *)
+
+val run : config -> (outcome, string) result
+(** [Error reason] only when the environment cannot run sockets at all;
+    protocol failures surface in the outcome's verdict and exit codes. *)

@@ -1,0 +1,128 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Failure_detector = Ics_fd.Failure_detector
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Codec = Ics_codec.Codec
+module Prim = Ics_codec.Prim
+module Rng = Ics_prelude.Rng
+
+(* Runtime control plane: each node announces on the "ctl" layer when it
+   has A-delivered the full workload, and exits once every peer has
+   announced too — the distributed analogue of the simulator's quiescence
+   check, with the run deadline as the fallback. *)
+type Message.payload += Done of int
+
+let ctl_layer = "ctl"
+
+let register_codec () =
+  Codec.register ~tag:0x48 ~name:"ctl.done"
+    ~fits:(function Done _ -> true | _ -> false)
+    ~size:(fun _ -> 5)
+    ~enc:(fun w -> function Done d -> Prim.u32 w d | _ -> assert false)
+    ~dec:(fun r -> Done (Prim.r_u32 r))
+    ~gen:(fun rng -> Done (Rng.int rng 10_000))
+
+type config = {
+  self : int;
+  n : int;
+  algo : Stack.algo;
+  ordering : Abcast.ordering;
+  broadcast : Stack.broadcast_kind;
+  count : int;  (** messages this node A-broadcasts *)
+  body_bytes : int;
+  gap_ms : float;  (** spacing between this node's abroadcasts *)
+  warmup_ms : float;  (** clock time before the first abroadcast *)
+  hb_period_ms : float;
+  hb_timeout_ms : float;
+  deadline_ms : float;  (** hard stop, in ms since the epoch *)
+}
+
+let default_workload =
+  {
+    self = 0;
+    n = 3;
+    algo = Stack.Ct;
+    ordering = Abcast.Indirect_consensus;
+    broadcast = Stack.Flood;
+    count = 20;
+    body_bytes = 128;
+    gap_ms = 5.0;
+    warmup_ms = 150.0;
+    hb_period_ms = 25.0;
+    hb_timeout_ms = 120.0;
+    deadline_ms = 10_000.0;
+  }
+
+type result = {
+  delivered : int;  (** A-deliveries at this node *)
+  expected : int;
+  clean_exit : bool;  (** finished via the all-done barrier, not the deadline *)
+  net : Socket_transport.stats;
+  trace : Ics_sim.Trace.t;
+}
+
+let run ~epoch ~listen ~peer_addrs config =
+  if config.self < 0 || config.self >= config.n then invalid_arg "Node.run: self out of range";
+  register_codec ();
+  (* The heartbeat detector emits before [Stack.assemble] would get a
+     chance to register the layer codecs — do it up front. *)
+  Ics_core.Codecs.ensure ();
+  let engine = Engine.create ~seed:(Int64.of_int (config.self + 1)) ~trace:`On ~n:config.n () in
+  let clock = Clock.create ~epoch in
+  let st =
+    Socket_transport.create ~engine ~clock ~self:config.self ~listen ~peer_addrs ()
+  in
+  let transport = Socket_transport.transport st in
+  let fd =
+    Failure_detector.heartbeat transport ~period:config.hb_period_ms
+      ~timeout:config.hb_timeout_ms
+  in
+  let expected = config.count * config.n in
+  let delivered = ref 0 in
+  let done_from = Array.make config.n false in
+  let announced = ref false in
+  let ctl = Transport.intern transport ctl_layer in
+  let announce () =
+    if not !announced then begin
+      announced := true;
+      done_from.(config.self) <- true;
+      Transport.send_to_others transport ~src:config.self ~layer:ctl ~body_bytes:5
+        (Done !delivered)
+    end
+  in
+  let on_deliver p _m =
+    if Pid.equal p config.self then begin
+      incr delivered;
+      if !delivered >= expected then announce ()
+    end
+  in
+  let abcast =
+    Stack.assemble transport ~fd ~algo:config.algo ~ordering:config.ordering
+      ~broadcast:config.broadcast ~on_deliver
+  in
+  Transport.register transport config.self ~layer:ctl (fun msg ->
+      match msg.Message.payload with
+      | Done _ -> done_from.(msg.Message.src) <- true
+      | _ -> ());
+  for k = 0 to config.count - 1 do
+    Engine.schedule engine
+      ~at:(config.warmup_ms +. (config.gap_ms *. float_of_int k))
+      (fun () ->
+        ignore
+          (Abcast.abroadcast abcast ~src:config.self ~body_bytes:config.body_bytes
+            : Ics_net.App_msg.t))
+  done;
+  let all_done () = !announced && Array.for_all Fun.id done_from in
+  Socket_transport.run st ~deadline:config.deadline_ms ~stop:all_done;
+  let clean = all_done () in
+  Socket_transport.close st;
+  {
+    delivered = !delivered;
+    expected;
+    clean_exit = clean;
+    net = Socket_transport.stats st;
+    trace = Engine.trace engine;
+  }

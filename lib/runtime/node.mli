@@ -1,0 +1,59 @@
+(** One live node: the full protocol stack over the socket transport.
+
+    A node embodies exactly one pid of the [n]-process stack.  The same
+    protocol code as the simulator runs unchanged: the engine is the
+    timer heap, driven by the real clock; remote sends leave through the
+    codec and the TCP mesh.
+
+    Termination: each node A-broadcasts [count] messages ([gap_ms]
+    apart, after [warmup_ms]); when it has A-delivered [count * n]
+    messages it announces [Done] on the ["ctl"] layer, and exits once
+    every peer has announced — or at [deadline_ms], whichever is first. *)
+
+module Stack = Ics_core.Stack
+module Abcast = Ics_core.Abcast
+module Message = Ics_net.Message
+
+type Message.payload += Done of int
+(** Control-plane completion announcement (the sender's delivery count). *)
+
+val register_codec : unit -> unit
+
+type config = {
+  self : int;
+  n : int;
+  algo : Stack.algo;
+  ordering : Abcast.ordering;
+  broadcast : Stack.broadcast_kind;
+  count : int;  (** messages this node A-broadcasts *)
+  body_bytes : int;
+  gap_ms : float;  (** spacing between this node's abroadcasts *)
+  warmup_ms : float;  (** clock time before the first abroadcast *)
+  hb_period_ms : float;
+  hb_timeout_ms : float;
+  deadline_ms : float;  (** hard stop, in ms since the epoch *)
+}
+
+val default_workload : config
+(** n = 3, CT, indirect, flood, 20 messages × 128 B at 5 ms gap, 10 s
+    deadline. *)
+
+type result = {
+  delivered : int;  (** A-deliveries at this node *)
+  expected : int;
+  clean_exit : bool;  (** finished via the all-done barrier, not the deadline *)
+  net : Socket_transport.stats;
+  trace : Ics_sim.Trace.t;
+}
+
+val run :
+  epoch:float ->
+  listen:Unix.file_descr ->
+  peer_addrs:Unix.sockaddr array ->
+  config ->
+  result
+(** Run to completion (barrier or deadline).  [epoch] must be shared by
+    the whole cluster — virtual time is ms since it.  [listen] must
+    already be bound and listening.  The returned trace holds this
+    node's own events (filter on [pid = self] before writing: the shared
+    protocol code also books foreign-pid detector events). *)

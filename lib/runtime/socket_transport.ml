@@ -1,0 +1,307 @@
+module Engine = Ics_sim.Engine
+module Transport = Ics_net.Transport
+module Message = Ics_net.Message
+module Layer = Ics_net.Layer
+module Codec = Ics_codec.Codec
+module Prim = Ics_codec.Prim
+
+(* Connection topology: node [i] dials every peer and uses the dialed
+   socket for its outbound frames only; inbound frames arrive on sockets
+   accepted from the peers' dials.  One-directional sockets mean a node
+   never has to agree with a peer about which of two crossing connections
+   to keep. *)
+
+type peer = {
+  mutable out_fd : Unix.file_descr option;
+  out_buf : Buffer.t;
+  mutable out_pos : int;  (* consumed prefix of [out_buf] *)
+}
+
+type conn = { fd : Unix.file_descr; mutable in_buf : string }
+
+type t = {
+  engine : Engine.t;
+  clock : Clock.t;
+  self : int;
+  n : int;
+  listen : Unix.file_descr;
+  peers : peer array;
+  mutable conns : conn list;
+  mutable transport : Transport.t option;
+  mutable frames_out : int;
+  mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable bytes_in : int;
+  mutable decode_errors : int;
+}
+
+let transport t = Option.get t.transport
+
+let close_peer peer =
+  match peer.out_fd with
+  | None -> ()
+  | Some fd ->
+      peer.out_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close_conn t conn =
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let pending peer = Buffer.length peer.out_buf - peer.out_pos
+
+(* Non-blocking drain of one peer's outbound buffer. *)
+let flush_peer peer =
+  match peer.out_fd with
+  | None ->
+      Buffer.clear peer.out_buf;
+      peer.out_pos <- 0
+  | Some fd -> (
+      let len = pending peer in
+      if len > 0 then
+        match
+          Unix.write_substring fd (Buffer.contents peer.out_buf) peer.out_pos len
+        with
+        | written ->
+            peer.out_pos <- peer.out_pos + written;
+            if peer.out_pos >= Buffer.length peer.out_buf then begin
+              Buffer.clear peer.out_buf;
+              peer.out_pos <- 0
+            end
+        | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
+        | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+            close_peer peer)
+
+let emit t (msg : Message.t) =
+  if msg.Message.dst >= 0 && msg.Message.dst < t.n && msg.Message.dst <> t.self then begin
+    let peer = t.peers.(msg.Message.dst) in
+    if peer.out_fd <> None then begin
+      let before = Buffer.length peer.out_buf in
+      ignore
+        (Codec.encode_frame peer.out_buf ~src:msg.Message.src ~dst:msg.Message.dst
+           ~layer:(Layer.name msg.Message.layer) msg.Message.payload
+          : int);
+      t.frames_out <- t.frames_out + 1;
+      t.bytes_out <- t.bytes_out + (Buffer.length peer.out_buf - before);
+      flush_peer peer
+    end
+  end
+
+(* Decode every complete frame in [conn.in_buf] and re-enter it through
+   the transport; a malformed frame kills the connection (a corrupted TCP
+   byte stream cannot be resynchronized). *)
+let drain_input t conn =
+  let buf = conn.in_buf in
+  let len = String.length buf in
+  let pos = ref 0 in
+  let alive = ref true in
+  while
+    !alive
+    && len - !pos >= Codec.header_bytes
+    &&
+    match Codec.decode_header ~pos:!pos buf with
+    | Error e ->
+        t.decode_errors <- t.decode_errors + 1;
+        Printf.eprintf "[node %d] frame header error: %s\n%!" t.self e;
+        close_conn t conn;
+        alive := false;
+        false
+    | Ok h when h.Codec.h_body_len > 16 * 1024 * 1024 ->
+        t.decode_errors <- t.decode_errors + 1;
+        Printf.eprintf "[node %d] frame body length %d exceeds cap\n%!" t.self
+          h.Codec.h_body_len;
+        close_conn t conn;
+        alive := false;
+        false
+    | Ok h ->
+        if len - !pos - Codec.header_bytes < h.Codec.h_body_len then false
+        else begin
+          (match Codec.decode_body ~pos:(!pos + Codec.header_bytes) buf h with
+          | Error e ->
+              t.decode_errors <- t.decode_errors + 1;
+              Printf.eprintf "[node %d] frame body error: %s\n%!" t.self e;
+              close_conn t conn;
+              alive := false
+          | Ok payload ->
+              t.frames_in <- t.frames_in + 1;
+              t.bytes_in <- t.bytes_in + Codec.header_bytes + h.Codec.h_body_len;
+              let msg =
+                {
+                  Message.src = h.Codec.h_src;
+                  dst = h.Codec.h_dst;
+                  layer = Layer.unregistered h.Codec.h_layer;
+                  payload;
+                  body_bytes = h.Codec.h_body_len;
+                  sent_at = Engine.now t.engine;
+                }
+              in
+              Transport.inject (transport t) msg);
+          !alive && (pos := !pos + Codec.header_bytes + h.Codec.h_body_len;
+                     true)
+        end
+  do
+    ()
+  done;
+  if !alive then
+    conn.in_buf <- (if !pos = 0 then buf else String.sub buf !pos (len - !pos))
+
+let read_chunk = Bytes.create 65536
+
+let handle_readable t conn =
+  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> close_conn t conn
+  | nread ->
+      conn.in_buf <- conn.in_buf ^ Bytes.sub_string read_chunk 0 nread;
+      drain_input t conn
+  | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> close_conn t conn
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept t.listen with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        t.conns <- { fd; in_buf = "" } :: t.conns;
+        go ()
+    | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
+  in
+  go ()
+
+let dial addr ~attempts ~retry_delay =
+  let rec go k =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Unix.set_nonblock fd;
+        Some fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if k + 1 >= attempts then (
+          ignore e;
+          None)
+        else begin
+          Unix.sleepf retry_delay;
+          go (k + 1)
+        end
+  in
+  go 0
+
+let create ~engine ~clock ~self ~listen ~peer_addrs () =
+  let n = Engine.n engine in
+  if Array.length peer_addrs <> n then
+    invalid_arg "Socket_transport.create: peer_addrs size mismatch";
+  Unix.set_nonblock listen;
+  let t =
+    {
+      engine;
+      clock;
+      self;
+      n;
+      listen;
+      peers = Array.init n (fun _ -> { out_fd = None; out_buf = Buffer.create 4096; out_pos = 0 });
+      conns = [];
+      transport = None;
+      frames_out = 0;
+      bytes_out = 0;
+      frames_in = 0;
+      bytes_in = 0;
+      decode_errors = 0;
+    }
+  in
+  let transport = Transport.create_ext engine ~self ~emit:(fun msg -> emit t msg) () in
+  t.transport <- Some transport;
+  for p = 0 to n - 1 do
+    if p <> self then
+      (* The cluster parent pre-binds every listener before forking, so a
+         dial normally succeeds on the first try; standalone nodes may
+         start in any order and get the retry loop. *)
+      t.peers.(p).out_fd <- dial peer_addrs.(p) ~attempts:100 ~retry_delay:0.05
+  done;
+  t
+
+let connected t =
+  let up = ref 0 in
+  Array.iteri (fun p peer -> if p <> t.self && peer.out_fd <> None then incr up) t.peers;
+  !up
+
+(* The live event loop: execute due engine events, then block in select
+   until the next timer, inbound traffic, or writability of a clogged
+   peer.  The engine's horizon is pinned once to [deadline] so that
+   self-rearming timer loops (heartbeats) retire by themselves. *)
+let run t ~deadline ~stop =
+  Engine.set_horizon t.engine (Some deadline);
+  let stopped_at = ref None in
+  let grace = 250.0 (* ms to drain output after [stop] turns true *) in
+  let finished now =
+    now >= deadline
+    ||
+    match !stopped_at with
+    | None ->
+        if stop () then begin
+          stopped_at := Some now;
+          Array.for_all (fun p -> pending p = 0) t.peers
+        end
+        else false
+    | Some t0 ->
+        t0 +. grace <= now || Array.for_all (fun p -> pending p = 0) t.peers
+  in
+  let rec loop () =
+    let now = Clock.now t.clock in
+    Engine.run_due t.engine ~upto:now;
+    Array.iter flush_peer t.peers;
+    let now = Clock.now t.clock in
+    if not (finished now) then begin
+      let horizon = match !stopped_at with Some t0 -> Float.min deadline (t0 +. grace) | None -> deadline in
+      let next_timer =
+        match Engine.next_due t.engine with
+        | Some at -> Float.max 0.0 (at -. now)
+        | None -> 50.0
+      in
+      let timeout_ms = Float.min 50.0 (Float.min next_timer (Float.max 0.0 (horizon -. now))) in
+      let rfds = t.listen :: List.map (fun c -> c.fd) t.conns in
+      let wfds =
+        Array.to_list t.peers
+        |> List.filter_map (fun p -> if pending p > 0 then p.out_fd else None)
+      in
+      (match Unix.select rfds wfds [] (timeout_ms /. 1000.0) with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          if List.memq t.listen readable then accept_ready t;
+          List.iter
+            (fun conn -> if List.memq conn.fd readable then handle_readable t conn)
+            t.conns;
+          Array.iter
+            (fun peer ->
+              match peer.out_fd with
+              | Some fd when List.memq fd writable -> flush_peer peer
+              | _ -> ())
+            t.peers);
+      loop ()
+    end
+  in
+  loop ()
+
+let close t =
+  Array.iter close_peer t.peers;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  try Unix.close t.listen with Unix.Unix_error _ -> ()
+
+type stats = {
+  frames_out : int;
+  bytes_out : int;
+  frames_in : int;
+  bytes_in : int;
+  decode_errors : int;
+}
+
+let stats (t : t) =
+  {
+    frames_out = t.frames_out;
+    bytes_out = t.bytes_out;
+    frames_in = t.frames_in;
+    bytes_in = t.bytes_in;
+    decode_errors = t.decode_errors;
+  }

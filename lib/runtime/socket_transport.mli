@@ -1,0 +1,55 @@
+(** The live transport backend: localhost TCP mesh + select loop.
+
+    Wraps {!Ics_net.Transport.create_ext} with real sockets.  Node [i]
+    dials every peer once and uses the dialed socket for outbound frames
+    only; inbound frames arrive on sockets accepted from the peers'
+    dials.  Frames are the {!Ics_codec.Codec} wire format; a malformed
+    frame closes its connection (a corrupted TCP byte stream cannot be
+    resynchronized) and is counted in {!stats}.
+
+    The event loop ({!run}) drives the engine's timer queue from the real
+    clock via {!Ics_sim.Engine.run_due}, pinning the engine horizon once
+    to the run deadline so self-rearming timers (heartbeats) retire on
+    their own. *)
+
+module Engine = Ics_sim.Engine
+module Transport = Ics_net.Transport
+
+type t
+
+val create :
+  engine:Engine.t ->
+  clock:Clock.t ->
+  self:int ->
+  listen:Unix.file_descr ->
+  peer_addrs:Unix.sockaddr array ->
+  unit ->
+  t
+(** [listen] must already be bound and listening; it is switched to
+    non-blocking.  Dials every [peer_addrs] entry except [self]'s
+    (retrying briefly, so standalone nodes may start in any order).
+    @raise Invalid_argument if [peer_addrs] doesn't have one entry per
+    process. *)
+
+val transport : t -> Transport.t
+(** The [Ext]-backend transport protocol layers plug into. *)
+
+val connected : t -> int
+(** Number of peers with a live outbound connection. *)
+
+val run : t -> deadline:float -> stop:(unit -> bool) -> unit
+(** Loop until the clock passes [deadline] (engine-time ms) or [stop]
+    returns true and the outbound buffers have drained (with a short
+    grace cap, so a dead peer cannot hold the node hostage). *)
+
+val close : t -> unit
+
+type stats = {
+  frames_out : int;
+  bytes_out : int;
+  frames_in : int;
+  bytes_in : int;
+  decode_errors : int;
+}
+
+val stats : t -> stats

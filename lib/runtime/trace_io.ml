@@ -1,0 +1,126 @@
+module Trace = Ics_sim.Trace
+module Msg_id = Ics_net.Msg_id
+
+(* One event per line: time, pid, a short tag, then tag-specific fields.
+   The format is line-oriented and append-only so a node that dies mid-run
+   leaves a readable prefix; the parser rejects, rather than guesses at,
+   anything malformed. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let id_str (id : Msg_id.t) = Printf.sprintf "%d:%d" id.Msg_id.origin id.Msg_id.seq
+
+let id_of_str s =
+  match String.index_opt s ':' with
+  | None -> fail "bad msg id %S" s
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some origin, Some seq when origin >= 0 && seq >= 0 -> Msg_id.make ~origin ~seq
+      | _ -> fail "bad msg id %S" s)
+
+let ids_str = function
+  | [] -> "-"
+  | ids -> String.concat "," (List.map id_str ids)
+
+let ids_of_str = function
+  | "-" -> []
+  | s -> List.map id_of_str (String.split_on_char ',' s)
+
+let kind_str (kind : Trace.kind) =
+  match kind with
+  | Trace.Crash -> "C"
+  | Trace.Abroadcast id -> "AB " ^ id_str id
+  | Trace.Adeliver id -> "AD " ^ id_str id
+  | Trace.Rbroadcast id -> "RB " ^ id_str id
+  | Trace.Rdeliver id -> "RD " ^ id_str id
+  | Trace.Urb_broadcast id -> "UB " ^ id_str id
+  | Trace.Urb_deliver id -> "UD " ^ id_str id
+  | Trace.Propose (k, ids) -> Printf.sprintf "P %d %s" k (ids_str ids)
+  | Trace.Decide (k, ids) -> Printf.sprintf "D %d %s" k (ids_str ids)
+  | Trace.Suspect p -> Printf.sprintf "S %d" p
+  | Trace.Trust p -> Printf.sprintf "T %d" p
+  | Trace.Net_drop p -> Printf.sprintf "ND %d" p
+  | Trace.Net_dup p -> Printf.sprintf "NU %d" p
+  | Trace.Net_delay p -> Printf.sprintf "NL %d" p
+  | Trace.Partition_start s -> Printf.sprintf "PS %S" s
+  | Trace.Partition_heal s -> Printf.sprintf "PH %S" s
+  | Trace.Note s -> Printf.sprintf "N %S" s
+
+let write_event oc (e : Trace.event) =
+  Printf.fprintf oc "%.6f %d %s\n" e.Trace.time e.Trace.pid (kind_str e.Trace.kind)
+
+let write oc trace ~keep = Trace.iter trace (fun e -> if keep e then write_event oc e)
+
+let save path trace ~keep =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc trace ~keep)
+
+let int_field s =
+  match int_of_string_opt s with Some v -> v | None -> fail "bad int %S" s
+
+let pid_field s =
+  let p = int_field s in
+  if p < 0 then fail "negative pid %d" p;
+  p
+
+let kind_of_fields tag args line =
+  match (tag, args) with
+  | "C", [] -> Trace.Crash
+  | "AB", [ id ] -> Trace.Abroadcast (id_of_str id)
+  | "AD", [ id ] -> Trace.Adeliver (id_of_str id)
+  | "RB", [ id ] -> Trace.Rbroadcast (id_of_str id)
+  | "RD", [ id ] -> Trace.Rdeliver (id_of_str id)
+  | "UB", [ id ] -> Trace.Urb_broadcast (id_of_str id)
+  | "UD", [ id ] -> Trace.Urb_deliver (id_of_str id)
+  | "P", [ k; ids ] -> Trace.Propose (int_field k, ids_of_str ids)
+  | "D", [ k; ids ] -> Trace.Decide (int_field k, ids_of_str ids)
+  | "S", [ p ] -> Trace.Suspect (pid_field p)
+  | "T", [ p ] -> Trace.Trust (pid_field p)
+  | "ND", [ p ] -> Trace.Net_drop (pid_field p)
+  | "NU", [ p ] -> Trace.Net_dup (pid_field p)
+  | "NL", [ p ] -> Trace.Net_delay (pid_field p)
+  | "PS", _ :: _ -> Trace.Partition_start (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
+  | "PH", _ :: _ -> Trace.Partition_heal (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
+  | "N", _ :: _ -> Trace.Note (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
+  | _ -> fail "unparseable event line %S" line
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | time :: pid :: tag :: args -> (
+      match float_of_string_opt time with
+      | None -> fail "bad time %S" time
+      | Some time ->
+          let pid = pid_field pid in
+          let kind = try kind_of_fields tag args line with Scanf.Scan_failure _ | End_of_file -> fail "unparseable event line %S" line in
+          { Trace.time; pid; kind })
+  | _ -> fail "unparseable event line %S" line
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> go (parse_line line :: acc)
+      in
+      go [])
+
+let merge event_lists =
+  (* Stable sort keeps each node's own (already chronological) order for
+     equal timestamps; cross-node ties have no defined order anyway. *)
+  let all =
+    List.stable_sort
+      (fun (a : Trace.event) b -> compare a.Trace.time b.Trace.time)
+      (List.concat event_lists)
+  in
+  let t = Trace.create () in
+  List.iter (fun (e : Trace.event) -> Trace.record t ~time:e.Trace.time ~pid:e.Trace.pid e.Trace.kind) all;
+  t

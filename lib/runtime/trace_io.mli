@@ -1,0 +1,27 @@
+(** Trace serialization for the live runtime.
+
+    Each node of a live cluster records its own {!Ics_sim.Trace.t} and
+    writes it out as one event per line; the parent parses and merges the
+    per-node files into a single chronological trace for the checker.
+    The format is append-only text, so a node that dies mid-run still
+    leaves a parseable prefix. *)
+
+module Trace = Ics_sim.Trace
+
+exception Error of string
+(** Raised by {!parse_line} and {!load} on malformed input. *)
+
+val write_event : out_channel -> Trace.event -> unit
+
+val write : out_channel -> Trace.t -> keep:(Trace.event -> bool) -> unit
+(** Write the events satisfying [keep] (a live node keeps only its own
+    pid: foreign-pid events are simulation artifacts of the shared
+    protocol code). *)
+
+val save : string -> Trace.t -> keep:(Trace.event -> bool) -> unit
+
+val parse_line : string -> Trace.event
+val load : string -> Trace.event list
+
+val merge : Trace.event list list -> Trace.t
+(** Merge per-node event lists into one trace, stably sorted by time. *)

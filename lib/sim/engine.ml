@@ -94,6 +94,26 @@ let run ?until ?max_events t =
 let pending t = Event_queue.size t.queue
 let stop t = t.stopped <- true
 let horizon t = t.horizon
+let set_horizon t h = t.horizon <- h
+
+let next_due t =
+  if Event_queue.is_empty t.queue then None
+  else Some (Event_queue.min_time_exn t.queue)
+
+(* Live-runtime driver: execute everything due by the real clock and pin
+   the virtual clock to it, without touching the horizon (which the live
+   loop sets once, to the run deadline, via [set_horizon]). *)
+let run_due t ~upto =
+  t.stopped <- false;
+  let continue = ref true in
+  while
+    !continue && (not t.stopped)
+    && (not (Event_queue.is_empty t.queue))
+    && Event_queue.min_time_exn t.queue <= upto
+  do
+    continue := step t
+  done;
+  if t.now < upto then t.now <- upto
 
 let is_alive t p = t.alive.(p)
 

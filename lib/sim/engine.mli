@@ -52,6 +52,21 @@ val horizon : t -> Time.t option
     without this, such loops keep the event queue non-empty forever and a
     horizon-less {!run} never returns. *)
 
+val set_horizon : t -> Time.t option -> unit
+(** Set the horizon without running anything.  The live runtime pins it
+    once to the real-clock deadline of the run so self-rearming timer
+    loops know when to retire, then drives events with {!run_due}. *)
+
+val next_due : t -> Time.t option
+(** Timestamp of the earliest queued event — the live loop's select
+    timeout. *)
+
+val run_due : t -> upto:Time.t -> unit
+(** Execute every queued event with timestamp [<= upto] and advance the
+    virtual clock to [upto].  Unlike {!run}, the horizon is untouched:
+    in a live run the virtual clock is the real monotonic clock, and
+    [upto] is simply "now". *)
+
 val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)
 

@@ -1,0 +1,225 @@
+(* Wire codec: registry-driven round-trip coverage, frame robustness
+   against truncation/corruption, and the sim-fingerprint regression
+   anchor for the body_bytes recalibration. *)
+
+module Rng = Ics_prelude.Rng
+module Codec = Ics_codec.Codec
+module Prim = Ics_codec.Prim
+module Codecs = Ics_core.Codecs
+module Chaos = Ics_workload.Chaos
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let encode_bytes payload =
+  let w = Buffer.create 256 in
+  Codec.encode_payload w payload;
+  Buffer.contents w
+
+(* Every registered constructor: gen → encode → decode → re-encode must
+   reproduce the bytes, and the arithmetic [size] must equal the real
+   encoded length.  The registry itself is the coverage universe, so a
+   layer that registers a codec is automatically under test. *)
+let test_roundtrip_all () =
+  Codecs.ensure ();
+  let entries = Codec.entries () in
+  checkb "registry covers all protocol layers" true (List.length entries >= 20);
+  let rng = Rng.create 0xC0DECL in
+  List.iter
+    (fun (e : Codec.entry) ->
+      for _ = 1 to 50 do
+        let p = e.Codec.gen rng in
+        checkb (e.Codec.name ^ " gen fits") true (e.Codec.fits p);
+        let bytes = encode_bytes p in
+        checki (e.Codec.name ^ " size = |encode|") (String.length bytes)
+          (e.Codec.size p);
+        checki (e.Codec.name ^ " body_bytes agrees") (String.length bytes)
+          (Codec.body_bytes p);
+        let r = Prim.reader bytes in
+        let p' = Codec.decode_payload r in
+        checki (e.Codec.name ^ " decode consumed all") 0 (Prim.remaining r);
+        checkb (e.Codec.name ^ " decoded fits same codec") true (e.Codec.fits p');
+        Alcotest.(check string)
+          (e.Codec.name ^ " re-encode identical") bytes (encode_bytes p')
+      done)
+    entries
+
+let test_unique_tags_and_names () =
+  Codecs.ensure ();
+  let entries = Codec.entries () in
+  let tags = List.map (fun (e : Codec.entry) -> e.Codec.tag) entries in
+  let names = List.map (fun (e : Codec.entry) -> e.Codec.name) entries in
+  checki "tags unique" (List.length tags) (List.length (List.sort_uniq compare tags));
+  checki "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter (fun t -> checkb "tag in range" true (t >= 0 && t <= 255)) tags
+
+let test_unregistered_payload () =
+  Codecs.ensure ();
+  let module M = struct
+    type Ics_net.Message.payload += Never_registered
+  end in
+  checkb "encode rejects unregistered" true
+    (match encode_bytes M.Never_registered with
+    | _ -> false
+    | exception Codec.Error _ -> true)
+
+let frame_for payload =
+  Codecs.ensure ();
+  let w = Buffer.create 256 in
+  let body_len = Codec.encode_frame w ~src:1 ~dst:2 ~layer:"consensus" payload in
+  (Buffer.contents w, body_len)
+
+let test_frame_roundtrip () =
+  Codecs.ensure ();
+  let rng = Rng.create 0xF4A3EL in
+  List.iter
+    (fun (e : Codec.entry) ->
+      let p = e.Codec.gen rng in
+      let frame, body_len = frame_for p in
+      checki
+        (e.Codec.name ^ " frame length")
+        (Codec.header_bytes + body_len)
+        (String.length frame);
+      match Codec.decode_header frame with
+      | Error msg -> Alcotest.failf "%s header: %s" e.Codec.name msg
+      | Ok h -> (
+          checki (e.Codec.name ^ " src") 1 h.Codec.h_src;
+          checki (e.Codec.name ^ " dst") 2 h.Codec.h_dst;
+          Alcotest.(check string) (e.Codec.name ^ " layer") "consensus" h.Codec.h_layer;
+          checki (e.Codec.name ^ " body len") body_len h.Codec.h_body_len;
+          match Codec.decode_body ~pos:Codec.header_bytes frame h with
+          | Error msg -> Alcotest.failf "%s body: %s" e.Codec.name msg
+          | Ok p' ->
+              Alcotest.(check string)
+                (e.Codec.name ^ " payload survives framing")
+                (encode_bytes p) (encode_bytes p')))
+    (Codec.entries ())
+
+(* Every strict prefix of a valid frame must be rejected as a clean
+   [Error] — a short read can never crash the node or yield a message. *)
+let test_truncated_frames () =
+  let frame, _ = frame_for Ics_net.Message.Ping in
+  for len = 0 to String.length frame - 1 do
+    let prefix = String.sub frame 0 len in
+    let verdict =
+      if len < Codec.header_bytes then
+        match Codec.decode_header prefix with Error _ -> true | Ok _ -> false
+      else
+        match Codec.decode_header prefix with
+        | Error _ -> true
+        | Ok h -> (
+            (* Header parses; the body must fail (it is too short, and the
+               caller checks length first — but decode_body must also
+               reject a short buffer on its own). *)
+            match Codec.decode_body ~pos:Codec.header_bytes prefix h with
+            | Error _ -> true
+            | Ok _ -> false)
+    in
+    checkb (Printf.sprintf "prefix %d rejected" len) true verdict
+  done
+
+(* Single-byte corruption anywhere in the body is caught by the CRC; a
+   corrupted magic or version byte is caught by the header parse. *)
+let test_corrupt_frames () =
+  let rng = Rng.create 0xBADL in
+  List.iter
+    (fun (e : Codec.entry) ->
+      let p = e.Codec.gen rng in
+      let frame, _ = frame_for p in
+      (* magic and version bytes *)
+      for pos = 0 to 1 do
+        let b = Bytes.of_string frame in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+        checkb
+          (Printf.sprintf "%s header byte %d" e.Codec.name pos)
+          true
+          (match Codec.decode_header (Bytes.to_string b) with
+          | Error _ -> true
+          | Ok _ -> false)
+      done;
+      (* every body byte *)
+      for pos = Codec.header_bytes to String.length frame - 1 do
+        let b = Bytes.of_string frame in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x55));
+        let s = Bytes.to_string b in
+        let verdict =
+          match Codec.decode_header s with
+          | Error _ -> true
+          | Ok h -> (
+              match Codec.decode_body ~pos:Codec.header_bytes s h with
+              | Error _ -> true
+              | Ok _ -> false)
+        in
+        checkb (Printf.sprintf "%s body byte %d" e.Codec.name pos) true verdict
+      done)
+    (Codec.entries ())
+
+let test_unknown_tag_rejected () =
+  Codecs.ensure ();
+  let used =
+    List.map (fun (e : Codec.entry) -> e.Codec.tag) (Codec.entries ())
+  in
+  let free = List.find (fun t -> not (List.mem t used)) [ 0xFE; 0xFD; 0xFC ] in
+  (* Hand-build a body with an unregistered tag but a valid CRC by going
+     through a registered frame and splicing the tag in is fragile;
+     instead decode the bare payload, which shares the tag dispatch. *)
+  let r = Prim.reader (String.make 1 (Char.chr free)) in
+  checkb "unknown tag" true
+    (match Codec.decode_payload r with
+    | _ -> false
+    | exception Codec.Error _ -> true)
+
+let test_fuzz_decode_never_crashes () =
+  Codecs.ensure ();
+  let rng = Rng.create 0x5EEDL in
+  for _ = 1 to 2_000 do
+    let len = Rng.int rng 64 in
+    let s = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    (* Must return a clean result or raise the codec error — anything
+       else (Invalid_argument, Out_of_bounds, ...) fails the test. *)
+    (match Codec.decode_header s with
+    | Ok _ | Error _ -> ());
+    match Codec.decode_payload (Prim.reader s) with
+    | _ -> ()
+    | exception Codec.Error _ -> ()
+  done
+
+(* The body_bytes recalibration anchor: these digests were captured
+   before the codec existed (hand-estimated sizes) under Model.constant +
+   Host.instant, where timing is size-independent — so they must survive
+   the switch to real encoded sizes bit-for-bit.  If one of these moves,
+   either the trace format changed (update EXPERIMENTS.md) or scheduling
+   behaviour drifted (a real regression). *)
+let test_sim_fingerprints_pinned () =
+  let cases =
+    [
+      (Chaos.Ct_indirect, Chaos.Drop, 2L, "4bc2be962988606fdb1a205603e94b6f");
+      (Chaos.Mr_indirect, Chaos.Mixed, 3L, "5bf49b603b81d4a736cde9f542e0cbf4");
+      (Chaos.Ct_on_ids, Chaos.Blackout, 3L, "ba6b16163d0633fd02094d279e19b791");
+    ]
+  in
+  List.iter
+    (fun (stack, plan, seed, expect) ->
+      let r = Chaos.run_one stack plan ~seed in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s seed %Ld" (Chaos.stack_name stack)
+           (Chaos.plan_name plan) seed)
+        expect r.Chaos.fingerprint)
+    cases
+
+let suites =
+  [
+    ( "codec",
+      [
+        Alcotest.test_case "round-trip every constructor" `Quick test_roundtrip_all;
+        Alcotest.test_case "tags and names unique" `Quick test_unique_tags_and_names;
+        Alcotest.test_case "unregistered payload rejected" `Quick test_unregistered_payload;
+        Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+        Alcotest.test_case "truncated frames rejected" `Quick test_truncated_frames;
+        Alcotest.test_case "corrupt frames rejected" `Quick test_corrupt_frames;
+        Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag_rejected;
+        Alcotest.test_case "fuzzed decode never crashes" `Quick test_fuzz_decode_never_crashes;
+        Alcotest.test_case "sim fingerprints pinned" `Quick test_sim_fingerprints_pinned;
+      ] );
+  ]

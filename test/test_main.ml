@@ -24,4 +24,6 @@ let () =
          Test_lb.suites;
          Test_protocol_edges.suites;
          Test_more.suites;
+         Test_codec.suites;
+         Test_runtime.suites;
        ])

@@ -24,7 +24,10 @@ let test_wire_sizes () =
   checki "id set grows linearly" (Wire.id_set_bytes 0 + (3 * Wire.id_bytes))
     (Wire.id_set_bytes 3);
   checkb "header positive" true (Wire.header_bytes > 0);
-  checki "payload with id" (Wire.id_bytes + 100) (Wire.payload_with_id_bytes 100)
+  checki "payload with id"
+    (Wire.tag_bytes + Wire.id_bytes + Wire.app_msg_overhead + 100)
+    (Wire.payload_with_id_bytes 100);
+  checki "id only" (Wire.tag_bytes + Wire.id_bytes) Wire.id_only_bytes
 
 let test_msg_id_order () =
   let a = Msg_id.make ~origin:0 ~seq:5 in
@@ -47,7 +50,7 @@ let test_app_msg () =
   let id = Msg_id.make ~origin:2 ~seq:7 in
   let m = App_msg.make ~id ~body_bytes:100 ~created_at:5.0 in
   checki "origin" 2 (App_msg.origin m);
-  checki "rb body" (Wire.id_bytes + 100) (App_msg.rb_body_bytes m)
+  checki "rb body" (Wire.payload_with_id_bytes 100) (App_msg.rb_body_bytes m)
 
 (* Host *)
 
