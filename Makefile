@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke cluster-smoke verify clean
+.PHONY: all build test bench perf chaos chaos-smoke cluster-smoke lint verify clean
 
 all: build
 
@@ -21,9 +21,11 @@ perf:
 chaos:
 	dune exec bin/ics_cli.exe -- chaos --seeds 100
 
-# Quick sweep for the pre-merge gate (a few seconds).
+# Quick sweep for the pre-merge gate (a few seconds).  --replay-check reruns
+# one seed per cell and fails on any fingerprint divergence, so the replay
+# commands the sweep prints stay trustworthy.
 chaos-smoke:
-	dune exec bin/ics_cli.exe -- chaos --seeds 5
+	dune exec bin/ics_cli.exe -- chaos --seeds 5 --replay-check
 
 # Live 3-node loopback cluster, checker-verified (exit 2 = sandbox has no
 # sockets, which is a skip, not a failure).
@@ -33,7 +35,12 @@ cluster-smoke:
 	if [ $$rc -eq 2 ]; then echo "cluster-smoke: skipped (no loopback sockets)"; \
 	elif [ $$rc -ne 0 ]; then exit $$rc; fi
 
-verify: build test perf chaos-smoke cluster-smoke
+# Determinism & protocol-safety linter over lib/ and bin/ (exit 0 clean,
+# 1 findings, 2 internal error).
+lint:
+	dune exec bin/ics_lint.exe -- --root .
+
+verify: build test lint perf chaos-smoke cluster-smoke
 
 clean:
 	dune clean

@@ -241,7 +241,7 @@ let trace_cmd =
 (* `chaos` command: seeded fault-injection sweep over stacks × plans. *)
 
 let chaos_cmd =
-  let exec seeds seed_base n stacks plans no_retransmit verbose =
+  let exec seeds seed_base n stacks plans no_retransmit replay_check verbose =
     let parse_csv ~what ~of_string ~all s =
       if s = "all" then all
       else
@@ -271,6 +271,24 @@ let chaos_cmd =
         ~progress ~stacks ~plans ()
     in
     Chaos.report ~verbose Format.std_formatter cells;
+    if replay_check then begin
+      let mismatches =
+        Chaos.replay_check ~retransmit:(not no_retransmit) ?n ~seed_base
+          ~stacks ~plans ()
+      in
+      match mismatches with
+      | [] ->
+          Format.printf "replay check: %d cell(s) reran bit-identically@."
+            (List.length stacks * List.length plans)
+      | ms ->
+          Format.printf
+            "FAIL: replay check found nondeterminism — seeded reruns \
+             diverged:@.";
+          List.iter
+            (fun m -> Format.printf "  %a@." Chaos.pp_mismatch m)
+            ms;
+          exit 1
+    end;
     if Chaos.indirect_clean cells then begin
       Format.printf "indirect stacks clean over %d seeds@." seeds;
       if List.exists (fun c -> c.Chaos.failures <> []) cells then
@@ -309,6 +327,15 @@ let chaos_cmd =
       & info [ "no-retransmit" ]
           ~doc:"Run directly over the lossy links, without the retransmission channel.")
   in
+  let replay_check =
+    Arg.(
+      value & flag
+      & info [ "replay-check" ]
+          ~doc:
+            "After the sweep, rerun one seed per (stack, plan) cell twice \
+             and fail if the trace fingerprints differ — a determinism gate \
+             for the replay commands the sweep prints.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-cell progress and every failing seed.")
   in
@@ -317,7 +344,7 @@ let chaos_cmd =
        ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds)")
     Term.(
       const exec $ seeds $ seed_base $ n $ stacks $ plans $ no_retransmit
-      $ verbose)
+      $ replay_check $ verbose)
 
 (* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
    the merged delivery logs; `node` runs a single process of one (for
@@ -483,6 +510,7 @@ let node_cmd =
                 (Unix.error_message e);
               exit 2)
     in
+    (* lint: allow D2 — the live node's shared time origin defaults to the real clock by design *)
     let epoch = match epoch with Some e -> e | None -> Unix.gettimeofday () in
     let config =
       {

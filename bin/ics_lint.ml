@@ -1,0 +1,46 @@
+(* Determinism & protocol-safety linter CLI (see lib/lint/lint.mli for
+   the rule catalog).  Exit status: 0 clean, 1 findings, 2 internal
+   error — `make lint` runs this as part of `make verify`. *)
+
+module Lint = Ics_lint.Lint
+
+let usage = "ics_lint [--root DIR] [--format text|json] [--rule ID]... [FILE...]"
+
+let () =
+  let root = ref "." in
+  let format = ref "text" in
+  let rules = ref [] in
+  let files = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to scan (default .)");
+      ("--format", Arg.Symbol ([ "text"; "json" ], fun s -> format := s), " output format");
+      ( "--rule",
+        Arg.String (fun r -> rules := r :: !rules),
+        "ID restrict to this rule id (repeatable)" );
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  List.iter
+    (fun r ->
+      if not (List.mem r ("allow" :: Lint.rule_ids)) then begin
+        Printf.eprintf "ics_lint: unknown rule %s (have: %s)\n" r
+          (String.concat ", " Lint.rule_ids);
+        exit 2
+      end)
+    !rules;
+  let report =
+    match List.rev !files with
+    | [] -> Lint.run ~root:!root
+    | files -> Lint.run_files ~root:!root ~files
+  in
+  let report =
+    match !rules with
+    | [] -> report
+    | rules ->
+        { report with Lint.findings = List.filter (fun f -> List.mem f.Lint.rule rules) report.Lint.findings }
+  in
+  (match !format with
+  | "json" -> print_string (Lint.to_json report)
+  | _ -> Format.printf "%a" Lint.pp_report report);
+  exit (Lint.exit_code report)

@@ -232,8 +232,10 @@ let group_by_instance events =
       let l = try Hashtbl.find tbl k with Not_found -> [] in
       Hashtbl.replace tbl k ((p, ids) :: l))
     events;
-  Hashtbl.fold (fun k l acc -> (k, List.rev l) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  Ics_prelude.Sorted_tbl.fold ~cmp:Int.compare
+    (fun k l acc -> (k, List.rev l) :: acc)
+    tbl []
+  |> List.rev
 
 let check_consensus run =
   let correct = Run.correct run in
@@ -454,7 +456,8 @@ let check_fifo_order run =
       Hashtbl.replace by_origin origin (id :: l))
     (Run.rbroadcasts run);
   let violations = ref [] in
-  Hashtbl.iter
+  (* Key-sorted so the violation report order is stable across runs. *)
+  Ics_prelude.Sorted_tbl.iter ~cmp:Pid.compare
     (fun origin rev_order ->
       let order = List.rev rev_order in
       List.iter
@@ -501,7 +504,7 @@ let check_causal_order run =
       let pos = Hashtbl.create 64 in
       List.iteri (fun i id -> if not (Hashtbl.mem pos id) then Hashtbl.add pos id i)
         (Run.rdeliveries run p);
-      Hashtbl.iter
+      Ics_prelude.Sorted_tbl.iter ~cmp:Msg_id.compare
         (fun m2 preds ->
           match Hashtbl.find_opt pos m2 with
           | None -> ()

@@ -326,7 +326,9 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   in
 
   let on_suspect p suspect =
-    Hashtbl.iter
+    (* Key-sorted: bucket-order iteration would make the ack/round-advance
+       order — and hence the trace — depend on hashing internals. *)
+    Ics_prelude.Sorted_tbl.iter ~cmp:Int.compare
       (fun _ inst ->
         if
           (not inst.decided) && inst.waiting_prop

@@ -351,7 +351,10 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
 
   (* Leadership changes: every undecided instance re-engages. *)
   let on_fd_change p _target =
-    Hashtbl.iter (fun _ inst -> if not inst.decided then engage p inst) procs.(p).instances
+    (* Key-sorted: the re-engage order is visible in the trace. *)
+    Ics_prelude.Sorted_tbl.iter ~cmp:Int.compare
+      (fun _ inst -> if not inst.decided then engage p inst)
+      procs.(p).instances
   in
 
   List.iter

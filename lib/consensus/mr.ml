@@ -257,7 +257,9 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   in
 
   let on_suspect p suspect =
-    Hashtbl.iter
+    (* Key-sorted: bucket-order iteration would make the phase-1 finish
+       order — and hence the trace — depend on hashing internals. *)
+    Ics_prelude.Sorted_tbl.iter ~cmp:Int.compare
       (fun _ inst ->
         if
           (not inst.decided) && inst.waiting_prop

@@ -1,0 +1,674 @@
+(* Parsetree-level determinism & protocol-safety lint.  See lint.mli for
+   the rule catalog; everything here is deliberately syntactic — the pass
+   must run on any tree that parses, with no build or type information. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+type report = {
+  findings : finding list;
+  files_scanned : int;
+  suppressed : int;
+  errors : (string * string) list;
+}
+
+let deterministic_layers = [ "sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults" ]
+let rule_ids = [ "D1"; "D2"; "D3"; "P1"; "P2" ]
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+
+let is_ml name =
+  String.length name > 3 && String.sub name (String.length name - 3) 3 = ".ml"
+
+let scan_root root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.is_directory abs then begin
+      let entries = Sys.readdir abs in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun e ->
+          if String.length e > 0 && e.[0] <> '_' && e.[0] <> '.' then
+            walk (Filename.concat rel e))
+        entries
+    end
+    else if is_ml rel then acc := rel :: !acc
+  in
+  List.iter (fun top -> if Sys.file_exists (Filename.concat root top) then walk top) [ "lib"; "bin" ];
+  List.sort String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+
+let split_path rel = String.split_on_char '/' rel
+
+let layer_of_rel rel =
+  match split_path rel with
+  | "lib" :: layer :: _ :: _ -> layer
+  | "bin" :: _ -> "bin"
+  | _ -> "?"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+type scope = {
+  rel : string;
+  layer : string;
+  d1 : bool;  (* deterministic layer: sorted iteration only *)
+  d3 : bool;  (* deterministic layer: no polymorphic compare *)
+  d2_random : bool;  (* Random.* banned here *)
+  d2_time : bool;  (* wall-clock reads banned here *)
+  p2 : bool;  (* timer hygiene enforced here *)
+}
+
+let scope_of rel =
+  let layer = layer_of_rel rel in
+  let det = List.mem layer deterministic_layers in
+  {
+    rel;
+    layer;
+    d1 = det;
+    d3 = det;
+    d2_random = not (starts_with ~prefix:"lib/prelude/rng" rel);
+    d2_time = layer <> "runtime";
+    p2 = det || List.mem layer [ "net"; "workload"; "runtime" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Allow comments.  The marker is assembled at runtime so that this
+   file's own strings (hints quoting the syntax) don't register as
+   allow comments — the scanner works on raw text, not tokens.         *)
+
+let allow_marker = "lint:" ^ " allow"
+
+type allow = {
+  a_line : int;
+  a_rule : string option;  (* None: unknown rule id *)
+  a_reason : bool;  (* a non-empty reason was given *)
+  mutable a_used : bool;
+}
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t') do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+(* Drop a leading dash run: "-", "--" or an em/en dash (UTF-8). *)
+let strip_dash s =
+  let s = strip s in
+  let drop k = strip (String.sub s k (String.length s - k)) in
+  if starts_with ~prefix:"\xe2\x80\x94" s || starts_with ~prefix:"\xe2\x80\x93" s then drop 3
+  else if starts_with ~prefix:"--" s then drop 2
+  else if starts_with ~prefix:"-" s then drop 1
+  else s
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1) in
+  go 0
+
+let parse_allows text =
+  let allows = ref [] in
+  List.iteri
+    (fun i line ->
+      match find_sub line allow_marker with
+      | None -> ()
+      | Some at ->
+          let skip = at + String.length allow_marker in
+          let rest = strip (String.sub line skip (String.length line - skip)) in
+          (* rule id = leading token; reason = what follows a dash *)
+          let rule, after =
+            match String.index_opt rest ' ' with
+            | None -> (rest, "")
+            | Some sp -> (String.sub rest 0 sp, String.sub rest sp (String.length rest - sp))
+          in
+          let rule = strip rule in
+          let reason =
+            let r = strip_dash after in
+            let r = match find_sub r "*)" with Some e -> String.sub r 0 e | None -> r in
+            strip r
+          in
+          allows :=
+            {
+              a_line = i + 1;
+              a_rule = (if List.mem rule rule_ids then Some rule else None);
+              a_reason = reason <> "" && strip_dash after <> strip after;
+              a_used = false;
+            }
+            :: !allows)
+    (String.split_on_char '\n' text);
+  List.rev !allows
+
+(* ------------------------------------------------------------------ *)
+(* Parsetree helpers                                                   *)
+
+open Parsetree
+
+let flatten lid = try Longident.flatten lid with _ -> []
+let last_of lid = match List.rev (flatten lid) with x :: _ -> x | [] -> ""
+
+let last2_of lid =
+  match List.rev (flatten lid) with x :: y :: _ -> Some (y, x) | [ x ] -> Some ("", x) | [] -> None
+
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+(* Collect facts about one expression subtree. *)
+let idents_of_expr e =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> acc := flatten txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !acc
+
+let expr_mentions_dotted e pairs =
+  List.exists
+    (fun path ->
+      match List.rev path with
+      | x :: y :: _ -> List.mem (y, x) pairs
+      | _ -> false)
+    (idents_of_expr e)
+
+let expr_mentions_bare e names =
+  List.exists (function [ x ] -> List.mem x names | _ -> false) (idents_of_expr e)
+
+let sched_pairs = [ ("Engine", "after"); ("Engine", "schedule") ]
+
+(* Syntactically non-scalar: a value whose structural comparison walks a
+   heap shape (records, tuples, payload-carrying constructors, list
+   cells, arrays).  Variables and nullary constructors pass — without
+   types we cannot judge them, and flagging them would drown the signal. *)
+let rec non_scalar e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_variant (_, Some _) -> true
+  | Pexp_construct ({ txt; _ }, Some arg) ->
+      (match last_of txt with "Some" -> non_scalar arg | _ -> true)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-file pass                                                       *)
+
+type filestate = {
+  scope : scope;
+  mutable raw : finding list;  (* pre-suppression, traversal order *)
+  mutable decls : (string * int * int) list;  (* payload ctor, line, col *)
+  mutable fits : string list;  (* ctor names covered by a ~fits here *)
+  mutable bindings : (string * expression) list;  (* every let-bound function *)
+  mutable quiesce : bool;  (* mentions horizon / stop / stopped *)
+  mutable defines_compare : bool;
+  mutable skip : (int * int) list;  (* operator idents already handled *)
+}
+
+let finding st ~loc ~rule ~message ~hint =
+  let line, col = loc_pos loc in
+  st.raw <- { file = st.scope.rel; line; col; rule; message; hint } :: st.raw
+
+let d1_hint =
+  Printf.sprintf
+    "iterate key-sorted via Ics_prelude.Sorted_tbl.iter/fold ~cmp:<Key>.compare, or justify \
+     with (* %s D1 — reason *)" allow_marker
+
+let quiesce_names = [ "horizon"; "stop"; "stopped" ]
+
+(* fits:(function C _ -> true | ...) — collect the constructor names of
+   the cases whose right-hand side is literally [true]. *)
+let fits_ctors e =
+  let rec pat_ctors p =
+    match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> [ last_of txt ]
+    | Ppat_or (a, b) -> pat_ctors a @ pat_ctors b
+    | Ppat_alias (p, _) -> pat_ctors p
+    | _ -> []
+  in
+  let of_cases cases =
+    List.concat_map
+      (fun c ->
+        match c.pc_rhs.pexp_desc with
+        | Pexp_construct ({ txt = Longident.Lident "true"; _ }, None) -> pat_ctors c.pc_lhs
+        | _ -> [])
+      cases
+  in
+  match e.pexp_desc with
+  | Pexp_function cases -> of_cases cases
+  | Pexp_fun (_, _, _, { pexp_desc = Pexp_match (_, cases); _ }) -> of_cases cases
+  | _ -> []
+
+let check_ident st (lid : Longident.t) loc =
+  let path = flatten lid in
+  let sc = st.scope in
+  (* D1: unordered hashtable traversal *)
+  (match last2_of lid with
+  | Some (("Hashtbl" | "Table"), (("iter" | "fold") as f)) when sc.d1 ->
+      finding st ~loc ~rule:"D1"
+        ~message:
+          (Printf.sprintf
+             "unordered Hashtbl.%s in deterministic layer '%s': bucket order depends on \
+              hashing internals and insertion history, not on the event schedule"
+             f sc.layer)
+        ~hint:d1_hint
+  | _ -> ());
+  (* D2: ambient nondeterminism *)
+  (match path with
+  | "Random" :: _ :: _ when sc.d2_random ->
+      finding st ~loc ~rule:"D2"
+        ~message:
+          (Printf.sprintf "Stdlib.Random (%s) outside lib/prelude/rng: unseeded global state"
+             (String.concat "." path))
+        ~hint:"draw from the engine's seeded stream: Engine.rng / Ics_prelude.Rng"
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] when sc.d2_time ->
+      finding st ~loc ~rule:"D2"
+        ~message:
+          (Printf.sprintf "wall-clock read (%s) outside lib/runtime: simulated layers must \
+                           only see virtual time" (String.concat "." path))
+        ~hint:"use Engine.now (virtual clock); only lib/runtime may touch the real clock"
+  | [ "Hashtbl"; "randomize" ] when sc.d2_time ->
+      finding st ~loc ~rule:"D2"
+        ~message:"Hashtbl.randomize makes every hashtable traversal seed-dependent"
+        ~hint:"never randomize hashing in a replayable system"
+  | _ -> ());
+  (* D3: polymorphic compare *)
+  if sc.d3 then
+    match path with
+    | [ "Stdlib"; "compare" ] ->
+        finding st ~loc ~rule:"D3"
+          ~message:"polymorphic Stdlib.compare on protocol state"
+          ~hint:"use the key module's own compare (Int.compare, Pid.compare, Msg_id.compare, ...)"
+    | [ "compare" ] when not st.defines_compare ->
+        finding st ~loc ~rule:"D3"
+          ~message:"bare polymorphic compare on protocol state"
+          ~hint:"use the key module's own compare (Int.compare, Pid.compare, Msg_id.compare, ...)"
+    | [ "Stdlib"; ("=" | "<>") ] ->
+        finding st ~loc ~rule:"D3"
+          ~message:"polymorphic structural equality as a value"
+          ~hint:"pass the protocol type's own equal function instead"
+    | [ ("=" | "<>") ] when not (List.mem (loc_pos loc) st.skip) ->
+        finding st ~loc ~rule:"D3"
+          ~message:"polymorphic structural equality passed as a value"
+          ~hint:"pass the protocol type's own equal function instead"
+    | _ -> ()
+
+let poly_cmp_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+let check_apply st f args loc =
+  (* Binary comparison with a syntactically non-scalar operand (D3). *)
+  (match f.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident op; loc = oploc } when List.mem op poly_cmp_ops ->
+      st.skip <- loc_pos oploc :: st.skip;
+      if st.scope.d3 && List.exists (fun (_, a) -> non_scalar a) args then
+        finding st ~loc ~rule:"D3"
+          ~message:
+            (Printf.sprintf
+               "structural (%s) on a non-scalar value: polymorphic comparison of protocol \
+                state" op)
+          ~hint:"compare with the type's own equal/compare, field by field"
+  | _ -> ());
+  (* Codec registration (P1 coverage). *)
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } when last_of txt = "register" ->
+      List.iter
+        (function
+          | Asttypes.Labelled "fits", arg -> st.fits <- fits_ctors arg @ st.fits
+          | _ -> ())
+        args
+  | _ -> ()
+
+(* Payload extension points: [type Message.payload += C | ...]. *)
+let check_typext st (te : type_extension) =
+  if last_of te.ptyext_path.Location.txt = "payload" then
+    List.iter
+      (fun ec ->
+        match ec.pext_kind with
+        | Pext_decl _ ->
+            let line, col = loc_pos ec.pext_loc in
+            st.decls <- (ec.pext_name.Location.txt, line, col) :: st.decls
+        | Pext_rebind _ -> ())
+      te.ptyext_constructors
+
+(* P2: a binding that hands itself back to a scheduling function.  The
+   scheduler set is the transitive closure of "body mentions
+   Engine.after/schedule" over this file's local bindings, so loops that
+   rearm through a helper (fd's [rearm]) are still seen. *)
+let schedulers_of bindings =
+  let direct =
+    List.filter_map
+      (fun (n, body) -> if expr_mentions_dotted body sched_pairs then Some n else None)
+      bindings
+  in
+  let rec fix known =
+    let more =
+      List.filter_map
+        (fun (n, body) ->
+          if (not (List.mem n known)) && expr_mentions_bare body known then Some n else None)
+        bindings
+    in
+    if more = [] then known else fix (more @ known)
+  in
+  fix direct
+
+let check_p2 st =
+  if st.scope.p2 && not st.quiesce then begin
+    let schedulers = schedulers_of st.bindings in
+    List.iter
+      (fun (fname, body) ->
+        let rearms = ref [] in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun it e ->
+                (match e.pexp_desc with
+                | Pexp_apply (f, args) ->
+                    let is_sched =
+                      match f.pexp_desc with
+                      | Pexp_ident { txt; _ } -> (
+                          (match last2_of txt with
+                          | Some (y, x) -> List.mem (y, x) sched_pairs
+                          | None -> false)
+                          ||
+                          match txt with
+                          | Longident.Lident n -> List.mem n schedulers
+                          | _ -> false)
+                      | _ -> false
+                    in
+                    if is_sched && List.exists (fun (_, a) -> expr_mentions_bare a [ fname ]) args
+                    then rearms := e.pexp_loc :: !rearms
+                | _ -> ());
+                Ast_iterator.default_iterator.expr it e);
+          }
+        in
+        it.expr it body;
+        List.iter
+          (fun loc ->
+            finding st ~loc ~rule:"P2"
+              ~message:
+                (Printf.sprintf
+                   "self-rearming timer '%s' with no reachable stop: this file never consults \
+                    Engine.horizon or a stop flag, so the loop outlives the run" fname)
+              ~hint:
+                "gate the rescheduling on Engine.horizon (see Failure_detector.heartbeat's \
+                 rearm) or on a stopped flag with a stop entry point")
+          (List.rev !rearms))
+      st.bindings
+  end
+
+let lint_source ~scope text =
+  let st =
+    {
+      scope;
+      raw = [];
+      decls = [];
+      fits = [];
+      bindings = [];
+      quiesce = false;
+      defines_compare = false;
+      skip = [];
+    }
+  in
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf scope.rel;
+  let str = Parse.implementation lexbuf in
+  (* Pre-pass: bindings, compare definitions, quiescence vocabulary. *)
+  let pre =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } ->
+              st.bindings <- (txt, vb.pvb_expr) :: st.bindings;
+              if txt = "compare" then st.defines_compare <- true;
+              if List.mem txt quiesce_names then st.quiesce <- true
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when List.mem (last_of txt) quiesce_names -> st.quiesce <- true
+          | Pexp_field (_, { txt; _ }) when List.mem (last_of txt) quiesce_names ->
+              st.quiesce <- true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  pre.structure pre str;
+  (* Main pass. *)
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> check_apply st f args e.pexp_loc
+          | Pexp_ident { txt; loc } -> check_ident st txt loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      type_extension =
+        (fun it te ->
+          check_typext st te;
+          Ast_iterator.default_iterator.type_extension it te);
+    }
+  in
+  it.structure it str;
+  check_p2 st;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Whole-run assembly                                                  *)
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> ( match Int.compare a.col b.col with 0 -> String.compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+let run_files ~root ~files =
+  let errors = ref [] in
+  let states = ref [] in
+  let allows_by_file = ref [] in
+  List.iter
+    (fun rel ->
+      let abs = Filename.concat root rel in
+      match
+        let ic = open_in_bin abs in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        text
+      with
+      | exception Sys_error e -> errors := (rel, e) :: !errors
+      | text -> (
+          allows_by_file := (rel, parse_allows text) :: !allows_by_file;
+          match lint_source ~scope:(scope_of rel) text with
+          | st -> states := st :: !states
+          | exception e ->
+              errors := (rel, Printf.sprintf "parse error: %s" (Printexc.to_string e)) :: !errors))
+    files;
+  let states = List.rev !states in
+  (* P1: a declared payload constructor must be fits-covered, in its own
+     file or (for layers whose codecs live below them, like
+     Codec.register_builtins) anywhere in the scanned set. *)
+  let global_fits = List.concat_map (fun st -> st.fits) states in
+  let p1 =
+    List.concat_map
+      (fun st ->
+        List.filter_map
+          (fun (ctor, line, col) ->
+            if List.mem ctor st.fits || List.mem ctor global_fits then None
+            else
+              Some
+                {
+                  file = st.scope.rel;
+                  line;
+                  col;
+                  rule = "P1";
+                  message =
+                    Printf.sprintf
+                      "payload constructor %s has no Codec.register ~fits coverage: it would \
+                       be rejected at encode time on a live wire, not at build time" ctor;
+                  hint =
+                    "register a codec for it next to the layer's handlers (see ct.ml's \
+                     register_codec) and hook it into Codecs.ensure";
+                })
+          (List.rev st.decls))
+      states
+  in
+  let raw = List.concat_map (fun st -> List.rev st.raw) states @ p1 in
+  (* Apply allow comments: same line or the line above, rule must match,
+     reason mandatory. *)
+  let suppressed = ref 0 in
+  let visible =
+    List.filter
+      (fun f ->
+        let allows = try List.assoc f.file !allows_by_file with Not_found -> [] in
+        match
+          List.find_opt
+            (fun a ->
+              a.a_rule = Some f.rule && a.a_reason
+              && (a.a_line = f.line || a.a_line = f.line - 1))
+            allows
+        with
+        | Some a ->
+            a.a_used <- true;
+            incr suppressed;
+            false
+        | None -> true)
+      raw
+  in
+  (* Allow-comment hygiene: malformed or stale allows are findings too. *)
+  let allow_findings =
+    List.concat_map
+      (fun (rel, allows) ->
+        List.filter_map
+          (fun a ->
+            if a.a_rule = None then
+              Some
+                {
+                  file = rel;
+                  line = a.a_line;
+                  col = 0;
+                  rule = "allow";
+                  message = "malformed lint-allow comment: unknown rule id";
+                  hint =
+                    Printf.sprintf "use (* %s <%s> — reason *)" allow_marker
+                      (String.concat "|" rule_ids);
+                }
+            else if not a.a_reason then
+              Some
+                {
+                  file = rel;
+                  line = a.a_line;
+                  col = 0;
+                  rule = "allow";
+                  message = "lint-allow comment without a reason: suppression needs an audit trail";
+                  hint = "append '— why this site is safe' to the allow comment";
+                }
+            else if not a.a_used then
+              Some
+                {
+                  file = rel;
+                  line = a.a_line;
+                  col = 0;
+                  rule = "allow";
+                  message = "stale lint-allow comment: it no longer suppresses anything";
+                  hint = "delete the comment (the violation it excused is gone)";
+                }
+            else None)
+          allows)
+      !allows_by_file
+  in
+  {
+    findings = List.sort compare_findings (visible @ allow_findings);
+    files_scanned = List.length files;
+    suppressed = !suppressed;
+    errors = List.rev !errors;
+  }
+
+let run ~root = run_files ~root ~files:(scan_root root)
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+
+let pp_report ppf r =
+  List.iter
+    (fun (f, e) -> Format.fprintf ppf "%s: internal error: %s@." f e)
+    r.errors;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s:%d:%d: [%s] %s@." f.file f.line f.col f.rule f.message;
+      Format.fprintf ppf "    hint: %s@." f.hint)
+    r.findings;
+  if r.findings = [] && r.errors = [] then
+    Format.fprintf ppf "ics_lint: clean — %d file(s) scanned, %d suppression(s)@."
+      r.files_scanned r.suppressed
+  else
+    Format.fprintf ppf "ics_lint: %d finding(s), %d internal error(s) in %d file(s)@."
+      (List.length r.findings) (List.length r.errors) r.files_scanned
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"version\": 1,\n");
+  Buffer.add_string b (Printf.sprintf "  \"files_scanned\": %d,\n" r.files_scanned);
+  Buffer.add_string b (Printf.sprintf "  \"suppressed\": %d,\n" r.suppressed);
+  Buffer.add_string b "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+            \"message\": \"%s\", \"hint\": \"%s\"}"
+           (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
+           (json_escape f.hint)))
+    r.findings;
+  if r.findings <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n";
+  Buffer.add_string b "  \"errors\": [";
+  List.iteri
+    (fun i (f, e) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"file\": \"%s\", \"message\": \"%s\"}" (json_escape f)
+           (json_escape e)))
+    r.errors;
+  if r.errors <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+let exit_code r = if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0

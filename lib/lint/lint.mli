@@ -1,0 +1,92 @@
+(** [ics_lint]: a determinism & protocol-safety linter for this repo.
+
+    Every guarantee the repo makes — bit-identical seeded chaos replay,
+    pinned wire fingerprints, the §2.2 validity-violation reproduction —
+    requires the protocol layers to be deterministic functions of the
+    event schedule.  This pass parses every [.ml] under [lib/] and [bin/]
+    with compiler-libs ([Parse.implementation], no type information) and
+    walks the parsetree with [Ast_iterator], enforcing a small rule
+    catalog with per-directory scopes (DESIGN.md section 9):
+
+    - {b D1} — no [Hashtbl.iter]/[Hashtbl.fold] (bucket-order, hence
+      memory-layout-dependent) in the deterministic layers ([sim],
+      [consensus], [broadcast], [core], [fd], [checker], [faults]).
+      Key-sorted traversal via {!Ics_prelude.Sorted_tbl} is the
+      sanctioned replacement.
+    - {b D2} — no ambient nondeterminism: [Random.*] anywhere outside
+      [lib/prelude/rng] (the seeded SplitMix64 home), and no
+      [Sys.time]/[Unix.gettimeofday]/[Hashtbl.randomize] outside
+      [lib/runtime] (the only layer allowed to read wall clocks).
+    - {b D3} — no polymorphic [Stdlib.compare] / structural equality on
+      syntactically non-scalar values (records, tuples, payload-carrying
+      constructors, list cells) in the deterministic layers; use the key
+      module's own [compare]/[equal].
+    - {b P1} — codec completeness: every [type Message.payload += ...]
+      constructor must be covered by a [Codec.register ~fits:(function
+      C ... -> true | ...)] somewhere in the tree, so an unregistered
+      constructor fails [make lint], not a live cluster run.
+    - {b P2} — timer hygiene: a self-rearming timer loop (a binding that
+      passes itself back into [Engine.after]/[Engine.schedule], directly
+      or through a local helper) must live in a module that consults a
+      quiescence signal ([Engine.horizon], a [stop]/[stopped] flag) —
+      otherwise the loop keeps the event queue non-empty forever and a
+      horizon-less run never returns.
+
+    Suppression: [(* lint: allow <rule> — reason *)] on the finding's
+    line or the line above suppresses it; the reason is mandatory (a
+    bare allow is itself reported, as is a stale allow that no longer
+    suppresses anything), so every exception carries an audit trail.
+
+    Known limits (it is a linter, not a verifier): analysis is purely
+    syntactic — no typing, so D3 only sees literal shapes; P1 matches
+    constructors by name, so two layers' same-named constructors can
+    mask each other (the codec round-trip test closes that gap
+    dynamically); P2's quiescence check is per-file.  [chaos
+    --replay-check] is the dynamic complement. *)
+
+type finding = {
+  file : string;  (** path relative to the scan root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : string;  (** "D1".."P2", or "allow" for allow-comment misuse *)
+  message : string;
+  hint : string;  (** one-line fix hint *)
+}
+
+type report = {
+  findings : finding list;  (** sorted by (file, line, col, rule) *)
+  files_scanned : int;
+  suppressed : int;  (** findings silenced by valid allow comments *)
+  errors : (string * string) list;
+      (** (file, message): unreadable/unparseable inputs — an internal
+          error (exit 2), never silently skipped *)
+}
+
+val deterministic_layers : string list
+(** ["sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults"] *)
+
+val rule_ids : string list
+(** ["D1"; "D2"; "D3"; "P1"; "P2"] — the allow-comment vocabulary. *)
+
+val scan_root : string -> string list
+(** The [.ml] files under [root/lib] and [root/bin], as root-relative
+    paths in deterministic (sorted) order. *)
+
+val run_files : root:string -> files:string list -> report
+(** Lint exactly [files] (root-relative).  Cross-file state (the P1
+    registration pool) is built from this file set only, so fixture
+    tests see a closed world. *)
+
+val run : root:string -> report
+(** [run_files] over [scan_root]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human format: [file:line:col: \[rule\] message] plus an indented
+    hint line per finding, then a one-line summary. *)
+
+val to_json : report -> string
+(** Machine format ([--format=json]): stable field order, findings
+    sorted, no trailing whitespace. *)
+
+val exit_code : report -> int
+(** 0 clean, 1 findings, 2 internal errors (errors win). *)

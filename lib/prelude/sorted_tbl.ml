@@ -1,0 +1,15 @@
+let keys ~cmp tbl =
+  List.sort_uniq cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let iter ~cmp f tbl =
+  List.iter
+    (fun k -> List.iter (fun v -> f k v) (List.rev (Hashtbl.find_all tbl k)))
+    (keys ~cmp tbl)
+
+let fold ~cmp f tbl init =
+  List.fold_left
+    (fun acc k ->
+      List.fold_left (fun acc v -> f k v acc) acc (List.rev (Hashtbl.find_all tbl k)))
+    init (keys ~cmp tbl)
+
+let bindings ~cmp tbl = List.rev (fold ~cmp (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,30 @@
+(** Key-sorted iteration over [Hashtbl.t].
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit bindings in bucket order, which
+    depends on hashing internals and insertion history — using them in a
+    protocol layer makes the execution a function of memory layout rather
+    than of the event schedule, silently breaking seeded replay.  These
+    wrappers visit keys in ascending [cmp] order instead; they are the only
+    sanctioned way to iterate a hashtable in the deterministic layers
+    (enforced by [ics_lint] rule D1, see DESIGN.md section 9).
+
+    [cmp] is deliberately a required argument: passing the key module's own
+    comparison ([Int.compare], [Pid.compare], [Msg_id.compare], ...) keeps
+    polymorphic [Stdlib.compare] out of the protocol layers (rule D3).
+
+    Cost is O(n log n) per traversal; these sites are cold (suspicion
+    handlers, end-of-run checking), not per-message paths. *)
+
+val keys : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Distinct keys in ascending [cmp] order. *)
+
+val iter : cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** Like [Hashtbl.iter], but keys ascend in [cmp] order.  For a key with
+    several bindings (via [Hashtbl.add]), all are visited, oldest first. *)
+
+val fold :
+  cmp:('k -> 'k -> int) -> ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** Like [Hashtbl.fold], with the same order as {!iter}. *)
+
+val bindings : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings as a key-sorted association list. *)

@@ -327,3 +327,44 @@ let indirect_clean cells =
   List.for_all
     (fun c -> c.c_stack = Ct_on_ids || c.failures = [])
     cells
+
+type mismatch = {
+  m_stack : stack_kind;
+  m_plan : plan_kind;
+  m_seed : int64;
+  m_first : string;
+  m_second : string;
+}
+
+(* Two runs of the same (stack, plan, seed) in the same process: any
+   fingerprint divergence is state leaking between runs or ambient
+   nondeterminism, and means the replay commands the sweep prints are
+   lies.  One seed per cell keeps this cheap enough for the smoke gate. *)
+let replay_check ?(retransmit = true) ?n ?(seed_base = 1L) ~stacks ~plans ()
+    =
+  List.concat_map
+    (fun stack ->
+      List.filter_map
+        (fun plan_kind ->
+          let fp () =
+            (run_one ?n ~retransmit stack plan_kind ~seed:seed_base)
+              .fingerprint
+          in
+          let first = fp () in
+          let second = fp () in
+          if String.equal first second then None
+          else
+            Some
+              {
+                m_stack = stack;
+                m_plan = plan_kind;
+                m_seed = seed_base;
+                m_first = first;
+                m_second = second;
+              })
+        plans)
+    stacks
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "%s x %s seed=%Ld: %s then %s" (stack_name m.m_stack)
+    (plan_name m.m_plan) m.m_seed m.m_first m.m_second

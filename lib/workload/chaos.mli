@@ -100,3 +100,28 @@ val indirect_clean : cell list -> bool
 (** True when every indirect-stack cell is failure-free — the sweep's
     pass/fail exit criterion ([Ct_on_ids] cells are allowed, and expected,
     to fail). *)
+
+type mismatch = {
+  m_stack : stack_kind;
+  m_plan : plan_kind;
+  m_seed : int64;
+  m_first : string;  (** fingerprint of the first run *)
+  m_second : string;  (** fingerprint of the rerun — differs from [m_first] *)
+}
+
+val replay_check :
+  ?retransmit:bool ->
+  ?n:int ->
+  ?seed_base:int64 ->
+  stacks:stack_kind list ->
+  plans:plan_kind list ->
+  unit ->
+  mismatch list
+(** The determinism gate behind {!replay_hint}: rerun one seed
+    ([seed_base], default 1) for every stack × plan pair and compare trace
+    fingerprints between the two runs.  Empty means every cell replayed
+    bit-identically; any {!mismatch} is ambient nondeterminism (unordered
+    iteration, real clock, un-threaded RNG) leaking into the simulation and
+    invalidates every replay command the sweep prints. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

@@ -1,0 +1,12 @@
+(* Fixture: a payload constructor with no codec registration. *)
+
+type payload = ..
+type payload += Data of int | Probe
+
+let register_codec () =
+  Codec.register ~tag:0x7F ~name:"fixture.data"
+    ~fits:(function Data _ -> true | _ -> false)
+    ~size:(fun _ -> 5)
+    ~enc:(fun _ _ -> ())
+    ~dec:(fun _ -> Data 0)
+    ~gen:(fun _ -> Data 0)

@@ -1,0 +1,8 @@
+(* Fixture: polymorphic comparison on protocol state. *)
+
+type id = { origin : int; seq : int }
+
+let sort_ids l = List.sort compare l
+let sort_poly l = List.sort Stdlib.compare l
+let same_id a origin seq = a = { origin; seq }
+let structural_eq : id -> id -> bool = ( = )

@@ -1,0 +1,5 @@
+(* Fixture: an allow comment without a reason must not suppress, and is
+   itself reported — suppressions need an audit trail. *)
+
+(* lint: allow D1 *)
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0

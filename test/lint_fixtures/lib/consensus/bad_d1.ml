@@ -1,0 +1,4 @@
+(* Fixture: unordered hashtable traversal in a deterministic layer. *)
+
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+let visit tbl f = Hashtbl.iter f tbl

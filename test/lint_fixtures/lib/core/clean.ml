@@ -1,0 +1,24 @@
+(* Fixture: the sanctioned version of everything the bad fixtures do —
+   must produce zero findings. *)
+
+type payload = ..
+type payload += Beacon of int
+
+let register_codec () =
+  Codec.register ~tag:0x7E ~name:"fixture.beacon"
+    ~fits:(function Beacon _ -> true | _ -> false)
+    ~size:(fun _ -> 5)
+    ~enc:(fun _ _ -> ())
+    ~dec:(fun _ -> Beacon 0)
+    ~gen:(fun _ -> Beacon 0)
+
+let visit tbl f = Ics_prelude.Sorted_tbl.iter ~cmp:Int.compare f tbl
+let sort_ids l = List.sort Int.compare l
+
+let start engine =
+  let rec tick () =
+    match Engine.horizon engine with
+    | Some _ -> ()
+    | None -> Engine.after engine ~delay:1.0 tick
+  in
+  tick ()

@@ -1,0 +1,9 @@
+(* Fixture: a timer loop that rearms itself forever — nothing in this
+   file ever consults the engine's quiescence signals. *)
+
+let start engine =
+  let rec tick () =
+    do_work ();
+    Engine.after engine ~delay:1.0 tick
+  in
+  tick ()

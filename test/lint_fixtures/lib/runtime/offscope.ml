@@ -1,0 +1,6 @@
+(* Fixture: the same constructs the deterministic layers ban are legal
+   in lib/runtime — the wall-clock boundary — and Hashtbl traversal is
+   only banned inside the deterministic scopes. *)
+
+let epoch () = Unix.gettimeofday ()
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0

@@ -1,0 +1,5 @@
+(* Fixture: ambient nondeterminism inside the simulator scope. *)
+
+let jitter () = Random.float 1.0
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

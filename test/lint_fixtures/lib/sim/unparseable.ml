@@ -1,0 +1,4 @@
+(* Fixture: not OCaml — the linter must report an internal error (exit
+   2), never silently skip a file it cannot parse. *)
+
+let let let (

@@ -197,6 +197,13 @@ let test_sim_fingerprints_pinned () =
       (Chaos.Ct_indirect, Chaos.Drop, 2L, "4bc2be962988606fdb1a205603e94b6f");
       (Chaos.Mr_indirect, Chaos.Mixed, 3L, "5bf49b603b81d4a736cde9f542e0cbf4");
       (Chaos.Ct_on_ids, Chaos.Blackout, 3L, "ba6b16163d0633fd02094d279e19b791");
+      (* Storm drives the suspicion path hardest — these pin the
+         Sorted_tbl rewrite of on_suspect/on_fd_change: digests captured
+         under bucket-order Hashtbl.iter must hold under key-sorted
+         iteration, proving insertion order coincided with key order. *)
+      (Chaos.Ct_indirect, Chaos.Storm, 2L, "cd0bfcdb222f78733f3e27f88f42f901");
+      (Chaos.Mr_indirect, Chaos.Storm, 3L, "b43209c3383be52b63b97e27f559bbfc");
+      (Chaos.Ct_on_ids, Chaos.Storm, 2L, "3f4de219553dd1fe849368cfe728120f");
     ]
   in
   List.iter
@@ -207,6 +214,15 @@ let test_sim_fingerprints_pinned () =
            (Chaos.plan_name plan) seed)
         expect r.Chaos.fingerprint)
     cases
+
+(* The gate behind every replay hint the sweep prints: rerunning a seed in
+   the same process must reproduce the fingerprint exactly. *)
+let test_replay_check_clean () =
+  let mismatches =
+    Chaos.replay_check ~seed_base:5L ~stacks:Chaos.all_stacks
+      ~plans:[ Chaos.Storm; Chaos.Blackout ] ()
+  in
+  Alcotest.(check int) "no rerun divergence" 0 (List.length mismatches)
 
 let suites =
   [
@@ -221,5 +237,6 @@ let suites =
         Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag_rejected;
         Alcotest.test_case "fuzzed decode never crashes" `Quick test_fuzz_decode_never_crashes;
         Alcotest.test_case "sim fingerprints pinned" `Quick test_sim_fingerprints_pinned;
+        Alcotest.test_case "replay check finds no divergence" `Quick test_replay_check_clean;
       ] );
   ]

@@ -1,0 +1,128 @@
+(* The determinism linter: every rule fires on its violation fixture,
+   the clean fixture and the repo itself are finding-free, allow
+   comments suppress only with an audit trail, and the JSON report is
+   byte-stable.  Linting the fixtures here keeps the verify gate honest:
+   a rule that silently stops firing fails the suite, not just `make
+   lint`. *)
+
+module Lint = Ics_lint.Lint
+
+(* `dune runtest` runs from _build/default/test; `dune exec` from the
+   project root — accept either. *)
+let fixtures =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures" else "test/lint_fixtures"
+
+let lint files = Lint.run_files ~root:fixtures ~files
+
+let rules r = List.map (fun f -> f.Lint.rule) r.Lint.findings
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_rules name file expected =
+  let r = lint [ file ] in
+  Alcotest.(check (list string)) name expected (rules r);
+  Alcotest.(check (list (pair string string))) (name ^ " no internal errors") [] r.Lint.errors
+
+let test_d1 () = check_rules "D1 fires twice" "lib/consensus/bad_d1.ml" [ "D1"; "D1" ]
+let test_d2 () = check_rules "D2 fires thrice" "lib/sim/bad_d2.ml" [ "D2"; "D2"; "D2" ]
+
+let test_d3 () =
+  check_rules "D3: compare, Stdlib.compare, record =, first-class =" "lib/checker/bad_d3.ml"
+    [ "D3"; "D3"; "D3"; "D3" ]
+
+let test_p1 () =
+  let r = lint [ "lib/broadcast/bad_p1.ml" ] in
+  Alcotest.(check (list string)) "P1 fires once" [ "P1" ] (rules r);
+  match r.Lint.findings with
+  | [ f ] ->
+      Alcotest.(check bool) "names the constructor" true (contains ~sub:"Probe" f.Lint.message)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_p2 () = check_rules "P2 fires once" "lib/fd/bad_p2.ml" [ "P2" ]
+
+let test_clean_fixture () =
+  let r = lint [ "lib/core/clean.ml" ] in
+  Alcotest.(check (list string)) "clean fixture has no findings" [] (rules r);
+  Alcotest.(check int) "nothing suppressed" 0 r.Lint.suppressed;
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code r)
+
+let test_scopes () =
+  (* Identical constructs outside the deterministic scopes are legal. *)
+  let r = lint [ "lib/runtime/offscope.ml" ] in
+  Alcotest.(check (list string)) "runtime layer is out of D1/D2-time scope" [] (rules r)
+
+let test_allow_suppresses () =
+  let r = lint [ "lib/consensus/allowed.ml" ] in
+  Alcotest.(check (list string)) "justified allow silences D1" [] (rules r);
+  Alcotest.(check int) "counted as suppressed" 1 r.Lint.suppressed;
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code r)
+
+let test_allow_needs_reason () =
+  let r = lint [ "lib/consensus/bad_allow.ml" ] in
+  Alcotest.(check (list string)) "reasonless allow reported, D1 kept" [ "allow"; "D1" ] (rules r);
+  Alcotest.(check int) "nothing suppressed" 0 r.Lint.suppressed
+
+let test_unparseable () =
+  let r = lint [ "lib/sim/unparseable.ml" ] in
+  Alcotest.(check int) "one internal error" 1 (List.length r.Lint.errors);
+  Alcotest.(check int) "exit 2" 2 (Lint.exit_code r)
+
+let golden_json =
+  "{\n\
+  \  \"version\": 1,\n\
+  \  \"files_scanned\": 1,\n\
+  \  \"suppressed\": 0,\n\
+  \  \"findings\": [\n\
+  \    {\"file\": \"lib/broadcast/bad_p1.ml\", \"line\": 4, \"col\": 28, \"rule\": \"P1\", \
+   \"message\": \"payload constructor Probe has no Codec.register ~fits coverage: it would be \
+   rejected at encode time on a live wire, not at build time\", \"hint\": \"register a codec \
+   for it next to the layer's handlers (see ct.ml's register_codec) and hook it into \
+   Codecs.ensure\"}\n\
+  \  ],\n\
+  \  \"errors\": []\n\
+   }\n"
+
+let test_golden_json () =
+  let r = lint [ "lib/broadcast/bad_p1.ml" ] in
+  Alcotest.(check string) "json report is byte-stable" golden_json (Lint.to_json r)
+
+(* The gate itself: the repo's own lib/ and bin/ must lint clean.  The
+   test runs from _build/default/test, so the parent directory holds the
+   copied sources of everything the suite links against. *)
+let test_repo_clean () =
+  if not (Sys.file_exists "../lib") then
+    (* Sandboxed runner without the source tree alongside: nothing to scan. *)
+    ()
+  else begin
+    let r = Lint.run ~root:".." in
+    List.iter
+      (fun (f : Lint.finding) ->
+        Format.eprintf "repo finding: %s:%d:%d [%s] %s@." f.Lint.file f.Lint.line f.Lint.col
+          f.Lint.rule f.Lint.message)
+      r.Lint.findings;
+    Alcotest.(check (list (pair string string))) "no internal errors" [] r.Lint.errors;
+    Alcotest.(check int) "zero findings on the repo" 0 (List.length r.Lint.findings);
+    Alcotest.(check bool) "scanned a real file set" true (r.Lint.files_scanned > 40)
+  end
+
+let suites =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "D1 unordered iteration" `Quick test_d1;
+        Alcotest.test_case "D2 ambient nondeterminism" `Quick test_d2;
+        Alcotest.test_case "D3 polymorphic compare" `Quick test_d3;
+        Alcotest.test_case "P1 codec completeness" `Quick test_p1;
+        Alcotest.test_case "P2 timer hygiene" `Quick test_p2;
+        Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        Alcotest.test_case "per-directory scopes" `Quick test_scopes;
+        Alcotest.test_case "allow comment suppresses" `Quick test_allow_suppresses;
+        Alcotest.test_case "allow needs a reason" `Quick test_allow_needs_reason;
+        Alcotest.test_case "unparseable input is an error" `Quick test_unparseable;
+        Alcotest.test_case "golden JSON output" `Quick test_golden_json;
+        Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
+      ] );
+  ]

@@ -26,4 +26,5 @@ let () =
          Test_more.suites;
          Test_codec.suites;
          Test_runtime.suites;
+         Test_lint.suites;
        ])
