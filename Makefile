@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke cluster-smoke lint verify clean
+.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke lint verify clean
 
 all: build
 
@@ -27,6 +27,16 @@ chaos:
 chaos-smoke:
 	dune exec bin/ics_cli.exe -- chaos --seeds 5 --replay-check
 
+# Chaos cells as forked loopback-TCP clusters: the seeded plans compiled
+# onto real sockets through the same interposer.  Includes the blackout
+# cell, so the S2.2 ct-on-ids counterexample must reproduce on the live
+# backend too (exit 2 = sandbox has no sockets = skip, not failure).
+chaos-live-smoke:
+	dune exec bin/ics_cli.exe -- chaos --live --seeds 1 --stacks ct-indirect,ct-on-ids --plans drop,blackout; \
+	rc=$$?; \
+	if [ $$rc -eq 2 ]; then echo "chaos-live-smoke: skipped (no loopback sockets)"; \
+	elif [ $$rc -ne 0 ]; then exit $$rc; fi
+
 # Live 3-node loopback cluster, checker-verified (exit 2 = sandbox has no
 # sockets, which is a skip, not a failure).
 cluster-smoke:
@@ -40,7 +50,7 @@ cluster-smoke:
 lint:
 	dune exec bin/ics_lint.exe -- --root .
 
-verify: build test lint perf chaos-smoke cluster-smoke
+verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke
 
 clean:
 	dune clean

@@ -10,11 +10,13 @@
      dune exec bench/main.exe -- quick   # quarter-length simulation sweeps
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
-                                         # faults, claims, micro, wire,
-                                         # perf (combinable)
+                                         # faults, faults-live, claims,
+                                         # micro, wire, perf (combinable)
 
    The perf section measures real wall-clock time and allocation on a fixed
-   deterministic workload and writes the numbers to BENCH_PR1.json. *)
+   deterministic workload and writes the numbers to BENCH_PR1.json; the
+   faults-live section runs the same seeded drop plans on forked loopback
+   clusters and writes BENCH_PR5.json. *)
 
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
@@ -24,6 +26,8 @@ module Scenarios = Ics_workload.Scenarios
 module Table = Ics_prelude.Table
 module Stats = Ics_prelude.Stats
 module Quorum = Ics_consensus.Quorum
+module Node = Ics_runtime.Node
+module Cluster = Ics_runtime.Cluster
 
 let section title = Format.printf "@.##### %s #####@.@." title
 
@@ -414,6 +418,181 @@ let run_faults ~quick =
     "expectation: latency degrades gracefully with drop-p (a lost frame costs@.\
      ~one RTO); retransmits track the loss rate; every run stays quiescent.@."
 
+(* --- Fault injection on the live backend ---------------------------------- *)
+
+(* The lossy-link experiment replayed on real sockets: the same Nemesis
+   drop plans, compiled by the same interposer, healed by the same
+   retransmission channel — but over loopback TCP with forked OS
+   processes.  The sim column is virtual time under a 1 ms constant-delay
+   model; the live column is wall clock on loopback, so magnitudes differ
+   by design and the comparison is about shape: latency degrading
+   gracefully with drop-p, retransmissions tracking the loss rate, and
+   the checker staying green on both backends. *)
+let run_faults_live ~quick =
+  section
+    "Fault injection, live backend: seeded drops on loopback TCP (indirect, n=3, 64B)";
+  let module Nemesis = Ics_faults.Nemesis in
+  let module Retransmit = Ics_net.Retransmit in
+  let module Profile = Ics_core.Profile in
+  let drop_plan p =
+    if p = 0.0 then []
+    else [ Nemesis.Drop { link = Nemesis.any_link; prob = p; window = Nemesis.always } ]
+  in
+  let total key l = Option.value ~default:0 (List.assoc_opt key l) in
+  let sim_cell p =
+    let fstats = ref None in
+    let rstats = ref None in
+    let setup =
+      Stack.Custom
+        {
+          name = Printf.sprintf "live-cmp-lossy-%.2f" p;
+          build =
+            (fun ~n ->
+              let base = Ics_net.Model.constant ~delay:1.0 ~n ~seed:4242L () in
+              let lossy, fs = Nemesis.apply ~seed:42L ~plan:(drop_plan p) ~base () in
+              let model, rs = Retransmit.wrap lossy in
+              fstats := Some fs;
+              rstats := Some rs;
+              (model, Ics_net.Host.instant));
+        }
+    in
+    let config =
+      { Stack.abcast_indirect with Stack.setup; fd_kind = Stack.Oracle 10.0 }
+    in
+    let scale = if quick then 0.25 else 1.0 in
+    let load =
+      {
+        Experiment.throughput = 200.0;
+        body_bytes = 64;
+        duration = 500.0 +. (scale *. 2_000.0);
+        warmup = 500.0;
+      }
+    in
+    let r = Experiment.run config load in
+    let ab = float_of_int (max 1 r.Experiment.abroadcasts) in
+    let retx =
+      match !rstats with Some s -> s.Retransmit.retransmits | None -> 0
+    in
+    let drops =
+      match !fstats with
+      | Some fs -> Ics_net.Model.Fault_stats.total_drops fs
+      | None -> 0
+    in
+    ( r.Experiment.latency.Stats.mean,
+      drops,
+      float_of_int retx /. ab,
+      r.Experiment.quiescent )
+  in
+  let live_cell p =
+    let count = if quick then 10 else 25 in
+    let node =
+      {
+        Node.default_workload with
+        Node.profile =
+          {
+            Profile.default with
+            Profile.n = 3;
+            count;
+            body_bytes = 64;
+            gap_ms = 2.0;
+            warmup_ms = 400.0;
+            deadline_ms = 20_000.0;
+          };
+        seed = 42L;
+        plan = drop_plan p;
+        plan_seed = 42L;
+      }
+    in
+    match Cluster.run { Cluster.default with Cluster.node } with
+    | Error e ->
+        Format.printf "drop-p %.2f: skipped (%s)@." p e;
+        None
+    | Ok o ->
+        let ab = float_of_int (max 1 (3 * count)) in
+        let mean, p95 =
+          match o.Cluster.latency with
+          | Some l -> (l.Cluster.mean_ms, l.Cluster.p95_ms)
+          | None -> (Float.nan, Float.nan)
+        in
+        Some
+          ( mean,
+            p95,
+            total "drops" o.Cluster.faults,
+            float_of_int (total "retransmits" o.Cluster.retx) /. ab,
+            Cluster.ok o )
+  in
+  let rows =
+    if not (Cluster.supported ()) then begin
+      Format.printf "live fault runs skipped: no loopback sockets here@.";
+      []
+    end
+    else
+      List.filter_map
+        (fun p ->
+          match live_cell p with
+          | None -> None
+          | Some live -> Some (p, sim_cell p, live))
+        [ 0.0; 0.05; 0.10 ]
+  in
+  if rows <> [] then begin
+    let table =
+      Table.create
+        ~title:
+          "same drop plan, both backends (sim latency is virtual; live is wall clock)"
+        ~columns:
+          [
+            "drop-p";
+            "sim-lat[ms]";
+            "sim-drops";
+            "sim-retx/ab";
+            "sim-quiet";
+            "live-lat[ms]";
+            "live-p95[ms]";
+            "live-drops";
+            "live-retx/ab";
+            "live-ok";
+          ]
+    in
+    List.iter
+      (fun (p, (smean, sdrops, sretx, squiet), (lmean, lp95, ldrops, lretx, lok)) ->
+        Table.add_row table
+          [
+            Printf.sprintf "%.2f" p;
+            Printf.sprintf "%.3f" smean;
+            string_of_int sdrops;
+            Printf.sprintf "%.2f" sretx;
+            string_of_bool squiet;
+            Printf.sprintf "%.2f" lmean;
+            Printf.sprintf "%.2f" lp95;
+            string_of_int ldrops;
+            Printf.sprintf "%.2f" lretx;
+            string_of_bool lok;
+          ])
+      rows;
+    Table.print table;
+    Format.printf
+      "expectation: both columns degrade gracefully with drop-p and stay@.\
+       checker-green; retransmits track the loss rate on each backend.@."
+  end;
+  let oc = open_out "BENCH_PR5.json" in
+  let row_json =
+    String.concat ",\n"
+      (List.map
+         (fun (p, (smean, sdrops, sretx, squiet), (lmean, lp95, ldrops, lretx, lok)) ->
+           Printf.sprintf
+             {|    {"drop_p": %.2f,
+     "sim": {"latency_mean_ms": %.3f, "drops": %d, "retx_per_abcast": %.2f, "quiescent": %b},
+     "live": {"latency_mean_ms": %.2f, "latency_p95_ms": %.2f, "drops": %d, "retx_per_abcast": %.2f, "checker_ok": %b}}|}
+             p smean sdrops sretx squiet lmean lp95 ldrops lretx lok)
+         rows)
+  in
+  Printf.fprintf oc
+    "{\n  \"workload\": {\"n\": 3, \"ordering\": \"indirect\", \"body_bytes\": 64},\n\
+    \  \"faults_live\": [\n%s\n  ]\n}\n"
+    row_json;
+  close_out oc;
+  Format.printf "wrote BENCH_PR5.json@."
+
 (* --- Claim verification --------------------------------------------------- *)
 
 let run_claims ~quick =
@@ -510,8 +689,6 @@ let run_perf ~quick =
 
 module Codec = Ics_codec.Codec
 module Codecs = Ics_core.Codecs
-module Node = Ics_runtime.Node
-module Cluster = Ics_runtime.Cluster
 
 let run_wire ~quick =
   section "Wire: codec throughput and live loopback clusters";
@@ -587,10 +764,14 @@ let run_wire ~quick =
           let node =
             {
               Node.default_workload with
-              Node.n;
-              count;
-              gap_ms = 2.0;
-              deadline_ms = 30_000.0;
+              Node.profile =
+                {
+                  Ics_core.Profile.default with
+                  Ics_core.Profile.n;
+                  count;
+                  gap_ms = 2.0;
+                  deadline_ms = 30_000.0;
+                };
             }
           in
           match Cluster.run { Cluster.default with Cluster.node } with
@@ -737,6 +918,7 @@ let () =
     extension_scalability ~quick
   end;
   if want "faults" then run_faults ~quick;
+  if want "faults-live" then run_faults_live ~quick;
   if want "claims" then run_claims ~quick;
   if want "micro" then run_micro ();
   if want "wire" then run_wire ~quick;

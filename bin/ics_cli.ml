@@ -5,6 +5,7 @@
 open Cmdliner
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
 module Experiment = Ics_workload.Experiment
 module Figures = Ics_workload.Figures
 module Scenarios = Ics_workload.Scenarios
@@ -12,22 +13,30 @@ module Chaos = Ics_workload.Chaos
 module Table = Ics_prelude.Table
 module Stats = Ics_prelude.Stats
 
-(* Shared argument converters. *)
-
-let algo_conv =
-  Arg.enum [ ("ct", Stack.Ct); ("mr", Stack.Mr); ("lb", Stack.Lb) ]
-
-let ordering_conv =
-  Arg.enum
-    [
-      ("messages", Abcast.Consensus_on_messages);
-      ("ids-faulty", Abcast.Consensus_on_ids);
-      ("indirect", Abcast.Indirect_consensus);
-    ]
-
-let broadcast_conv =
-  Arg.enum
-    [ ("flood", Stack.Flood); ("fd-relay", Stack.Fd_relay); ("uniform", Stack.Uniform) ]
+(* Profile flags are not written by hand: every command that takes a
+   stack shape (and, for the live commands, a workload) folds the
+   relevant [Profile.specs] rows into one cmdliner term.  Adding a knob
+   to the profile adds the flag to every command at once. *)
+let profile_term ?(specs = Profile.specs) base =
+  List.fold_left
+    (fun term (spec : Profile.spec) ->
+      let arg =
+        Arg.(
+          value
+          & opt (some string) None
+          & info spec.Profile.keys ~docv:spec.Profile.docv ~doc:spec.Profile.doc)
+      in
+      let apply profile = function
+        | None -> profile
+        | Some value -> (
+            match spec.Profile.set profile value with
+            | Ok profile -> profile
+            | Error msg ->
+                Format.eprintf "ics-cli: %s@." msg;
+                exit 2)
+      in
+      Term.(const apply $ term $ arg))
+    (Term.const base) specs
 
 let setup_conv =
   Arg.enum
@@ -37,13 +46,20 @@ let setup_conv =
       ("ideal", Stack.Ideal_lan { delay = 1.0; jitter = 0.1 });
     ]
 
+let stack_config_of_profile (p : Profile.t) =
+  {
+    Stack.default_config with
+    n = p.Profile.n;
+    algo = p.Profile.algo;
+    ordering = p.Profile.ordering;
+    broadcast = p.Profile.broadcast;
+  }
+
 (* `run` command: one configuration under one load. *)
 
 let run_cmd =
-  let exec n algo ordering broadcast setup tput size duration seed check =
-    let config =
-      { Stack.default_config with n; algo; ordering; broadcast; setup; seed }
-    in
+  let exec profile setup tput size duration seed check =
+    let config = { (stack_config_of_profile profile) with Stack.setup; seed } in
     let load =
       {
         Experiment.throughput = tput;
@@ -53,16 +69,11 @@ let run_cmd =
       }
     in
     let r = Experiment.run ~check config load in
-    Format.printf "config: n=%d algo=%s ordering=%s broadcast=%s@." n
-      (match algo with Stack.Ct -> "ct" | Stack.Mr -> "mr" | Stack.Lb -> "lb")
-      (match ordering with
-      | Abcast.Consensus_on_messages -> "messages"
-      | Abcast.Consensus_on_ids -> "ids-faulty"
-      | Abcast.Indirect_consensus -> "indirect")
-      (match broadcast with
-      | Stack.Flood -> "flood"
-      | Stack.Fd_relay -> "fd-relay"
-      | Stack.Uniform -> "uniform");
+    Format.printf "config: n=%d algo=%s ordering=%s broadcast=%s@."
+      profile.Profile.n
+      (Profile.algo_to_string profile.Profile.algo)
+      (Profile.ordering_to_string profile.Profile.ordering)
+      (Profile.broadcast_to_string profile.Profile.broadcast);
     Format.printf "load: %.0f msg/s, %d B payloads, %.1f s@." tput size duration;
     Format.printf "latency: %a@." Stats.pp_summary r.Experiment.latency;
     Format.printf "measured=%d abroadcasts=%d transport-messages=%d wire-bytes=%d@."
@@ -86,19 +97,7 @@ let run_cmd =
                 busiest)));
     if not r.Experiment.quiescent then exit 2
   in
-  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
-  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct or mr.") in
-  let ordering =
-    Arg.(
-      value
-      & opt ordering_conv Abcast.Indirect_consensus
-      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
-  in
-  let broadcast =
-    Arg.(
-      value & opt broadcast_conv Stack.Flood
-      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
-  in
+  let profile = profile_term ~specs:Profile.stack_specs Profile.default in
   let setup =
     Arg.(value & opt setup_conv Stack.Setup1 & info [ "setup" ] ~doc:"setup1, setup2 or ideal.")
   in
@@ -113,9 +112,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one atomic-broadcast configuration under a synthetic load")
-    Term.(
-      const exec $ n $ algo $ ordering $ broadcast $ setup $ tput $ size $ duration $ seed
-      $ check)
+    Term.(const exec $ profile $ setup $ tput $ size $ duration $ seed $ check)
 
 (* `figure` command: regenerate one of the paper's figures (or all). *)
 
@@ -185,17 +182,15 @@ let violation_cmd =
    trace — invaluable for studying an execution step by step. *)
 
 let trace_cmd =
-  let exec n algo ordering messages crash csv =
+  let exec profile messages crash csv =
     let config =
       {
-        Stack.default_config with
-        n;
-        algo;
-        ordering;
-        setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 };
+        (stack_config_of_profile profile) with
+        Stack.setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.0 };
         fd_kind = Stack.Oracle 10.0;
       }
     in
+    let n = profile.Profile.n in
     let stack = Stack.create config in
     let engine = stack.Stack.engine in
     for i = 0 to messages - 1 do
@@ -221,14 +216,7 @@ let trace_cmd =
         (Stack.describe stack)
     end
   in
-  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
-  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
-  let ordering =
-    Arg.(
-      value
-      & opt ordering_conv Abcast.Indirect_consensus
-      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
-  in
+  let profile = profile_term ~specs:Profile.stack_specs Profile.default in
   let messages = Arg.(value & opt int 2 & info [ "messages" ] ~doc:"How many abroadcasts.") in
   let crash =
     Arg.(value & opt (some int) None & info [ "crash" ] ~doc:"Crash this process at t=10ms.")
@@ -236,12 +224,15 @@ let trace_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
   Cmd.v
     (Cmd.info "trace" ~doc:"Dump the full protocol trace of a small execution")
-    Term.(const exec $ n $ algo $ ordering $ messages $ crash $ csv)
+    Term.(const exec $ profile $ messages $ crash $ csv)
 
-(* `chaos` command: seeded fault-injection sweep over stacks × plans. *)
+(* `chaos` command: seeded fault-injection sweep over stacks × plans,
+   simulated by default or — with --live — run as forked loopback-TCP
+   clusters judged by the same checker. *)
 
 let chaos_cmd =
-  let exec seeds seed_base n stacks plans no_retransmit replay_check verbose =
+  let exec seeds seed_base n stacks plans no_retransmit live replay_check
+      verbose =
     let parse_csv ~what ~of_string ~all s =
       if s = "all" then all
       else
@@ -263,34 +254,52 @@ let chaos_cmd =
       parse_csv ~what:"plan" ~of_string:Chaos.plan_of_string
         ~all:Chaos.all_plans plans
     in
+    let backend = if live then `Live else `Sim in
+    if live && not (Chaos.live_supported ()) then begin
+      Format.eprintf "chaos: skip: loopback sockets unavailable in this environment@.";
+      exit 2
+    end;
     let progress =
       if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> ()
     in
     let cells =
-      Chaos.sweep ~retransmit:(not no_retransmit) ?n ~seed_base ~seeds
-        ~progress ~stacks ~plans ()
+      Chaos.sweep ~backend ~retransmit:(not no_retransmit) ?n ~seed_base
+        ~seeds ~progress ~stacks ~plans ()
     in
     Chaos.report ~verbose Format.std_formatter cells;
     if replay_check then begin
-      let mismatches =
-        Chaos.replay_check ~retransmit:(not no_retransmit) ?n ~seed_base
-          ~stacks ~plans ()
-      in
-      match mismatches with
-      | [] ->
-          Format.printf "replay check: %d cell(s) reran bit-identically@."
-            (List.length stacks * List.length plans)
-      | ms ->
-          Format.printf
-            "FAIL: replay check found nondeterminism — seeded reruns \
-             diverged:@.";
-          List.iter
-            (fun m -> Format.printf "  %a@." Chaos.pp_mismatch m)
-            ms;
-          exit 1
+      if live then
+        Format.printf
+          "replay check: skipped — live scheduling is not deterministic \
+           (fault counters are; the sweep above already used them)@."
+      else
+        let mismatches =
+          Chaos.replay_check ~retransmit:(not no_retransmit) ?n ~seed_base
+            ~stacks ~plans ()
+        in
+        match mismatches with
+        | [] ->
+            Format.printf "replay check: %d cell(s) reran bit-identically@."
+              (List.length stacks * List.length plans)
+        | ms ->
+            Format.printf
+              "FAIL: replay check found nondeterminism — seeded reruns \
+               diverged:@.";
+            List.iter
+              (fun m -> Format.printf "  %a@." Chaos.pp_mismatch m)
+              ms;
+            exit 1
+    end;
+    if not (Chaos.blackout_reproduced cells) then begin
+      Format.printf
+        "FAIL: the ct-on-ids x blackout cell passed on the %s backend — \
+         the paper's S2.2 violation should always reproduce@."
+        (Chaos.backend_name backend);
+      exit 1
     end;
     if Chaos.indirect_clean cells then begin
-      Format.printf "indirect stacks clean over %d seeds@." seeds;
+      Format.printf "indirect stacks clean over %d seeds (%s backend)@." seeds
+        (Chaos.backend_name backend);
       if List.exists (fun c -> c.Chaos.failures <> []) cells then
         Format.printf
           "on-ids failures above are expected: that stack is the paper's \
@@ -327,6 +336,16 @@ let chaos_cmd =
       & info [ "no-retransmit" ]
           ~doc:"Run directly over the lossy links, without the retransmission channel.")
   in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Run each cell as a forked loopback-TCP cluster instead of a \
+             simulation: the same seeded plan drives each node's transport \
+             interposer and the merged trace goes through the same checker. \
+             Exit 2 when the environment cannot create loopback sockets.")
+  in
   let replay_check =
     Arg.(
       value & flag
@@ -334,77 +353,41 @@ let chaos_cmd =
           ~doc:
             "After the sweep, rerun one seed per (stack, plan) cell twice \
              and fail if the trace fingerprints differ — a determinism gate \
-             for the replay commands the sweep prints.")
+             for the replay commands the sweep prints.  Simulation only; \
+             skipped (with a note) under $(b,--live).")
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-cell progress and every failing seed.")
   in
   Cmd.v
     (Cmd.info "chaos"
-       ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds)")
+       ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds), simulated or live")
     Term.(
       const exec $ seeds $ seed_base $ n $ stacks $ plans $ no_retransmit
-      $ replay_check $ verbose)
+      $ live $ replay_check $ verbose)
 
 (* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
    the merged delivery logs; `node` runs a single process of one (for
-   driving a cluster by hand across terminals). *)
+   driving a cluster by hand across terminals, or as the child of
+   `cluster --exec`). *)
 
 module Node = Ics_runtime.Node
 module Cluster = Ics_runtime.Cluster
-
-let node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout timeout =
-  {
-    Node.default_workload with
-    Node.n;
-    algo;
-    ordering;
-    broadcast;
-    count;
-    body_bytes = size;
-    gap_ms = gap;
-    warmup_ms = warmup;
-    hb_period_ms = hb_period;
-    hb_timeout_ms = hb_timeout;
-    deadline_ms = timeout *. 1000.0;
-  }
-
-let workload_args =
-  let count =
-    Arg.(value & opt int 20 & info [ "count" ] ~doc:"A-broadcasts per node.")
-  in
-  let size = Arg.(value & opt int 128 & info [ "size" ] ~doc:"Payload bytes.") in
-  let gap =
-    Arg.(value & opt float 5.0 & info [ "gap" ] ~doc:"Milliseconds between a node's A-broadcasts.")
-  in
-  let warmup =
-    Arg.(value & opt float 150.0 & info [ "warmup" ] ~doc:"Milliseconds before the first A-broadcast.")
-  in
-  let hb_period =
-    Arg.(value & opt float 25.0 & info [ "hb-period" ] ~doc:"Heartbeat period, ms.")
-  in
-  let hb_timeout =
-    Arg.(value & opt float 120.0 & info [ "hb-timeout" ] ~doc:"Heartbeat suspicion timeout, ms.")
-  in
-  let timeout =
-    Arg.(value & opt float 10.0 & info [ "timeout" ] ~doc:"Hard deadline, seconds.")
-  in
-  (count, size, gap, warmup, hb_period, hb_timeout, timeout)
+module Trace_io = Ics_runtime.Trace_io
 
 let pp_latency ppf (l : Cluster.latency) =
   Format.fprintf ppf "mean=%.2f ms p95=%.2f ms max=%.2f ms (%d samples)" l.Cluster.mean_ms
     l.Cluster.p95_ms l.Cluster.max_ms l.Cluster.samples
 
 let cluster_cmd =
-  let exec n algo ordering broadcast count size gap warmup hb_period hb_timeout timeout
-      keep_dir =
+  let exec profile keep_dir use_exec =
+    let spawn = if use_exec then `Exec Sys.executable_name else `Fork in
     let config =
       {
         Cluster.default with
-        Cluster.node =
-          node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout
-            timeout;
+        Cluster.node = { Node.default_workload with Node.profile };
         keep_dir;
+        spawn;
       }
     in
     match Cluster.run config with
@@ -412,8 +395,10 @@ let cluster_cmd =
         Format.eprintf "cluster: skip: %s@." reason;
         exit 2
     | Ok o ->
-        Format.printf "cluster: n=%d, %d msgs/node, %d B payloads over loopback TCP@." n
-          count size;
+        Format.printf "cluster: %s, %d msgs/node, %d B payloads over loopback TCP%s@."
+          (Profile.describe profile) profile.Profile.count
+          profile.Profile.body_bytes
+          (if use_exec then " (exec spawn)" else "");
         Array.iteri
           (fun i d ->
             Format.printf "  node %d: %d/%d adelivered, exit %d@." i d
@@ -428,24 +413,18 @@ let cluster_cmd =
         Format.printf "checker: %a@." Ics_checker.Checker.pp_verdict o.Cluster.verdict;
         if not (Cluster.ok o) then exit 1
   in
-  let n =
-    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Number of node processes to fork.")
-  in
-  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
-  let ordering =
-    Arg.(
-      value
-      & opt ordering_conv Abcast.Indirect_consensus
-      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
-  in
-  let broadcast =
-    Arg.(
-      value & opt broadcast_conv Stack.Flood
-      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
-  in
-  let count, size, gap, warmup, hb_period, hb_timeout, timeout = workload_args in
+  let profile = profile_term Profile.default in
   let keep_dir =
     Arg.(value & flag & info [ "keep-traces" ] ~doc:"Keep the per-node trace files.")
+  in
+  let use_exec =
+    Arg.(
+      value & flag
+      & info [ "exec" ]
+          ~doc:
+            "Spawn children as fresh $(b,node) processes of this executable \
+             (configuration passed as flags) instead of forking — exercises \
+             the Profile.to_args round-trip a hand-driven cluster uses.")
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -462,13 +441,10 @@ let cluster_cmd =
               uses. Exit status: 0 on success, 1 if the checker or a node failed, 2 \
               if the environment cannot create loopback sockets.";
          ])
-    Term.(
-      const exec $ n $ algo $ ordering $ broadcast $ count $ size $ gap $ warmup $ hb_period
-      $ hb_timeout $ timeout $ keep_dir)
+    Term.(const exec $ profile $ keep_dir $ use_exec)
 
 let node_cmd =
-  let exec self ports algo ordering broadcast count size gap warmup hb_period hb_timeout
-      timeout epoch =
+  let exec self ports profile epoch trace_out stats_out =
     let ports =
       String.split_on_char ',' ports
       |> List.map String.trim
@@ -514,13 +490,19 @@ let node_cmd =
     let epoch = match epoch with Some e -> e | None -> Unix.gettimeofday () in
     let config =
       {
-        (node_config n algo ordering broadcast count size gap warmup hb_period hb_timeout
-           timeout)
-        with
+        Node.default_workload with
         Node.self;
+        profile = { profile with Profile.n };
       }
     in
     let r = Node.run ~epoch ~listen ~peer_addrs:addrs config in
+    (match trace_out with
+    | Some path ->
+        Trace_io.save path r.Node.trace ~keep:(fun e -> e.Ics_sim.Trace.pid = self)
+    | None -> ());
+    (match stats_out with
+    | Some path -> Trace_io.save_kv path (Node.result_kv r)
+    | None -> ());
     Format.printf "node %d: %d/%d adelivered, %s@." self r.Node.delivered r.Node.expected
       (if r.Node.clean_exit then "all nodes done" else "deadline hit");
     Format.printf "net: %d frames out (%d B), %d frames in (%d B), %d decode errors@."
@@ -529,7 +511,7 @@ let node_cmd =
       r.Node.net.Ics_runtime.Socket_transport.frames_in
       r.Node.net.Ics_runtime.Socket_transport.bytes_in
       r.Node.net.Ics_runtime.Socket_transport.decode_errors;
-    if not r.Node.clean_exit then exit 1
+    if not r.Node.clean_exit then exit 10
   in
   let self =
     Arg.(required & opt (some int) None & info [ "self" ] ~doc:"This node's index into the port list.")
@@ -541,19 +523,7 @@ let node_cmd =
       & info [ "ports" ] ~docv:"P0,P1,..."
           ~doc:"Comma-separated loopback ports, one per node; index $(b,--self) is ours.")
   in
-  let algo = Arg.(value & opt algo_conv Stack.Ct & info [ "algo" ] ~doc:"ct, mr or lb.") in
-  let ordering =
-    Arg.(
-      value
-      & opt ordering_conv Abcast.Indirect_consensus
-      & info [ "ordering" ] ~doc:"messages, ids-faulty or indirect.")
-  in
-  let broadcast =
-    Arg.(
-      value & opt broadcast_conv Stack.Flood
-      & info [ "broadcast" ] ~doc:"flood, fd-relay or uniform.")
-  in
-  let count, size, gap, warmup, hb_period, hb_timeout, timeout = workload_args in
+  let profile = profile_term Profile.default in
   let epoch =
     Arg.(
       value
@@ -561,6 +531,20 @@ let node_cmd =
       & info [ "epoch" ]
           ~doc:"Shared time origin (seconds since the Unix epoch); defaults to now. Give \
                 all nodes the same value to align their workload timers.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:"Write this node's delivery log here on exit (the format Cluster merges).")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"PATH"
+          ~doc:"Write this node's fault/retransmission counters here on exit.")
   in
   Cmd.v
     (Cmd.info "node"
@@ -571,12 +555,11 @@ let node_cmd =
            `P
              "Runs a single process of an n-node stack over loopback TCP, dialing the \
               peers in $(b,--ports). Start one in each terminal; they retry their \
-              dials briefly, so start order does not matter. Exit status: 0 when all \
-              nodes completed the workload, 1 on deadline, 2 on setup errors.";
+              dials briefly, so start order does not matter. The process count comes \
+              from the port list. Exit status: 0 when all nodes completed the \
+              workload, 10 on deadline, 2 on setup errors.";
          ])
-    Term.(
-      const exec $ self $ ports $ algo $ ordering $ broadcast $ count $ size $ gap $ warmup
-      $ hb_period $ hb_timeout $ timeout $ epoch)
+    Term.(const exec $ self $ ports $ profile $ epoch $ trace_out $ stats_out)
 
 let list_cmd =
   let exec () =

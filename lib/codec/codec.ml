@@ -134,7 +134,15 @@ let header_bytes = 16
 (* Static wire ids for the layer names of this stack: the header stays
    fixed-width and nodes never have to agree on dynamic interning order. *)
 let layer_table =
-  [ ("rb", 1); ("urb", 2); ("consensus", 3); ("fd", 4); ("retx-ack", 5); ("ctl", 6) ]
+  [
+    ("rb", 1);
+    ("urb", 2);
+    ("consensus", 3);
+    ("fd", 4);
+    ("retx-ack", 5);
+    ("ctl", 6);
+    ("parity", 7);  (* cross-backend fault-parity harness traffic *)
+  ]
 
 let layer_to_wire name = List.assoc_opt name layer_table
 
@@ -203,6 +211,7 @@ let decode_body ?(pos = 0) buf (h : header) =
 
 let tag_ping = 0x01
 let tag_retx_ack = 0x08
+let tag_retx_seq = 0x09
 
 let register_builtins () =
   register ~tag:tag_ping ~name:"ping"
@@ -219,6 +228,26 @@ let register_builtins () =
       | Ics_net.Retransmit.Ack { upto } -> Prim.u32 w upto
       | _ -> assert false)
     ~dec:(fun r -> Ics_net.Retransmit.Ack { upto = Prim.r_u32 r })
-    ~gen:(fun rng -> Ics_net.Retransmit.Ack { upto = Rng.int rng 10_000 })
+    ~gen:(fun rng -> Ics_net.Retransmit.Ack { upto = Rng.int rng 10_000 });
+  (* Wire-level retransmission frame: sequence number + the nested
+     payload, encoded through the registry recursively. *)
+  register ~tag:tag_retx_seq ~name:"retx.seq"
+    ~fits:(function Ics_net.Retransmit.Seq _ -> true | _ -> false)
+    ~size:(fun p ->
+      match p with
+      | Ics_net.Retransmit.Seq { inner; _ } ->
+          Ics_net.Retransmit.seq_overhead + body_bytes inner
+      | _ -> assert false)
+    ~enc:(fun w p ->
+      match p with
+      | Ics_net.Retransmit.Seq { seq; inner } ->
+          Prim.u32 w seq;
+          encode_payload w inner
+      | _ -> assert false)
+    ~dec:(fun r ->
+      let seq = Prim.r_u32 r in
+      Ics_net.Retransmit.Seq { seq; inner = decode_payload r })
+    ~gen:(fun rng ->
+      Ics_net.Retransmit.Seq { seq = Rng.int rng 10_000; inner = Message.Ping })
 
 let () = register_builtins ()

@@ -12,8 +12,8 @@ module Urb = Ics_broadcast.Urb
 module Ct = Ics_consensus.Ct
 module Mr = Ics_consensus.Mr
 
-type algo = Ct | Mr | Lb
-type broadcast_kind = Flood | Fd_relay | Uniform
+type algo = Profile.algo = Ct | Mr | Lb
+type broadcast_kind = Profile.broadcast_kind = Flood | Fd_relay | Uniform
 
 type setup =
   | Setup1
@@ -80,21 +80,31 @@ let build_model config =
 
 (* The protocol wiring above the transport, shared verbatim between the
    simulated stack and the live runtime's per-node stack. *)
-let assemble transport ~fd ~algo ~ordering ~broadcast ~on_deliver =
+let assemble transport ~fd ~profile ~on_deliver =
   Codecs.ensure ();
   let make_broadcast ~deliver =
-    match broadcast with
+    match profile.Profile.broadcast with
     | Flood -> Rb_flood.create transport ~deliver
     | Fd_relay -> Rb_fd.create transport ~fd ~deliver
     | Uniform -> Urb.create transport ~deliver
   in
   let make_consensus ~rcv callbacks =
-    match algo with
+    match profile.Profile.algo with
     | Ct -> Ics_consensus.Ct.create transport fd { layer = "consensus"; rcv } callbacks
     | Mr -> Ics_consensus.Mr.create transport fd { layer = "consensus"; rcv } callbacks
     | Lb -> Ics_consensus.Lb.create transport fd { layer = "consensus"; rcv } callbacks
   in
-  Abcast.create transport ~ordering ~make_broadcast ~make_consensus ~deliver:on_deliver
+  Abcast.create transport ~ordering:profile.Profile.ordering ~make_broadcast
+    ~make_consensus ~deliver:on_deliver
+
+let profile config =
+  {
+    Profile.default with
+    Profile.n = config.n;
+    algo = config.algo;
+    ordering = config.ordering;
+    broadcast = config.broadcast;
+  }
 
 let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
   if config.n <= 0 then invalid_arg "Stack.create: n <= 0";
@@ -118,10 +128,7 @@ let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
         | Oracle detection_delay -> Failure_detector.oracle engine ~detection_delay
         | Heartbeat { period; timeout } -> Failure_detector.heartbeat transport ~period ~timeout)
   in
-  let abcast =
-    assemble transport ~fd ~algo:config.algo ~ordering:config.ordering
-      ~broadcast:config.broadcast ~on_deliver
-  in
+  let abcast = assemble transport ~fd ~profile:(profile config) ~on_deliver in
   { config; engine; transport; fd; abcast; model }
 
 let abroadcast t ~src ~body_bytes = Abcast.abroadcast t.abcast ~src ~body_bytes

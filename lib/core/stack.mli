@@ -29,9 +29,12 @@ module Host = Ics_net.Host
 module App_msg = Ics_net.App_msg
 module Failure_detector = Ics_fd.Failure_detector
 
-type algo = Ct | Mr | Lb
+type algo = Profile.algo = Ct | Mr | Lb
+(** Re-export of {!Profile.algo}: existing call sites keep writing
+    [Stack.Ct]; new code shares the constructors with the live runtime
+    through {!Profile}. *)
 
-type broadcast_kind =
+type broadcast_kind = Profile.broadcast_kind =
   | Flood  (** reliable broadcast, O(n²) messages *)
   | Fd_relay  (** reliable broadcast, O(n) messages in good runs *)
   | Uniform  (** uniform reliable broadcast, O(n²), 2 steps *)
@@ -90,15 +93,19 @@ type t = {
 val assemble :
   Transport.t ->
   fd:Failure_detector.t ->
-  algo:algo ->
-  ordering:Abcast.ordering ->
-  broadcast:broadcast_kind ->
+  profile:Profile.t ->
   on_deliver:(Pid.t -> App_msg.t -> unit) ->
   Abcast.t
 (** Wire the protocol layers above an existing transport (simulated or
     live) and failure detector — the assembly shared by {!create} and the
-    live runtime's per-node stack.  Also registers all wire codecs
+    live runtime's per-node stack.  Reads the shape fields ([algo],
+    [ordering], [broadcast]) of [profile]; the workload fields are the
+    caller's business.  Also registers all wire codecs
     ({!Codecs.ensure}). *)
+
+val profile : config -> Profile.t
+(** The {!Profile.t} with this config's shape and default workload
+    fields. *)
 
 val create :
   ?engine:Engine.t ->

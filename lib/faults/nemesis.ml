@@ -5,6 +5,7 @@ module Trace = Ics_sim.Trace
 module Rng = Ics_prelude.Rng
 module Model = Ics_net.Model
 module Message = Ics_net.Message
+module Env = Ics_net.Env
 
 type window = { from_t : Time.t; until_t : Time.t }
 
@@ -106,6 +107,75 @@ let partition_cuts groups ~src ~dst =
   | Some a, Some b -> a <> b
   | _ -> false
 
+let cut_by_partition plan now (msg : Message.t) =
+  List.exists
+    (fun clause ->
+      match clause with
+      | Partition { groups; window } ->
+          in_window window now
+          && partition_cuts groups ~src:msg.Message.src ~dst:msg.Message.dst
+      | Isolate { pid; inbound; outbound; window } ->
+          in_window window now
+          && ((inbound && msg.Message.dst = pid)
+             || (outbound && msg.Message.src = pid))
+      | _ -> false)
+    plan
+
+(* Evaluate the probabilistic clauses for one message.  Draws come from
+   [rng] in fixed plan order and continue even after a drop decision, so
+   the stream of draws — hence every later decision — depends only on the
+   message sequence, not on earlier outcomes.  [on_delay]/[on_slow] fire
+   (mid-iteration, matching the historical accounting order) only when the
+   message is not already dropped. *)
+let draw ~plan ~rng ~now ~on_delay ~on_slow (msg : Message.t) =
+  let dropped = ref false in
+  let dup = ref false in
+  let extra = ref Time.zero in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Drop { link; prob; window } ->
+          if in_window window now && link_matches link msg then
+            if Rng.float rng 1.0 < prob then dropped := true
+      | Duplicate { link; prob; window } ->
+          if in_window window now && link_matches link msg then
+            if Rng.float rng 1.0 < prob then dup := true
+      | Delay { link; prob; max_extra; window } ->
+          if in_window window now && link_matches link msg then
+            if Rng.float rng 1.0 < prob then begin
+              extra := Time.( + ) !extra (Rng.float rng max_extra);
+              if not !dropped then on_delay ()
+            end
+      | Slow { link; extra = e; window } ->
+          if in_window window now && link_matches link msg then begin
+            extra := Time.( + ) !extra e;
+            if not !dropped then on_slow ()
+          end
+      | Partition _ | Isolate _ | Crash _ -> ())
+    plan;
+  (!dropped, !dup, !extra)
+
+let shift_window w ~by =
+  (* infinity + by = infinity, so open windows stay open. *)
+  { from_t = Time.( + ) w.from_t by; until_t = Time.( + ) w.until_t by }
+
+let shift plan ~by =
+  if by < 0.0 then invalid_arg "Nemesis.shift: negative offset";
+  List.map
+    (fun clause ->
+      match clause with
+      | Drop ({ window; _ } as c) -> Drop { c with window = shift_window window ~by }
+      | Duplicate ({ window; _ } as c) ->
+          Duplicate { c with window = shift_window window ~by }
+      | Delay ({ window; _ } as c) -> Delay { c with window = shift_window window ~by }
+      | Slow ({ window; _ } as c) -> Slow { c with window = shift_window window ~by }
+      | Partition ({ window; _ } as c) ->
+          Partition { c with window = shift_window window ~by }
+      | Isolate ({ window; _ } as c) ->
+          Isolate { c with window = shift_window window ~by }
+      | Crash { pid; at } -> Crash { pid; at = Time.( + ) at by })
+    plan
+
 let apply ?engine ~seed ~plan ~base () =
   let rng = Rng.create seed in
   let stats = Model.Fault_stats.create () in
@@ -140,64 +210,26 @@ let apply ?engine ~seed ~plan ~base () =
                     Engine.record engine 0 (Trace.Partition_heal name))
           | Drop _ | Duplicate _ | Delay _ | Slow _ -> ())
         plan);
-  let cut_by_partition now (msg : Message.t) =
-    List.exists
-      (fun clause ->
-        match clause with
-        | Partition { groups; window } ->
-            in_window window now
-            && partition_cuts groups ~src:msg.src ~dst:msg.dst
-        | Isolate { pid; inbound; outbound; window } ->
-            in_window window now
-            && ((inbound && msg.dst = pid) || (outbound && msg.src = pid))
-        | _ -> false)
-      plan
-  in
   let send engine msg ~arrive =
     let now = Engine.now engine in
-    if cut_by_partition now msg then (
+    if cut_by_partition plan now msg then (
       stats.Model.Fault_stats.partition_drops <-
         stats.Model.Fault_stats.partition_drops + 1;
       Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
       Engine.record engine msg.Message.src (Trace.Net_drop msg.Message.dst))
     else begin
-      (* Probabilistic clauses draw from the plan RNG in fixed plan order,
-         and keep drawing even after a drop decision, so the stream of
-         draws — hence every later decision — depends only on the message
-         sequence, not on earlier outcomes. *)
-      let dropped = ref false in
-      let dup = ref false in
-      let extra = ref Time.zero in
-      List.iter
-        (fun clause ->
-          match clause with
-          | Drop { link; prob; window } ->
-              if in_window window now && link_matches link msg then
-                if Rng.float rng 1.0 < prob then dropped := true
-          | Duplicate { link; prob; window } ->
-              if in_window window now && link_matches link msg then
-                if Rng.float rng 1.0 < prob then dup := true
-          | Delay { link; prob; max_extra; window } ->
-              if in_window window now && link_matches link msg then
-                if Rng.float rng 1.0 < prob then begin
-                  extra := Time.( + ) !extra (Rng.float rng max_extra);
-                  if not !dropped then begin
-                    stats.Model.Fault_stats.delays <-
-                      stats.Model.Fault_stats.delays + 1;
-                    Engine.record engine msg.Message.src
-                      (Trace.Net_delay msg.Message.dst)
-                  end
-                end
-          | Slow { link; extra = e; window } ->
-              if in_window window now && link_matches link msg then begin
-                extra := Time.( + ) !extra e;
-                if not !dropped then
-                  stats.Model.Fault_stats.slowdowns <-
-                    stats.Model.Fault_stats.slowdowns + 1
-              end
-          | Partition _ | Isolate _ | Crash _ -> ())
-        plan;
-      if !dropped then begin
+      let dropped, dup, extra =
+        draw ~plan ~rng ~now msg
+          ~on_delay:(fun () ->
+            stats.Model.Fault_stats.delays <-
+              stats.Model.Fault_stats.delays + 1;
+            Engine.record engine msg.Message.src
+              (Trace.Net_delay msg.Message.dst))
+          ~on_slow:(fun () ->
+            stats.Model.Fault_stats.slowdowns <-
+              stats.Model.Fault_stats.slowdowns + 1)
+      in
+      if dropped then begin
         stats.Model.Fault_stats.drops <- stats.Model.Fault_stats.drops + 1;
         Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
         Engine.record engine msg.Message.src (Trace.Net_drop msg.Message.dst)
@@ -205,14 +237,14 @@ let apply ?engine ~seed ~plan ~base () =
       else begin
         let forward () =
           Model.send base engine msg ~arrive;
-          if !dup then begin
+          if dup then begin
             stats.Model.Fault_stats.dups <- stats.Model.Fault_stats.dups + 1;
             Engine.record engine msg.Message.src
               (Trace.Net_dup msg.Message.dst);
             Model.send base engine msg ~arrive
           end
         in
-        if !extra > Time.zero then Engine.after engine ~delay:!extra forward
+        if extra > Time.zero then Engine.after engine ~delay:extra forward
         else forward ()
       end
     end
@@ -223,3 +255,106 @@ let apply ?engine ~seed ~plan ~base () =
       ~resources:(Model.resources base) send
   in
   (model, stats)
+
+(* Backend-neutral sibling of [apply]: instead of wrapping a network
+   model, compile the plan into a {!Transport.interpose} middleware that
+   draws its randomness from per-(src, dst) streams.  Per-link seeding is
+   what makes the sim and live backends agree: the k-th message on a link
+   sees the same decisions no matter how sends from different processes
+   interleave, and a live node that only ever observes its own outbound
+   links still draws the same stream the whole-cluster simulation does. *)
+let link_rngs seed =
+  let rngs : (int, Rng.t) Hashtbl.t = Hashtbl.create 16 in
+  fun ~src ~dst ->
+    let key = (src * 0x10000) + dst in
+    match Hashtbl.find_opt rngs key with
+    | Some rng -> rng
+    | None ->
+        let rng =
+          Rng.create
+            (Int64.logxor seed
+               (Int64.of_int ((((src + 1) * 0x10000) + dst) + 1)))
+        in
+        Hashtbl.add rngs key rng;
+        rng
+
+let interposer ?self ~env ~seed ~plan () =
+  let stats = Model.Fault_stats.create () in
+  let rng_for = link_rngs seed in
+  let local pid = match self with None -> true | Some p -> p = pid in
+  (* Partition markers are cluster-level events; emit them from exactly
+     one place (the simulated world, or live node 0) so a merged trace
+     carries each marker once. *)
+  let markers = match self with None -> true | Some p -> p = 0 in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Crash { pid; at } ->
+          if local pid then
+            env.Env.schedule ~at (fun () ->
+                if env.Env.is_alive pid then begin
+                  stats.Model.Fault_stats.crashes <-
+                    stats.Model.Fault_stats.crashes + 1;
+                  env.Env.crash pid
+                end)
+      | Partition { groups; window } ->
+          if markers then begin
+            let name = partition_name groups in
+            env.Env.schedule ~at:window.from_t (fun () ->
+                env.Env.record 0 (Trace.Partition_start name));
+            if window.until_t < infinity then
+              env.Env.schedule ~at:window.until_t (fun () ->
+                  env.Env.record 0 (Trace.Partition_heal name))
+          end
+      | Isolate { pid; window; _ } ->
+          if markers then begin
+            let name = Printf.sprintf "isolate(p%d)" pid in
+            env.Env.schedule ~at:window.from_t (fun () ->
+                env.Env.record 0 (Trace.Partition_start name));
+            if window.until_t < infinity then
+              env.Env.schedule ~at:window.until_t (fun () ->
+                  env.Env.record 0 (Trace.Partition_heal name))
+          end
+      | Drop _ | Duplicate _ | Delay _ | Slow _ -> ())
+    plan;
+  let middleware inner (msg : Message.t) =
+    let now = env.Env.now () in
+    if cut_by_partition plan now msg then begin
+      stats.Model.Fault_stats.partition_drops <-
+        stats.Model.Fault_stats.partition_drops + 1;
+      Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
+      env.Env.record msg.Message.src (Trace.Net_drop msg.Message.dst)
+    end
+    else begin
+      let rng = rng_for ~src:msg.Message.src ~dst:msg.Message.dst in
+      let dropped, dup, extra =
+        draw ~plan ~rng ~now msg
+          ~on_delay:(fun () ->
+            stats.Model.Fault_stats.delays <-
+              stats.Model.Fault_stats.delays + 1;
+            env.Env.record msg.Message.src (Trace.Net_delay msg.Message.dst))
+          ~on_slow:(fun () ->
+            stats.Model.Fault_stats.slowdowns <-
+              stats.Model.Fault_stats.slowdowns + 1)
+      in
+      if dropped then begin
+        stats.Model.Fault_stats.drops <- stats.Model.Fault_stats.drops + 1;
+        Model.Fault_stats.count_layer_drop stats (Message.layer_name msg);
+        env.Env.record msg.Message.src (Trace.Net_drop msg.Message.dst)
+      end
+      else begin
+        let forward () =
+          inner msg;
+          if dup then begin
+            stats.Model.Fault_stats.dups <- stats.Model.Fault_stats.dups + 1;
+            env.Env.record msg.Message.src (Trace.Net_dup msg.Message.dst);
+            inner msg
+          end
+        in
+        if extra > Time.zero then
+          env.Env.schedule ~at:(Time.( + ) now extra) forward
+        else forward ()
+      end
+    end
+  in
+  (middleware, stats)

@@ -20,6 +20,7 @@ module Engine = Ics_sim.Engine
 module Time = Ics_sim.Time
 module Pid = Ics_sim.Pid
 module Model = Ics_net.Model
+module Env = Ics_net.Env
 
 (** {1 Plan grammar} *)
 
@@ -72,6 +73,12 @@ val pp_plan : Format.formatter -> plan -> unit
 val plan_to_string : plan -> string
 (** Compact one-line rendering, printed by the chaos sweep for replay. *)
 
+val shift : plan -> by:Time.t -> plan
+(** Shift every window and crash time later by [by] (open-ended windows
+    stay open).  The live runtime uses this to move a plan authored in
+    run-relative time past its warm-up/connect phase.
+    @raise Invalid_argument on negative [by]. *)
+
 (** {1 Applying a plan} *)
 
 val apply :
@@ -90,3 +97,23 @@ val apply :
     are bit-identical.  The returned stats record is also reachable
     through {!Model.fault_stats} on the wrapped model (and so through
     [Stack.fault_counters]). *)
+
+val interposer :
+  ?self:Pid.t ->
+  env:Env.t ->
+  seed:int64 ->
+  plan:plan ->
+  unit ->
+  ((Ics_net.Message.t -> unit) -> Ics_net.Message.t -> unit) * Model.Fault_stats.t
+(** Backend-neutral sibling of {!apply}: compile the plan into an outbound
+    middleware for {!Ics_net.Transport.interpose}, drawing every random
+    choice from a per-(src, dst) RNG stream derived from [seed].  Per-link
+    streams are what make the two backends agree: the k-th message on a
+    link sees the same drop/dup/delay decisions whether all links run in
+    one simulated process or each live node only observes its own outbound
+    links — so a seeded plan produces identical {!Model.Fault_stats}
+    counters on both.  [self] scopes side effects for a live node: [Crash]
+    clauses fire only for [self], and partition trace markers are emitted
+    only by node 0 ([None] keeps whole-cluster behaviour for the sim
+    backend).  Clause scheduling, trace recording and crash delivery all go
+    through [env], never through a concrete engine. *)

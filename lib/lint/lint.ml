@@ -19,7 +19,12 @@ type report = {
 }
 
 let deterministic_layers = [ "sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults" ]
-let rule_ids = [ "D1"; "D2"; "D3"; "P1"; "P2" ]
+
+(* Layers below the runtime boundary: they may reach the outside world
+   only through the Env capability seam (lib/net/env.mli), never by
+   naming a backend module directly. *)
+let backend_neutral_layers = [ "net"; "faults"; "consensus"; "broadcast"; "core" ]
+let rule_ids = [ "B1"; "D1"; "D2"; "D3"; "P1"; "P2" ]
 
 (* ------------------------------------------------------------------ *)
 (* File discovery                                                      *)
@@ -67,6 +72,7 @@ type scope = {
   d2_random : bool;  (* Random.* banned here *)
   d2_time : bool;  (* wall-clock reads banned here *)
   p2 : bool;  (* timer hygiene enforced here *)
+  b1 : bool;  (* backend-neutral layer: no Unix / Ics_runtime *)
 }
 
 let scope_of rel =
@@ -80,6 +86,7 @@ let scope_of rel =
     d2_random = not (starts_with ~prefix:"lib/prelude/rng" rel);
     d2_time = layer <> "runtime";
     p2 = det || List.mem layer [ "net"; "workload"; "runtime" ];
+    b1 = List.mem layer backend_neutral_layers;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -253,9 +260,29 @@ let fits_ctors e =
   | Pexp_fun (_, _, _, { pexp_desc = Pexp_match (_, cases); _ }) -> of_cases cases
   | _ -> []
 
+(* B1: a backend-neutral layer naming a backend module.  Applied to
+   value paths (Unix.getpid, Ics_runtime.Clock.now) and to module paths
+   (module C = Ics_runtime.Clock, open Unix) alike. *)
+let check_b1 st path loc =
+  let sc = st.scope in
+  match path with
+  | (("Unix" | "Ics_runtime") as head) :: _ when sc.b1 ->
+      finding st ~loc ~rule:"B1"
+        ~message:
+          (Printf.sprintf
+             "backend reference (%s) below the runtime boundary: layer '%s' must stay \
+              backend-neutral, the same object file runs simulated and live"
+             (String.concat "." path) sc.layer)
+        ~hint:
+          (Printf.sprintf
+             "reach time/scheduling/randomness/liveness through the Env capability record \
+              (lib/net/env.mli); only lib/runtime and bin/ may name %s" head)
+  | _ -> ()
+
 let check_ident st (lid : Longident.t) loc =
   let path = flatten lid in
   let sc = st.scope in
+  check_b1 st path loc;
   (* D1: unordered hashtable traversal *)
   (match last2_of lid with
   | Some (("Hashtbl" | "Table"), (("iter" | "fold") as f)) when sc.d1 ->
@@ -466,6 +493,12 @@ let lint_source ~scope text =
         (fun it te ->
           check_typext st te;
           Ast_iterator.default_iterator.type_extension it te);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; loc } -> check_b1 st (flatten txt) loc
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it me);
     }
   in
   it.structure it str;

@@ -8,6 +8,12 @@
     walks the parsetree with [Ast_iterator], enforcing a small rule
     catalog with per-directory scopes (DESIGN.md section 9):
 
+    - {b B1} — backend neutrality: modules under [lib/net], [lib/faults],
+      [lib/consensus], [lib/broadcast] and [lib/core] must not reference
+      [Unix] or [Ics_runtime] directly — as a value path, a module alias,
+      or an [open].  Those layers run the same object code on the
+      simulated and the live backend; the only sanctioned door to the
+      outside world is the {!Ics_net.Env} capability record.
     - {b D1} — no [Hashtbl.iter]/[Hashtbl.fold] (bucket-order, hence
       memory-layout-dependent) in the deterministic layers ([sim],
       [consensus], [broadcast], [core], [fd], [checker], [faults]).
@@ -65,8 +71,13 @@ type report = {
 val deterministic_layers : string list
 (** ["sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults"] *)
 
+val backend_neutral_layers : string list
+(** ["net"; "faults"; "consensus"; "broadcast"; "core"] — the B1 scope:
+    layers below the runtime boundary, compiled once and run by both
+    backends. *)
+
 val rule_ids : string list
-(** ["D1"; "D2"; "D3"; "P1"; "P2"] — the allow-comment vocabulary. *)
+(** ["B1"; "D1"; "D2"; "D3"; "P1"; "P2"] — the allow-comment vocabulary. *)
 
 val scan_root : string -> string list
 (** The [.ml] files under [root/lib] and [root/bin], as root-relative

@@ -1,0 +1,44 @@
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+module Rng = Ics_prelude.Rng
+
+(* The backend seam: every capability a protocol or fault layer may use,
+   as first-class closures.  The simulator backs them with the engine
+   directly; the live runtime backs [now] with the wall clock and leaves
+   scheduling/trace/crash on the (run_due-driven) engine.  Code below the
+   runtime boundary (net, faults, consensus, broadcast, core) programs
+   against this record and never against [Unix] or [Ics_runtime] — the
+   B1 lint rule enforces exactly that. *)
+type t = {
+  now : unit -> Time.t;
+  schedule : at:Time.t -> (unit -> unit) -> unit;
+  rng : Pid.t -> Rng.t;
+  record : Pid.t -> Trace.kind -> unit;
+  horizon : unit -> Time.t option;
+  is_alive : Pid.t -> bool;
+  crash : Pid.t -> unit;
+}
+
+let of_engine engine =
+  {
+    now = (fun () -> Engine.now engine);
+    schedule = (fun ~at k -> Engine.schedule engine ~at k);
+    rng = (fun p -> Engine.rng engine p);
+    record = (fun p kind -> Engine.record engine p kind);
+    horizon = (fun () -> Engine.horizon engine);
+    is_alive = (fun p -> Engine.is_alive engine p);
+    crash = (fun p -> Engine.crash engine p);
+  }
+
+let after t ~delay k =
+  if delay < 0.0 then invalid_arg "Env.after: negative delay";
+  t.schedule ~at:(Time.( + ) (t.now ()) delay) k
+
+(* Self-rearming timers ask this before rescheduling: past the horizon the
+   run is over and the queue must be allowed to drain. *)
+let beyond_horizon t ~at =
+  match t.horizon () with
+  | Some h -> Time.compare at h > 0
+  | None -> false

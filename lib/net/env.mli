@@ -1,0 +1,44 @@
+(** The backend capability seam.
+
+    An environment packages every ambient capability the protocol and
+    fault layers are allowed to use — current time, absolute-time
+    scheduling, per-process random streams, the trace sink, the run
+    horizon, and crash-stop control — as a record of closures.  Both
+    backends provide one: {!of_engine} for the simulator, and the live
+    runtime builds a wall-clock-backed variant over the same engine
+    ([Ics_runtime.Clock.env]).
+
+    Layers below the runtime boundary ([lib/net], [lib/faults],
+    [lib/consensus], [lib/broadcast], [lib/core]) must reach the outside
+    world only through this seam; the [B1] lint rule rejects direct
+    references to [Unix] or [Ics_runtime] there. *)
+
+module Engine = Ics_sim.Engine
+module Pid = Ics_sim.Pid
+module Time = Ics_sim.Time
+module Trace = Ics_sim.Trace
+module Rng = Ics_prelude.Rng
+
+type t = {
+  now : unit -> Time.t;  (** current (virtual or wall) time, ms *)
+  schedule : at:Time.t -> (unit -> unit) -> unit;
+      (** run a closure at an absolute time (clamped to now if past) *)
+  rng : Pid.t -> Rng.t;  (** the process-local deterministic stream *)
+  record : Pid.t -> Trace.kind -> unit;  (** append to the execution trace *)
+  horizon : unit -> Time.t option;
+      (** the run's end time, when pinned — self-rearming timers retire
+          past it *)
+  is_alive : Pid.t -> bool;
+  crash : Pid.t -> unit;  (** crash-stop a process now *)
+}
+
+val of_engine : Engine.t -> t
+(** The simulator's environment: every capability is the engine's own. *)
+
+val after : t -> delay:Time.t -> (unit -> unit) -> unit
+(** [after t ~delay k] is [t.schedule ~at:(t.now () + delay) k].
+    @raise Invalid_argument on negative delay. *)
+
+val beyond_horizon : t -> at:Time.t -> bool
+(** Whether [at] lies strictly past the pinned horizon ([false] when no
+    horizon is set). *)

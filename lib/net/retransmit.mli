@@ -43,6 +43,14 @@ type Message.payload += Ack of { upto : int }
     channel has been received.  Travels on the unregistered ["retx-ack"]
     layer through the base model (and is itself subject to its losses). *)
 
+type Message.payload += Seq of { seq : int; inner : Message.payload }
+(** A sequenced data frame of the wire-level channel ({!install}): the
+    original payload plus its per-(src, dst, layer) sequence number, so
+    the reliability protocol survives encoding to bytes. *)
+
+val seq_overhead : int
+(** Extra encoded bytes a [Seq] wrapper adds (tag byte + u32 counter). *)
+
 val wrap : ?params:params -> Model.t -> Model.t * stats
 (** [wrap base] builds a model that sequences every message per
     (src, dst, layer) connection — one logical socket per protocol layer,
@@ -54,3 +62,17 @@ val wrap : ?params:params -> Model.t -> Model.t * stats
     lossy nemesis or scripted wrapper) are propagated to the wrapped model.
     @raise Invalid_argument on non-positive [rto], [backoff < 1], or
     [max_rto < rto]. *)
+
+val install : ?params:params -> Transport.t -> stats
+(** The wire-encodable sibling of {!wrap}: installs an outbound middleware
+    ({!Transport.interpose}) that wraps every remote send in a {!Seq}
+    frame and go-back-N-retransmits it until acknowledged, and an inbound
+    middleware that releases frames in order exactly once and returns
+    cumulative {!Ack}s on the data's own layer.  Because both sides are
+    ordinary messages, the channel behaves identically over the simulated
+    backend and over real sockets.  Install any fault interposer first:
+    the last middleware installed is outermost, and retries must traverse
+    the faults.  Timers are armed through the transport's {!Env} and
+    retire past its horizon (the live runtime pins the horizon to
+    [deadline_ms]), so nodes quiesce even when a partition never heals.
+    @raise Invalid_argument on bad [params], as for {!wrap}. *)

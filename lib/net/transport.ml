@@ -21,6 +21,15 @@ type t = {
   engine : Engine.t;
   host : Host.t;
   backend : backend;
+  mutable env : Env.t;
+  (* Middleware chains around the raw backend.  [wire] is the outbound
+     chain every remote send traverses (fault interposers, wire-level
+     retransmission) and bottoms out at the backend's raw transmit;
+     [inbound] is the receive-side chain and bottoms out at handler
+     dispatch.  Both default to the raw endpoint, so a transport with no
+     middleware behaves exactly as before the seam existed. *)
+  mutable wire : Message.t -> unit;
+  mutable inbound : Message.t -> unit;
   intern_tbl : (string, Layer.t) Hashtbl.t;
   mutable layer_names : string array;  (* by layer id *)
   mutable layer_count : int;
@@ -36,6 +45,9 @@ let make engine ~host ~backend =
     engine;
     host;
     backend;
+    env = Env.of_engine engine;
+    wire = ignore;
+    inbound = ignore;
     intern_tbl = Hashtbl.create 8;
     layer_names = [||];
     layer_count = 0;
@@ -45,16 +57,6 @@ let make engine ~host ~backend =
     per_layer_msgs = [||];
     per_layer_bytes = [||];
   }
-
-let create engine ~model ~host =
-  let n = Engine.n engine in
-  let cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i)) in
-  make engine ~host ~backend:(Sim { model; cpus })
-
-let create_ext engine ?(host = Host.instant) ~self ~emit () =
-  if self < 0 || self >= Engine.n engine then
-    invalid_arg "Transport.create_ext: self out of range";
-  make engine ~host ~backend:(Ext { self; emit })
 
 let self t = match t.backend with Ext { self; _ } -> Some self | Sim _ -> None
 
@@ -125,7 +127,37 @@ let deliver_leg t ~cpus (msg : Message.t) =
   (* Receiver CPU: deserialization queues on the destination's processor. *)
   let service = Host.recv_cost t.host ~wire_bytes:(Message.wire_size msg) in
   let done_at = Resource.reserve cpus.(msg.dst) ~now:(Engine.now t.engine) ~service in
-  Engine.schedule t.engine ~at:done_at (fun () -> dispatch t msg)
+  Engine.schedule t.engine ~at:done_at (fun () -> t.inbound msg)
+
+(* The raw outbound endpoint each backend bottoms out at: the network
+   model for sim, the socket runtime's encoder for live. *)
+let raw_wire t (msg : Message.t) =
+  match t.backend with
+  | Sim { model; cpus } ->
+      Model.send model t.engine msg ~arrive:(fun () -> deliver_leg t ~cpus msg)
+  | Ext { emit; _ } -> emit msg
+
+let create engine ~model ~host =
+  let n = Engine.n engine in
+  let cpus = Array.init n (fun i -> Resource.create (Printf.sprintf "cpu%d" i)) in
+  let t = make engine ~host ~backend:(Sim { model; cpus }) in
+  t.wire <- raw_wire t;
+  t.inbound <- (fun msg -> dispatch t msg);
+  t
+
+let create_ext engine ?(host = Host.instant) ~self ~emit () =
+  if self < 0 || self >= Engine.n engine then
+    invalid_arg "Transport.create_ext: self out of range";
+  let t = make engine ~host ~backend:(Ext { self; emit }) in
+  t.wire <- raw_wire t;
+  t.inbound <- (fun msg -> dispatch t msg);
+  t
+
+let env t = t.env
+let set_env t env = t.env <- env
+
+let interpose t mw = t.wire <- mw t.wire
+let interpose_inbound t mw = t.inbound <- mw t.inbound
 
 let account t ~id ~wire =
   t.sent_messages <- t.sent_messages + 1;
@@ -141,7 +173,7 @@ let send t ~src ~dst ~layer ~body_bytes payload =
       { Message.src; dst; layer; payload; body_bytes; sent_at = Engine.now t.engine }
     in
     match t.backend with
-    | Sim { model; cpus } ->
+    | Sim { model = _; cpus } ->
         let wire = Message.wire_size msg in
         account t ~id ~wire;
         if Pid.equal src dst then begin
@@ -157,11 +189,9 @@ let send t ~src ~dst ~layer ~body_bytes payload =
           Engine.schedule t.engine ~at:cpu_done (fun () ->
               (* A crash between the send call and the end of serialization kills
                  the message before it reaches the wire. *)
-              if Engine.is_alive t.engine src then
-                Model.send model t.engine msg ~arrive:(fun () ->
-                    deliver_leg t ~cpus msg))
+              if Engine.is_alive t.engine src then t.wire msg)
         end
-    | Ext { self; emit } ->
+    | Ext { self; emit = _ } ->
         (* The protocol layers instantiate state for all [n] pids, but a
            live node embodies exactly one of them: sends attempted on a
            foreign pid's behalf (e.g. its heartbeat loop) go nowhere. *)
@@ -170,7 +200,7 @@ let send t ~src ~dst ~layer ~body_bytes payload =
           if Pid.equal dst self then
             Engine.schedule t.engine ~at:(Engine.now t.engine) (fun () ->
                 dispatch t msg)
-          else emit msg
+          else t.wire msg
         end
   end
 
@@ -191,7 +221,7 @@ let inject t (msg : Message.t) =
     if id = Layer.id msg.layer then msg
     else { msg with layer = Layer.make ~id ~name:(Layer.name msg.layer) }
   in
-  dispatch t msg
+  t.inbound msg
 
 let charge_cpu t pid service =
   match t.backend with

@@ -45,8 +45,31 @@ val self : t -> Pid.t option
 (** The embodied process of a live transport; [None] for simulated. *)
 
 val inject : t -> Message.t -> unit
-(** Dispatch a message decoded from the wire to its destination handler
-    (no-op for unknown layers, exactly like simulated dispatch). *)
+(** Run a message decoded from the wire through the inbound middleware
+    chain and dispatch it to its destination handler (no-op for unknown
+    layers, exactly like simulated dispatch). *)
+
+val env : t -> Env.t
+(** The backend environment middleware should program against.  Defaults
+    to {!Env.of_engine}; the live runtime installs a wall-clock-backed
+    variant with {!set_env} before any middleware is built. *)
+
+val set_env : t -> Env.t -> unit
+
+val interpose : t -> ((Message.t -> unit) -> Message.t -> unit) -> unit
+(** Install outbound middleware around the raw wire.  The middleware is
+    applied once to the current downstream chain (initially the backend's
+    raw transmit: the network model for sim, [emit] for live) and must
+    return the new send function.  Remote sends traverse the chain after
+    sender-side accounting and (sim) serialization; local and self-
+    addressed sends bypass it, matching the network model's scope.  The
+    last middleware installed is outermost — install fault interposers
+    before reliability layers so retries traverse the faults. *)
+
+val interpose_inbound : t -> ((Message.t -> unit) -> Message.t -> unit) -> unit
+(** Install receive-side middleware around handler dispatch; messages
+    arriving from the wire ({!inject}, or a sim model delivery) traverse
+    the chain before reaching the destination handler. *)
 
 val engine : t -> Engine.t
 val host : t -> Host.t

@@ -13,3 +13,10 @@ let now t =
   t.last
 
 let epoch t = t.epoch
+
+(* The live backend environment: wall-clock [now], everything else (timer
+   scheduling, per-pid RNG, trace recording, horizon, crash-stop) from the
+   engine the socket loop drives.  Middleware built against this record
+   runs unchanged over the simulated backend's [Env.of_engine]. *)
+let env t engine =
+  { (Ics_net.Env.of_engine engine) with Ics_net.Env.now = (fun () -> now t) }

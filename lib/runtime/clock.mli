@@ -14,3 +14,10 @@ val now : t -> float
 (** Milliseconds since the epoch; never decreases across calls. *)
 
 val epoch : t -> float
+
+val env : t -> Ics_sim.Engine.t -> Ics_net.Env.t
+(** The live backend's capability record: [now] reads this clock, and
+    scheduling, RNG, tracing, horizon and crash delivery go to [engine].
+    {!Socket_transport.create} installs it on the transport before any
+    middleware is built, so fault interposers and the retransmission
+    channel program against the same {!Ics_net.Env} on both backends. *)

@@ -2,15 +2,32 @@ module Trace = Ics_sim.Trace
 module Msg_id = Ics_net.Msg_id
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
 module Checker = Ics_checker.Checker
 
+type spawn =
+  [ `Fork  (** fork this process; config passes by inheritance *)
+  | `Exec of string
+    (** spawn [exe node ...] children; config passes through
+        [Profile.to_args] — plain workloads only (no fault plan) *) ]
+
 type config = {
-  node : Node.config;  (** [self] is ignored; each fork gets its own *)
+  node : Node.config;  (** [self] is ignored; each child gets its own *)
   dir : string option;  (** where per-node trace files go (default: temp) *)
   keep_dir : bool;
+  spawn : spawn;
+  check : [ `By_ordering | `All ];
+      (** which checker battery judges the merged trace *)
 }
 
-let default = { node = Node.default_workload; dir = None; keep_dir = false }
+let default =
+  {
+    node = Node.default_workload;
+    dir = None;
+    keep_dir = false;
+    spawn = `Fork;
+    check = `By_ordering;
+  }
 
 type latency = { samples : int; mean_ms : float; p95_ms : float; max_ms : float }
 
@@ -23,6 +40,8 @@ type outcome = {
   latency : latency option;
   throughput_msg_s : float;  (** distinct messages ordered per second *)
   events : int;
+  faults : (string * int) list;  (** per-node fault counters, summed *)
+  retx : (string * int) list;
   trace_dir : string;
 }
 
@@ -59,6 +78,16 @@ let fresh_dir () =
   go 0
 
 let trace_path dir i = Filename.concat dir (Printf.sprintf "node%d.trace" i)
+let stats_path dir i = Filename.concat dir (Printf.sprintf "node%d.stats" i)
+
+let split_kv prefix kvs =
+  List.filter_map
+    (fun (k, v) ->
+      let plen = String.length prefix in
+      if String.length k > plen && String.sub k 0 plen = prefix then
+        Some (String.sub k plen (String.length k - plen), v)
+      else None)
+    kvs
 
 (* Latency/throughput digest of the merged trace. *)
 let measure events =
@@ -103,10 +132,79 @@ let measure events =
   in
   (duration, latency, throughput)
 
+let fork_children ~config ~dir ~epoch ~listeners ~addrs n =
+  flush stdout;
+  flush stderr;
+  let children =
+    Array.init n (fun i ->
+        match Unix.fork () with
+        | 0 ->
+            (* Child: embody pid [i].  [Unix._exit] skips at_exit (the
+               parent's buffered output must not be re-flushed here). *)
+            let code =
+              try
+                Array.iteri (fun j fd -> if j <> i then Unix.close fd) listeners;
+                let r =
+                  Node.run ~epoch ~listen:listeners.(i) ~peer_addrs:addrs
+                    { config.node with Node.self = i }
+                in
+                Trace_io.save (trace_path dir i) r.Node.trace ~keep:(fun e ->
+                    e.Trace.pid = i);
+                Trace_io.save_kv (stats_path dir i) (Node.result_kv r);
+                if r.Node.clean_exit then 0 else 10
+              with e ->
+                Printf.eprintf "[node %d] fatal: %s\n%!" i (Printexc.to_string e);
+                11
+            in
+            flush stdout;
+            flush stderr;
+            Unix._exit code
+        | pid -> pid)
+  in
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  children
+
+let exec_children ~config ~dir ~epoch ~listeners ~addrs ~exe n =
+  if config.node.Node.plan <> [] then
+    invalid_arg "Cluster.run: `Exec spawn cannot carry a fault plan";
+  let ports =
+    Array.map
+      (function Unix.ADDR_INET (_, port) -> port | _ -> assert false)
+      addrs
+  in
+  (* Exec children bind their own listeners from --ports; release the
+     parent's reservations first.  (A brief reuse race is possible, which
+     is why `Fork — inherited pre-bound listeners — is the default.) *)
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  let ports_csv =
+    String.concat "," (Array.to_list (Array.map string_of_int ports))
+  in
+  Array.init n (fun i ->
+      let argv =
+        [
+          exe;
+          "node";
+          "--self";
+          string_of_int i;
+          "--ports";
+          ports_csv;
+          "--epoch";
+          Printf.sprintf "%.6f" epoch;
+          "--trace-out";
+          trace_path dir i;
+          "--stats-out";
+          stats_path dir i;
+        ]
+        @ Profile.to_args config.node.Node.profile
+      in
+      Unix.create_process exe (Array.of_list argv) Unix.stdin Unix.stdout
+        Unix.stderr)
+
 let run config =
   if not (supported ()) then Error "loopback sockets unavailable in this environment"
   else begin
-    let n = config.node.Node.n in
+    let profile = config.node.Node.profile in
+    let n = profile.Profile.n in
     if n <= 0 then invalid_arg "Cluster.run: n <= 0";
     let dir = match config.dir with Some d -> d | None -> fresh_dir () in
     (* Pre-bind every listener in the parent: children inherit them, so a
@@ -121,37 +219,14 @@ let run config =
     in
     let addrs = Array.map Unix.getsockname listeners in
     let epoch = Unix.gettimeofday () in
-    flush stdout;
-    flush stderr;
     let children =
-      Array.init n (fun i ->
-          match Unix.fork () with
-          | 0 ->
-              (* Child: embody pid [i].  [Unix._exit] skips at_exit (the
-                 parent's buffered output must not be re-flushed here). *)
-              let code =
-                try
-                  Array.iteri (fun j fd -> if j <> i then Unix.close fd) listeners;
-                  let r =
-                    Node.run ~epoch ~listen:listeners.(i) ~peer_addrs:addrs
-                      { config.node with Node.self = i }
-                  in
-                  Trace_io.save (trace_path dir i) r.Node.trace ~keep:(fun e ->
-                      e.Trace.pid = i);
-                  if r.Node.clean_exit then 0 else 10
-                with e ->
-                  Printf.eprintf "[node %d] fatal: %s\n%!" i (Printexc.to_string e);
-                  11
-              in
-              flush stdout;
-              flush stderr;
-              Unix._exit code
-          | pid -> pid)
+      match config.spawn with
+      | `Fork -> fork_children ~config ~dir ~epoch ~listeners ~addrs n
+      | `Exec exe -> exec_children ~config ~dir ~epoch ~listeners ~addrs ~exe n
     in
-    Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
     (* Reap with a hard wall-clock cap: deadline + slack, then SIGKILL. *)
     let slack_ms = 3_000.0 in
-    let give_up = epoch +. ((config.node.Node.deadline_ms +. slack_ms) /. 1000.0) in
+    let give_up = epoch +. ((profile.Profile.deadline_ms +. slack_ms) /. 1000.0) in
     let exits = Array.make n (-1) in
     let remaining = ref n in
     while !remaining > 0 && Unix.gettimeofday () < give_up do
@@ -191,9 +266,11 @@ let run config =
     let merged = Trace_io.merge per_node in
     let run = Checker.Run.of_trace merged ~n in
     let verdict =
-      match config.node.Node.ordering with
-      | Abcast.Indirect_consensus -> Checker.check_all_abcast run
-      | Abcast.Consensus_on_messages | Abcast.Consensus_on_ids ->
+      match (config.check, profile.Profile.ordering) with
+      | `All, _ | `By_ordering, Abcast.Indirect_consensus ->
+          Checker.check_all_abcast run
+      | `By_ordering, (Abcast.Consensus_on_messages | Abcast.Consensus_on_ids)
+        ->
           Checker.check_atomic_broadcast run
     in
     let events_list = Trace.events merged in
@@ -201,24 +278,38 @@ let run config =
     let delivered_per_node =
       Array.init n (fun i -> List.length (Checker.Run.adeliveries run i))
     in
+    let node_stats =
+      Array.to_list
+        (Array.init n (fun i ->
+             let path = stats_path dir i in
+             if Sys.file_exists path then Trace_io.load_kv path else []))
+    in
+    let totals = Trace_io.sum_kv node_stats in
+    let expected_per_node =
+      if config.node.Node.chaos_workload then profile.Profile.count
+      else profile.Profile.count * n
+    in
     let outcome =
       {
         verdict;
         delivered_per_node;
-        expected_per_node = config.node.Node.count * n;
+        expected_per_node;
         exits;
         duration_ms;
         latency;
         throughput_msg_s;
         events = Trace.length merged;
+        faults = split_kv "fault." totals;
+        retx = split_kv "retx." totals;
         trace_dir = dir;
       }
     in
     if (not config.keep_dir) && config.dir = None then begin
       Array.iter
         (fun i ->
-          let p = trace_path dir i in
-          if Sys.file_exists p then Sys.remove p)
+          List.iter
+            (fun p -> if Sys.file_exists p then Sys.remove p)
+            [ trace_path dir i; stats_path dir i ])
         (Array.init n Fun.id);
       try Unix.rmdir dir with Unix.Unix_error _ -> ()
     end;

@@ -1,18 +1,40 @@
 (** Fork-and-check driver: a real [n]-node cluster over loopback TCP.
 
     The parent pre-binds one listener per node on [127.0.0.1:0] (so a
-    child's dial can never race an unbound port), forks [n] children
+    child's dial can never race an unbound port), spawns [n] children
     that each run {!Node.run} for one pid, reaps them against the run
     deadline, merges the per-node delivery logs, and replays the
     existing {!Ics_checker.Checker} over the merged trace.  Live runs
-    are not deterministic — the checker is the oracle. *)
+    are not deterministic — the checker is the oracle (with one seeded
+    exception: fault counters, which are a per-link deterministic
+    function of the plan seed and sum to the simulated totals).
+
+    Children are forked by default; [`Exec exe] spawns [exe node ...]
+    processes instead, passing the whole configuration through
+    {!Ics_core.Profile.to_args} — the same flag vocabulary a human uses
+    to drive a cluster by hand. *)
 
 module Checker = Ics_checker.Checker
 
+type spawn =
+  [ `Fork  (** fork this process; config passes by inheritance *)
+  | `Exec of string
+    (** spawn [exe node ...] children; config passes through
+        [Profile.to_args] — plain workloads only (no fault plan) *) ]
+
 type config = {
-  node : Node.config;  (** [self] is ignored; each fork gets its own *)
+  node : Node.config;  (** [self] is ignored; each child gets its own *)
   dir : string option;  (** where per-node trace files go (default: temp) *)
   keep_dir : bool;  (** keep trace files after a successful run *)
+  spawn : spawn;
+  check : [ `By_ordering | `All ];
+      (** [`By_ordering] (default) judges indirect stacks with the full
+          battery ({!Checker.check_all_abcast}) and the §2.1/§2.2
+          baselines with atomic broadcast alone — matching what each
+          ordering claims.  [`All] forces the full battery regardless:
+          chaos sweeps use it so a live cell fails for exactly the same
+          property a simulated cell does (e.g. the ct-on-ids blackout
+          loses payloads, which only {!Checker.check_no_loss} sees). *)
 }
 
 val default : config
@@ -28,6 +50,10 @@ type outcome = {
   latency : latency option;  (** abroadcast → adelivery, all (msg, node) pairs *)
   throughput_msg_s : float;  (** distinct messages ordered per second *)
   events : int;  (** merged trace size *)
+  faults : (string * int) list;
+      (** per-node fault counters summed; for a seeded plan these equal
+          the counters one simulation of the same plan produces *)
+  retx : (string * int) list;  (** wire retransmission counters, summed *)
   trace_dir : string;
 }
 
@@ -40,4 +66,6 @@ val supported : unit -> bool
 
 val run : config -> (outcome, string) result
 (** [Error reason] only when the environment cannot run sockets at all;
-    protocol failures surface in the outcome's verdict and exit codes. *)
+    protocol failures surface in the outcome's verdict and exit codes.
+    @raise Invalid_argument on [`Exec] spawn with a non-empty fault
+    plan (the [node] argv carries no plan vocabulary). *)

@@ -2,9 +2,13 @@ module Engine = Ics_sim.Engine
 module Pid = Ics_sim.Pid
 module Transport = Ics_net.Transport
 module Message = Ics_net.Message
+module Retransmit = Ics_net.Retransmit
+module Model = Ics_net.Model
 module Failure_detector = Ics_fd.Failure_detector
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
+module Nemesis = Ics_faults.Nemesis
 module Codec = Ics_codec.Codec
 module Prim = Ics_codec.Prim
 module Rng = Ics_prelude.Rng
@@ -27,33 +31,26 @@ let register_codec () =
 
 type config = {
   self : int;
-  n : int;
-  algo : Stack.algo;
-  ordering : Abcast.ordering;
-  broadcast : Stack.broadcast_kind;
-  count : int;  (** messages this node A-broadcasts *)
-  body_bytes : int;
-  gap_ms : float;  (** spacing between this node's abroadcasts *)
-  warmup_ms : float;  (** clock time before the first abroadcast *)
-  hb_period_ms : float;
-  hb_timeout_ms : float;
-  deadline_ms : float;  (** hard stop, in ms since the epoch *)
+  profile : Profile.t;  (** shape + workload; [n] comes from here *)
+  seed : int64;  (** cell seed; the chaos schedule derives from it *)
+  plan : Nemesis.plan;
+      (** run-relative fault plan; shifted past [warmup_ms] here *)
+  plan_seed : int64;
+  retransmit : bool;  (** wire retransmission channel when a plan is set *)
+  chaos_workload : bool;
+      (** replicate the chaos sweep's round-robin schedule instead of the
+          every-node-broadcasts-[count] workload *)
 }
 
 let default_workload =
   {
     self = 0;
-    n = 3;
-    algo = Stack.Ct;
-    ordering = Abcast.Indirect_consensus;
-    broadcast = Stack.Flood;
-    count = 20;
-    body_bytes = 128;
-    gap_ms = 5.0;
-    warmup_ms = 150.0;
-    hb_period_ms = 25.0;
-    hb_timeout_ms = 120.0;
-    deadline_ms = 10_000.0;
+    profile = Profile.default;
+    seed = 1L;
+    plan = [];
+    plan_seed = 1L;
+    retransmit = true;
+    chaos_workload = false;
   }
 
 type result = {
@@ -61,28 +58,90 @@ type result = {
   expected : int;
   clean_exit : bool;  (** finished via the all-done barrier, not the deadline *)
   net : Socket_transport.stats;
+  faults : (string * int) list;  (** this node's outbound-link fault counters *)
+  retx : (string * int) list;
   trace : Ics_sim.Trace.t;
 }
 
+(* Both counter families in one flat list, prefixed so the cluster parent
+   can split them apart again after summing across nodes. *)
+let result_kv r =
+  List.map (fun (k, v) -> ("fault." ^ k, v)) r.faults
+  @ List.map (fun (k, v) -> ("retx." ^ k, v)) r.retx
+
+(* The chaos sweep's workload, replayed from the cell seed: every node
+   computes the same round-robin schedule (the RNG is drawn for every slot
+   whether or not it is ours) and fires only the slots it originates. *)
+let schedule_chaos engine config abcast =
+  let p = config.profile in
+  let wrng = Rng.create (Int64.add config.seed 104729L) in
+  let at = ref 1.0 in
+  for i = 0 to p.Profile.count - 1 do
+    let t = !at in
+    if i mod p.Profile.n = config.self then
+      Engine.schedule engine ~at:(p.Profile.warmup_ms +. t) (fun () ->
+          ignore
+            (Abcast.abroadcast abcast ~src:config.self
+               ~body_bytes:p.Profile.body_bytes
+              : Ics_net.App_msg.t));
+    at := t +. 2.0 +. Rng.float wrng 4.0
+  done
+
+let schedule_legacy engine config abcast =
+  let p = config.profile in
+  for k = 0 to p.Profile.count - 1 do
+    Engine.schedule engine
+      ~at:(p.Profile.warmup_ms +. (p.Profile.gap_ms *. float_of_int k))
+      (fun () ->
+        ignore
+          (Abcast.abroadcast abcast ~src:config.self
+             ~body_bytes:p.Profile.body_bytes
+            : Ics_net.App_msg.t))
+  done
+
 let run ~epoch ~listen ~peer_addrs config =
-  if config.self < 0 || config.self >= config.n then invalid_arg "Node.run: self out of range";
+  let p = config.profile in
+  let n = p.Profile.n in
+  if config.self < 0 || config.self >= n then invalid_arg "Node.run: self out of range";
   register_codec ();
   (* The heartbeat detector emits before [Stack.assemble] would get a
      chance to register the layer codecs — do it up front. *)
   Ics_core.Codecs.ensure ();
-  let engine = Engine.create ~seed:(Int64.of_int (config.self + 1)) ~trace:`On ~n:config.n () in
+  let engine = Engine.create ~seed:(Int64.of_int (config.self + 1)) ~trace:`On ~n () in
   let clock = Clock.create ~epoch in
   let st =
     Socket_transport.create ~engine ~clock ~self:config.self ~listen ~peer_addrs ()
   in
   let transport = Socket_transport.transport st in
-  let fd =
-    Failure_detector.heartbeat transport ~period:config.hb_period_ms
-      ~timeout:config.hb_timeout_ms
+  (* Middleware order matters: faults first, the retransmission channel
+     last (outermost), so every retry traverses the faults — same layering
+     as the simulated chaos stack (nemesis under Retransmit). *)
+  let fstats =
+    match config.plan with
+    | [] -> None
+    | plan ->
+        let plan = Nemesis.shift plan ~by:p.Profile.warmup_ms in
+        let mw, stats =
+          Nemesis.interposer ~self:config.self ~env:(Transport.env transport)
+            ~seed:config.plan_seed ~plan ()
+        in
+        Transport.interpose transport mw;
+        Some stats
   in
-  let expected = config.count * config.n in
+  let rstats =
+    if config.plan <> [] && config.retransmit then
+      Some (Retransmit.install transport)
+    else None
+  in
+  let fd =
+    Failure_detector.heartbeat transport ~period:p.Profile.hb_period_ms
+      ~timeout:p.Profile.hb_timeout_ms
+  in
+  let expected =
+    if config.chaos_workload then p.Profile.count else p.Profile.count * n
+  in
   let delivered = ref 0 in
-  let done_from = Array.make config.n false in
+  let done_from = Array.make n false in
   let announced = ref false in
   let ctl = Transport.intern transport ctl_layer in
   let announce () =
@@ -93,30 +152,24 @@ let run ~epoch ~listen ~peer_addrs config =
         (Done !delivered)
     end
   in
-  let on_deliver p _m =
-    if Pid.equal p config.self then begin
+  let on_deliver pid _m =
+    if Pid.equal pid config.self then begin
       incr delivered;
       if !delivered >= expected then announce ()
     end
   in
-  let abcast =
-    Stack.assemble transport ~fd ~algo:config.algo ~ordering:config.ordering
-      ~broadcast:config.broadcast ~on_deliver
-  in
+  let abcast = Stack.assemble transport ~fd ~profile:p ~on_deliver in
   Transport.register transport config.self ~layer:ctl (fun msg ->
       match msg.Message.payload with
       | Done _ -> done_from.(msg.Message.src) <- true
       | _ -> ());
-  for k = 0 to config.count - 1 do
-    Engine.schedule engine
-      ~at:(config.warmup_ms +. (config.gap_ms *. float_of_int k))
-      (fun () ->
-        ignore
-          (Abcast.abroadcast abcast ~src:config.self ~body_bytes:config.body_bytes
-            : Ics_net.App_msg.t))
-  done;
+  if config.chaos_workload then schedule_chaos engine config abcast
+  else schedule_legacy engine config abcast;
   let all_done () = !announced && Array.for_all Fun.id done_from in
-  Socket_transport.run st ~deadline:config.deadline_ms ~stop:all_done;
+  (* A plan-scheduled crash of our own pid is process death: leave the
+     loop instead of idling to the deadline as a zombie. *)
+  let stop () = all_done () || not (Engine.is_alive engine config.self) in
+  Socket_transport.run st ~deadline:p.Profile.deadline_ms ~stop;
   let clean = all_done () in
   Socket_transport.close st;
   {
@@ -124,5 +177,9 @@ let run ~epoch ~listen ~peer_addrs config =
     expected;
     clean_exit = clean;
     net = Socket_transport.stats st;
+    faults =
+      (match fstats with Some s -> Model.Fault_stats.to_list s | None -> []);
+    retx =
+      (match rstats with Some s -> Retransmit.stats_to_list s | None -> []);
     trace = Engine.trace engine;
   }

@@ -5,14 +5,26 @@
     timer heap, driven by the real clock; remote sends leave through the
     codec and the TCP mesh.
 
-    Termination: each node A-broadcasts [count] messages ([gap_ms]
-    apart, after [warmup_ms]); when it has A-delivered [count * n]
-    messages it announces [Done] on the ["ctl"] layer, and exits once
-    every peer has announced — or at [deadline_ms], whichever is first. *)
+    Fault plane: when [plan] is non-empty the node compiles it into the
+    backend-neutral {!Ics_faults.Nemesis.interposer} (scoped to this
+    node's outbound links and its own crash clauses) and — unless
+    [retransmit] is off — installs the wire retransmission channel
+    ({!Ics_net.Retransmit.install}) outermost, so retries traverse the
+    injected faults exactly as in the simulated chaos stack.
+
+    Termination: with the legacy workload each node A-broadcasts
+    [profile.count] messages ([gap_ms] apart, after [warmup_ms]) and
+    expects [count * n] deliveries; with [chaos_workload] the cluster
+    replays the chaos sweep's seeded round-robin schedule ([count] total
+    messages).  When a node has A-delivered everything it announces
+    [Done] on the ["ctl"] layer and exits once every peer has announced —
+    or at [deadline_ms], or when a plan clause crashes its own pid. *)
 
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
 module Message = Ics_net.Message
+module Nemesis = Ics_faults.Nemesis
 
 type Message.payload += Done of int
 (** Control-plane completion announcement (the sender's delivery count). *)
@@ -21,30 +33,36 @@ val register_codec : unit -> unit
 
 type config = {
   self : int;
-  n : int;
-  algo : Stack.algo;
-  ordering : Abcast.ordering;
-  broadcast : Stack.broadcast_kind;
-  count : int;  (** messages this node A-broadcasts *)
-  body_bytes : int;
-  gap_ms : float;  (** spacing between this node's abroadcasts *)
-  warmup_ms : float;  (** clock time before the first abroadcast *)
-  hb_period_ms : float;
-  hb_timeout_ms : float;
-  deadline_ms : float;  (** hard stop, in ms since the epoch *)
+  profile : Profile.t;  (** shape + workload; [n] comes from here *)
+  seed : int64;  (** cell seed; the chaos schedule derives from it *)
+  plan : Nemesis.plan;
+      (** run-relative fault plan; shifted past [warmup_ms] internally *)
+  plan_seed : int64;
+  retransmit : bool;  (** wire retransmission channel when a plan is set *)
+  chaos_workload : bool;
+      (** replicate the chaos sweep's round-robin schedule instead of the
+          every-node-broadcasts-[count] workload *)
 }
 
 val default_workload : config
-(** n = 3, CT, indirect, flood, 20 messages × 128 B at 5 ms gap, 10 s
-    deadline. *)
+(** [Profile.default] shape and workload, no fault plan. *)
 
 type result = {
   delivered : int;  (** A-deliveries at this node *)
   expected : int;
   clean_exit : bool;  (** finished via the all-done barrier, not the deadline *)
   net : Socket_transport.stats;
+  faults : (string * int) list;
+      (** this node's outbound-link fault counters; summed across a
+          cluster they equal the one-simulation counters for the same
+          (seed, plan) — the cross-backend parity invariant *)
+  retx : (string * int) list;
   trace : Ics_sim.Trace.t;
 }
+
+val result_kv : result -> (string * int) list
+(** Fault and retransmission counters as one flat ["fault."]/["retx."]
+    prefixed list — the stats-file format a {!Cluster} parent sums. *)
 
 val run :
   epoch:float ->
@@ -52,8 +70,9 @@ val run :
   peer_addrs:Unix.sockaddr array ->
   config ->
   result
-(** Run to completion (barrier or deadline).  [epoch] must be shared by
-    the whole cluster — virtual time is ms since it.  [listen] must
-    already be bound and listening.  The returned trace holds this
-    node's own events (filter on [pid = self] before writing: the shared
-    protocol code also books foreign-pid detector events). *)
+(** Run to completion (barrier, deadline, or own-pid crash clause).
+    [epoch] must be shared by the whole cluster — virtual time is ms
+    since it.  [listen] must already be bound and listening.  The
+    returned trace holds this node's own events (filter on [pid = self]
+    before writing: the shared protocol code also books foreign-pid
+    detector events). *)

@@ -192,6 +192,11 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
   let n = Engine.n engine in
   if Array.length peer_addrs <> n then
     invalid_arg "Socket_transport.create: peer_addrs size mismatch";
+  (* A peer that exits early (deadline, plan-scheduled crash) closes its
+     sockets while we may still be writing; without this the kernel kills
+     us with SIGPIPE before [flush_peer]'s EPIPE handler can run. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   Unix.set_nonblock listen;
   let t =
     {
@@ -211,6 +216,9 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
     }
   in
   let transport = Transport.create_ext engine ~self ~emit:(fun msg -> emit t msg) () in
+  (* Before any middleware exists: interposers capture the transport's env
+     at install time, so the wall-clock variant must already be in place. *)
+  Transport.set_env transport (Clock.env clock engine);
   t.transport <- Some transport;
   for p = 0 to n - 1 do
     if p <> self then

@@ -113,6 +113,52 @@ let load path =
       in
       go [])
 
+(* Counter files: one "key value" line per counter.  A cluster child
+   reports its fault/retransmission counters this way; the parent sums
+   the per-node files key-wise (cross-backend parity compares the sums
+   against one whole-cluster simulation). *)
+
+let save_kv path kvs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun (k, v) -> Printf.fprintf oc "%s %d\n" k v) kvs)
+
+let load_kv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> (
+            match String.rindex_opt line ' ' with
+            | None -> fail "unparseable counter line %S" line
+            | Some i -> (
+                let key = String.sub line 0 i in
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                match int_of_string_opt v with
+                | Some v when key <> "" -> go ((key, v) :: acc)
+                | _ -> fail "unparseable counter line %S" line))
+      in
+      go [])
+
+let sum_kv kv_lists =
+  let totals = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt totals k with
+         | Some prev -> Hashtbl.replace totals k (prev + v)
+         | None ->
+             order := k :: !order;
+             Hashtbl.add totals k v))
+    kv_lists;
+  List.rev_map (fun k -> (k, Hashtbl.find totals k)) !order
+
 let merge event_lists =
   (* Stable sort keeps each node's own (already chronological) order for
      equal timestamps; cross-node ties have no defined order anyway. *)

@@ -25,3 +25,17 @@ val load : string -> Trace.event list
 
 val merge : Trace.event list list -> Trace.t
 (** Merge per-node event lists into one trace, stably sorted by time. *)
+
+(** {1 Counter files}
+
+    One ["key value"] line per counter — how a cluster child reports its
+    fault and retransmission counters to the parent. *)
+
+val save_kv : string -> (string * int) list -> unit
+
+val load_kv : string -> (string * int) list
+(** @raise Error on malformed input. *)
+
+val sum_kv : (string * int) list list -> (string * int) list
+(** Key-wise sum, keys in first-appearance order — per-node counters
+    into cluster totals. *)

@@ -9,7 +9,15 @@ module Host = Ics_net.Host
 module Nemesis = Ics_faults.Nemesis
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
 module Checker = Ics_checker.Checker
+module Node = Ics_runtime.Node
+module Cluster = Ics_runtime.Cluster
+
+type backend = [ `Sim | `Live ]
+
+let backend_name = function `Sim -> "sim" | `Live -> "live"
+let live_supported () = Cluster.supported ()
 
 type stack_kind = Ct_indirect | Mr_indirect | Ct_on_ids
 
@@ -122,6 +130,7 @@ let gen_plan kind ~n ~seed =
       ]
 
 type result = {
+  backend : backend;
   stack : stack_kind;
   plan_kind : plan_kind;
   n : int;
@@ -142,7 +151,14 @@ let passed r = Checker.ok r.verdict && r.quiescent
 let horizon = 5_000.0
 let messages = 10
 
-let run_one ?(retransmit = true) ?n stack plan_kind ~seed =
+(* The (algorithm, ordering) pair a stack kind names — shared by both
+   backends so a cell means the same protocol either way. *)
+let stack_shape = function
+  | Ct_indirect -> (Stack.Ct, Abcast.Indirect_consensus)
+  | Mr_indirect -> (Stack.Mr, Abcast.Indirect_consensus)
+  | Ct_on_ids -> (Stack.Ct, Abcast.Consensus_on_ids)
+
+let run_one_sim ~retransmit ?n stack plan_kind ~seed =
   let n = match n with Some n -> n | None -> default_n stack in
   let plan = gen_plan plan_kind ~n ~seed in
   let engine = Engine.create ~seed ~trace:`On ~n () in
@@ -158,12 +174,7 @@ let run_one ?(retransmit = true) ?n stack plan_kind ~seed =
       (m, Some s)
     else (lossy, None)
   in
-  let algo, ordering =
-    match stack with
-    | Ct_indirect -> (Stack.Ct, Abcast.Indirect_consensus)
-    | Mr_indirect -> (Stack.Mr, Abcast.Indirect_consensus)
-    | Ct_on_ids -> (Stack.Ct, Abcast.Consensus_on_ids)
-  in
+  let algo, ordering = stack_shape stack in
   let config =
     {
       Stack.default_config with
@@ -211,6 +222,7 @@ let run_one ?(retransmit = true) ?n stack plan_kind ~seed =
     Digest.to_hex (Digest.string (Format.asprintf "%a" Ics_sim.Trace.pp trace))
   in
   {
+    backend = `Sim;
     stack;
     plan_kind;
     n;
@@ -227,12 +239,79 @@ let run_one ?(retransmit = true) ?n stack plan_kind ~seed =
     fingerprint;
   }
 
+(* Live cells reuse the sim plan timeline (fault windows in the first few
+   tens of ms) shifted past connection warm-up by Node.run itself; the
+   deadline bounds a cell that can never reach its barrier (blackout,
+   storm) to a couple of wall-clock seconds. *)
+let live_warmup_ms = 400.0
+let live_deadline_ms = 2_500.0
+
+let live_profile stack ~n =
+  let algo, ordering = stack_shape stack in
+  {
+    Profile.default with
+    Profile.n;
+    algo;
+    ordering;
+    count = messages;
+    body_bytes = 32;
+    warmup_ms = live_warmup_ms;
+    deadline_ms = live_deadline_ms;
+  }
+
+let run_one_live ~retransmit ?n stack plan_kind ~seed =
+  let n = match n with Some n -> n | None -> default_n stack in
+  let plan = gen_plan plan_kind ~n ~seed in
+  let node =
+    {
+      Node.default_workload with
+      Node.profile = live_profile stack ~n;
+      seed;
+      plan;
+      plan_seed = Int64.add seed 0x5DEECE66DL;
+      retransmit;
+      chaos_workload = true;
+    }
+  in
+  match
+    Cluster.run { Cluster.default with Cluster.node; check = `All }
+  with
+  | Error reason -> failwith ("chaos live backend: " ^ reason)
+  | Ok o ->
+      (* The live analogue of a drained event queue: every node exited on
+         its own (barrier or deadline), none died or had to be killed. *)
+      let quiescent =
+        Array.for_all (fun c -> c = 0 || c = 10) o.Cluster.exits
+      in
+      {
+        backend = `Live;
+        stack;
+        plan_kind;
+        n;
+        seed;
+        retransmit;
+        plan;
+        verdict = o.Cluster.verdict;
+        quiescent;
+        delivered = Array.fold_left ( + ) 0 o.Cluster.delivered_per_node;
+        blocked = 0;
+        faults = o.Cluster.faults;
+        retx = o.Cluster.retx;
+        fingerprint = "";
+      }
+
+let run_one ?(backend = `Sim) ?(retransmit = true) ?n stack plan_kind ~seed =
+  match backend with
+  | `Sim -> run_one_sim ~retransmit ?n stack plan_kind ~seed
+  | `Live -> run_one_live ~retransmit ?n stack plan_kind ~seed
+
 let replay_hint r =
   Printf.sprintf
-    "ics_cli chaos --stacks %s --plans %s --seeds 1 --seed-base %Ld%s%s"
+    "ics_cli chaos --stacks %s --plans %s --seeds 1 --seed-base %Ld%s%s%s"
     (stack_name r.stack) (plan_name r.plan_kind) r.seed
     (if r.retransmit then "" else " --no-retransmit")
     (if r.n <> default_n r.stack then Printf.sprintf " --n %d" r.n else "")
+    (match r.backend with `Sim -> "" | `Live -> " --live")
 
 type cell = {
   c_stack : stack_kind;
@@ -241,8 +320,8 @@ type cell = {
   failures : result list;  (** chronological; empty for a clean cell *)
 }
 
-let sweep ?(retransmit = true) ?n ?(seed_base = 1L) ?(seeds = 100)
-    ?(progress = fun _ -> ()) ~stacks ~plans () =
+let sweep ?(backend = `Sim) ?(retransmit = true) ?n ?(seed_base = 1L)
+    ?(seeds = 100) ?(progress = fun _ -> ()) ~stacks ~plans () =
   List.concat_map
     (fun stack ->
       List.map
@@ -250,7 +329,7 @@ let sweep ?(retransmit = true) ?n ?(seed_base = 1L) ?(seeds = 100)
           let failures = ref [] in
           for i = 0 to seeds - 1 do
             let seed = Int64.add seed_base (Int64.of_int i) in
-            let r = run_one ?n ~retransmit stack plan_kind ~seed in
+            let r = run_one ~backend ?n ~retransmit stack plan_kind ~seed in
             if not (passed r) then failures := r :: !failures
           done;
           progress
@@ -326,6 +405,16 @@ let report ?(verbose = false) ppf cells =
 let indirect_clean cells =
   List.for_all
     (fun c -> c.c_stack = Ct_on_ids || c.failures = [])
+    cells
+
+(* The complementary half of the exit criterion when the sweep includes
+   the §2.2 cell: consensus-on-ids under a payload blackout must fail —
+   on either backend.  A clean blackout cell would mean the fault plane
+   (or the checker) lost its teeth. *)
+let blackout_reproduced cells =
+  List.for_all
+    (fun c ->
+      (not (c.c_stack = Ct_on_ids && c.c_plan = Blackout)) || c.failures <> [])
     cells
 
 type mismatch = {

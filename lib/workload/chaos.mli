@@ -1,21 +1,39 @@
-(** Seeded chaos sweep: protocol stacks × fault plans × seeds.
+(** Seeded chaos sweep: protocol stacks × fault plans × seeds × backends.
 
     Each run builds a full stack over a nemesis-faulted network (optionally
     healed by {!Ics_net.Retransmit}), injects a small deterministic
     workload, runs to quiescence and validates the trace with
-    {!Checker.check_all_abcast}.  Everything — fault plan, fault decisions,
-    workload timing — is a pure function of the run's seed, so any failure
-    the sweep prints is replayable bit-identically from the seed alone
-    ({!run_one} with equal arguments gives an equal {!result.fingerprint}).
+    {!Checker.check_all_abcast}.  On the [`Sim] backend everything — fault
+    plan, fault decisions, workload timing — is a pure function of the
+    run's seed, so any failure the sweep prints is replayable
+    bit-identically from the seed alone ({!run_one} with equal arguments
+    gives an equal {!result.fingerprint}).
+
+    The [`Live] backend runs the same cell as a forked loopback-TCP
+    cluster ({!Ics_runtime.Cluster}): the same generated plan is compiled
+    into each node's transport interposer, the per-node traces are merged
+    and judged by the same full checker battery, and the summed fault
+    counters are — by per-link seeding — equal to what one simulation of
+    the plan produces.  Live scheduling is real, so only the fault
+    decisions and counters are deterministic, not the trace fingerprint.
 
     The sweep's purpose is asymmetric: the indirect-consensus stacks must
     stay clean under every plan, while the known-faulty consensus-on-ids
     stack is expected to produce violations (the [blackout] plan is §2.2 of
-    the paper expressed as a fault plan). *)
+    the paper expressed as a fault plan — and must fail on real sockets
+    exactly as it does in simulation). *)
 
 module Time = Ics_sim.Time
 module Nemesis = Ics_faults.Nemesis
 module Checker = Ics_checker.Checker
+
+type backend = [ `Sim | `Live ]
+
+val backend_name : backend -> string
+
+val live_supported : unit -> bool
+(** Whether the [`Live] backend can run here (loopback TCP available);
+    callers should skip, not fail, when it cannot. *)
 
 type stack_kind =
   | Ct_indirect  (** Chandra–Toueg, indirect consensus, n = 3 *)
@@ -46,6 +64,7 @@ val gen_plan : plan_kind -> n:int -> seed:int64 -> Nemesis.plan
 (** Deterministic in (kind, n, seed) — the replay contract. *)
 
 type result = {
+  backend : backend;
   stack : stack_kind;
   plan_kind : plan_kind;
   n : int;
@@ -58,16 +77,28 @@ type result = {
   blocked : int;  (** correct processes stuck on an undeliverable head *)
   faults : (string * int) list;  (** nemesis counters, {!Stack.fault_counters} format *)
   retx : (string * int) list;  (** retransmission-channel counters; [[]] without it *)
-  fingerprint : string;  (** digest of the rendered trace — replay witness *)
+  fingerprint : string;  (** digest of the rendered trace — replay witness;
+                             [""] on the live backend (not deterministic) *)
 }
 
 val passed : result -> bool
-(** Clean verdict and quiescent. *)
+(** Clean verdict and quiescent.  On [`Live], "quiescent" means every
+    node exited on its own — via the delivery barrier or its deadline —
+    rather than crashing or being killed. *)
 
 val run_one :
-  ?retransmit:bool -> ?n:int -> stack_kind -> plan_kind -> seed:int64 -> result
-(** One run.  [retransmit] (default true) layers {!Ics_net.Retransmit.wrap}
-    over the nemesis model; [n] defaults per stack ({!default_n}). *)
+  ?backend:backend ->
+  ?retransmit:bool ->
+  ?n:int ->
+  stack_kind ->
+  plan_kind ->
+  seed:int64 ->
+  result
+(** One run.  [retransmit] (default true) heals the faulted wire —
+    {!Ics_net.Retransmit.wrap} over the nemesis model in simulation, the
+    acknowledged wire channel ({!Ics_net.Retransmit.install}) on live
+    nodes; [n] defaults per stack ({!default_n}).
+    @raise Failure on [`Live] when {!live_supported} is false. *)
 
 val replay_hint : result -> string
 (** The exact CLI invocation that reproduces this run. *)
@@ -80,6 +111,7 @@ type cell = {
 }
 
 val sweep :
+  ?backend:backend ->
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->
@@ -89,7 +121,8 @@ val sweep :
   plans:plan_kind list ->
   unit ->
   cell list
-(** Run [seeds] seeds ([seed_base + i]) for every stack × plan pair. *)
+(** Run [seeds] seeds ([seed_base + i]) for every stack × plan pair on
+    the chosen backend (default [`Sim]). *)
 
 val matrix_table : cell list -> Ics_prelude.Table.t
 val report : ?verbose:bool -> Format.formatter -> cell list -> unit
@@ -100,6 +133,12 @@ val indirect_clean : cell list -> bool
 (** True when every indirect-stack cell is failure-free — the sweep's
     pass/fail exit criterion ([Ct_on_ids] cells are allowed, and expected,
     to fail). *)
+
+val blackout_reproduced : cell list -> bool
+(** True when every [Ct_on_ids] × [Blackout] cell in the sweep has at
+    least one failing seed (vacuously true when none is present).  The
+    complementary exit criterion: a §2.2 cell that {e passes} means the
+    fault plane or the checker has stopped seeing the payload loss. *)
 
 type mismatch = {
   m_stack : stack_kind;

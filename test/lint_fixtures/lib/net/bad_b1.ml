@@ -1,0 +1,9 @@
+(* B1 fixture: a protocol layer reaching around the Env seam — a module
+   alias onto the runtime, a raw Unix call, and a dotted runtime access.
+   None of these touch the D2 wall-clock list, so every finding below is
+   B1's alone. *)
+
+module C = Ics_runtime.Clock
+
+let pid () = Unix.getpid ()
+let now clock = Ics_runtime.Clock.now clock

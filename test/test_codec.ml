@@ -215,6 +215,16 @@ let test_sim_fingerprints_pinned () =
         expect r.Chaos.fingerprint)
     cases
 
+(* The fault-parity probe run is deterministic end to end: the interposer
+   draws per-link streams, so this digest moving means the middleware's
+   draw order (or the trace format) changed — which would also break the
+   sim-vs-live counter parity the runtime tests assert. *)
+let test_parity_fingerprint_pinned () =
+  let o = Ics_workload.Fault_parity.sim () in
+  Alcotest.(check string)
+    "parity sim fingerprint" "f5b29822045c364f870b5660115db675"
+    o.Ics_workload.Fault_parity.fingerprint
+
 (* The gate behind every replay hint the sweep prints: rerunning a seed in
    the same process must reproduce the fingerprint exactly. *)
 let test_replay_check_clean () =
@@ -237,6 +247,7 @@ let suites =
         Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag_rejected;
         Alcotest.test_case "fuzzed decode never crashes" `Quick test_fuzz_decode_never_crashes;
         Alcotest.test_case "sim fingerprints pinned" `Quick test_sim_fingerprints_pinned;
+        Alcotest.test_case "parity fingerprint pinned" `Quick test_parity_fingerprint_pinned;
         Alcotest.test_case "replay check finds no divergence" `Quick test_replay_check_clean;
       ] );
   ]

@@ -26,6 +26,18 @@ let check_rules name file expected =
   Alcotest.(check (list string)) name expected (rules r);
   Alcotest.(check (list (pair string string))) (name ^ " no internal errors") [] r.Lint.errors
 
+let test_b1 () =
+  let r = lint [ "lib/net/bad_b1.ml" ] in
+  Alcotest.(check (list string))
+    "B1: module alias, Unix call, dotted runtime access"
+    [ "B1"; "B1"; "B1" ] (rules r);
+  Alcotest.(check (list (pair string string))) "B1 no internal errors" [] r.Lint.errors;
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check bool) "hint points at the Env seam" true
+        (contains ~sub:"lib/net/env.mli" f.Lint.hint))
+    r.Lint.findings
+
 let test_d1 () = check_rules "D1 fires twice" "lib/consensus/bad_d1.ml" [ "D1"; "D1" ]
 let test_d2 () = check_rules "D2 fires thrice" "lib/sim/bad_d2.ml" [ "D2"; "D2"; "D2" ]
 
@@ -112,6 +124,7 @@ let suites =
   [
     ( "lint",
       [
+        Alcotest.test_case "B1 backend neutrality" `Quick test_b1;
         Alcotest.test_case "D1 unordered iteration" `Quick test_d1;
         Alcotest.test_case "D2 ambient nondeterminism" `Quick test_d2;
         Alcotest.test_case "D3 polymorphic compare" `Quick test_d3;

@@ -26,5 +26,6 @@ let () =
          Test_more.suites;
          Test_codec.suites;
          Test_runtime.suites;
+         Test_fault_parity.suites;
          Test_lint.suites;
        ])

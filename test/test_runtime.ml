@@ -11,6 +11,7 @@ module Cluster = Ics_runtime.Cluster
 module Checker = Ics_checker.Checker
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
+module Profile = Ics_core.Profile
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -138,7 +139,14 @@ let cluster_case name config =
                   o.Cluster.expected_per_node d)
               o.Cluster.delivered_per_node)
 
-let small count = { Node.default_workload with Node.count }
+let small count =
+  {
+    Node.default_workload with
+    Node.profile = { Profile.default with Profile.count };
+  }
+
+let with_profile config f =
+  { config with Node.profile = f config.Node.profile }
 
 let suites =
   [
@@ -153,14 +161,17 @@ let suites =
     ( "live-cluster",
       [
         cluster_case "ct flood" (small 8);
-        cluster_case "mr flood" { (small 8) with Node.algo = Stack.Mr };
+        cluster_case "mr flood"
+          (with_profile (small 8) (fun p -> { p with Profile.algo = Stack.Mr }));
         cluster_case "ct fd-relay"
-          { (small 8) with Node.broadcast = Stack.Fd_relay };
+          (with_profile (small 8) (fun p ->
+               { p with Profile.broadcast = Stack.Fd_relay }));
         cluster_case "ct uniform on-ids"
-          {
-            (small 8) with
-            Node.broadcast = Stack.Uniform;
-            ordering = Abcast.Consensus_on_ids;
-          };
+          (with_profile (small 8) (fun p ->
+               {
+                 p with
+                 Profile.broadcast = Stack.Uniform;
+                 ordering = Abcast.Consensus_on_ids;
+               }));
       ] );
   ]
