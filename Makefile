@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke lint verify clean
+.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke lint verify clean
 
 all: build
 
@@ -45,12 +45,23 @@ cluster-smoke:
 	if [ $$rc -eq 2 ]; then echo "cluster-smoke: skipped (no loopback sockets)"; \
 	elif [ $$rc -ne 0 ]; then exit $$rc; fi
 
+# Saturation knee smoke: a tiny offered-load sweep of the batched/
+# pipelined/ring stack, replay-checked for sim determinism with every
+# point gated by the full checker battery, then one live point (exit 2 =
+# sandbox has no sockets = skip, not failure).
+saturation-smoke:
+	dune exec bin/ics_cli.exe -- bench --offered-load 200,400 --duration 0.5 --batch 8 --pipeline 2 --flush 1 --dissemination ring --n 5 --replay-check
+	dune exec bin/ics_cli.exe -- bench --live --offered-load 500 --duration 0.5 --batch 8 --pipeline 2 --flush 1 --dissemination ring --n 5; \
+	rc=$$?; \
+	if [ $$rc -eq 2 ]; then echo "saturation-smoke: live skipped (no loopback sockets)"; \
+	elif [ $$rc -ne 0 ]; then exit $$rc; fi
+
 # Determinism & protocol-safety linter over lib/ and bin/ (exit 0 clean,
 # 1 findings, 2 internal error).
 lint:
 	dune exec bin/ics_lint.exe -- --root .
 
-verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke
+verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke
 
 clean:
 	dune clean

@@ -11,12 +11,15 @@
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
                                          # faults, faults-live, claims,
-                                         # micro, wire, perf (combinable)
+                                         # micro, wire, saturation, perf
+                                         # (combinable)
 
    The perf section measures real wall-clock time and allocation on a fixed
    deterministic workload and writes the numbers to BENCH_PR1.json; the
    faults-live section runs the same seeded drop plans on forked loopback
-   clusters and writes BENCH_PR5.json. *)
+   clusters and writes BENCH_PR5.json; the saturation section sweeps
+   offered load over the batched/pipelined/ring stack on both backends
+   and writes the knee curves to BENCH_PR6.json. *)
 
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
@@ -780,22 +783,23 @@ let run_wire ~quick =
               None
           | Ok o ->
               let ok = Cluster.ok o in
-              let mean, p95 =
+              let mean, p95, p99, max_ms =
                 match o.Cluster.latency with
-                | Some l -> (l.Cluster.mean_ms, l.Cluster.p95_ms)
-                | None -> (Float.nan, Float.nan)
+                | Some l -> (l.Cluster.mean_ms, l.Cluster.p95_ms, l.Cluster.p99_ms, l.Cluster.max_ms)
+                | None -> (Float.nan, Float.nan, Float.nan, Float.nan)
               in
-              Some (n, count, ok, mean, p95, o.Cluster.throughput_msg_s))
+              Some (n, count, ok, mean, p95, p99, max_ms, o.Cluster.throughput_msg_s))
         [ 3; 5; 7 ]
   in
   if live_rows <> [] then begin
     let table =
       Table.create
         ~title:"live loopback abcast (ct, indirect, flood; every node broadcasts)"
-        ~columns:[ "n"; "msgs/node"; "checker"; "mean[ms]"; "p95[ms]"; "tput[msg/s]" ]
+        ~columns:
+          [ "n"; "msgs/node"; "checker"; "mean[ms]"; "p95[ms]"; "p99[ms]"; "max[ms]"; "tput[msg/s]" ]
     in
     List.iter
-      (fun (n, count, ok, mean, p95, tput) ->
+      (fun (n, count, ok, mean, p95, p99, max_ms, tput) ->
         Table.add_row table
           [
             string_of_int n;
@@ -803,6 +807,8 @@ let run_wire ~quick =
             (if ok then "ok" else "FAIL");
             Printf.sprintf "%.2f" mean;
             Printf.sprintf "%.2f" p95;
+            Printf.sprintf "%.2f" p99;
+            Printf.sprintf "%.2f" max_ms;
             Printf.sprintf "%.0f" tput;
           ])
       live_rows;
@@ -821,16 +827,169 @@ let run_wire ~quick =
   let live_json =
     String.concat ",\n"
       (List.map
-         (fun (n, count, ok, mean, p95, tput) ->
+         (fun (n, count, ok, mean, p95, p99, max_ms, tput) ->
            Printf.sprintf
-             {|    {"n": %d, "msgs_per_node": %d, "checker_ok": %b, "latency_mean_ms": %.3f, "latency_p95_ms": %.3f, "throughput_msg_s": %.0f}|}
-             n count ok mean p95 tput)
+             {|    {"n": %d, "msgs_per_node": %d, "checker_ok": %b, "latency_mean_ms": %.3f, "latency_p95_ms": %.3f, "latency_p99_ms": %.3f, "latency_max_ms": %.3f, "throughput_msg_s": %.0f}|}
+             n count ok mean p95 p99 max_ms tput)
          live_rows)
   in
   Printf.fprintf oc "{\n  \"codec\": [\n%s\n  ],\n  \"live_loopback\": [\n%s\n  ]\n}\n"
     codec_json live_json;
   close_out oc;
   Format.printf "wrote BENCH_PR3.json@."
+
+(* --- Saturation: offered-load knee curves -------------------------------- *)
+
+module Saturation = Ics_workload.Saturation
+module Profile = Ics_core.Profile
+
+(* The PR3 live headline this PR's tentpole is measured against: ct/
+   indirect/flood, unbatched, n=5, from BENCH_PR3.json's live_loopback. *)
+let pr3_live_msg_s = 2_525.0
+
+let run_saturation ~quick =
+  section "Saturation: batched/pipelined indirect consensus, offered-load sweep";
+  Codecs.ensure ();
+  let n = 5 in
+  let batched = { Abcast.batch = 32; pipeline = 4; flush_ms = 1.0 } in
+  let status p =
+    if Saturation.healthy p then "ok"
+    else if p.Saturation.checker_ok then "overload (checker ok)"
+    else "CHECKER FAIL"
+  in
+  let print_curve title (c : Saturation.curve) =
+    let table =
+      Table.create ~title
+        ~columns:
+          [ "offered"; "achieved"; "mean[ms]"; "p95[ms]"; "p99[ms]"; "max[ms]"; "status" ]
+    in
+    List.iter
+      (fun (p : Saturation.point) ->
+        Table.add_row table
+          [
+            Printf.sprintf "%.0f" p.Saturation.offered;
+            Printf.sprintf "%.0f" p.Saturation.achieved;
+            Printf.sprintf "%.2f" p.Saturation.latency.Stats.mean;
+            Printf.sprintf "%.2f" p.Saturation.latency.Stats.p95;
+            Printf.sprintf "%.2f" p.Saturation.latency.Stats.p99;
+            Printf.sprintf "%.2f" p.Saturation.latency.Stats.max;
+            status p;
+          ])
+      c.Saturation.points;
+    Table.print table;
+    match Saturation.knee c with
+    | Some k ->
+        Format.printf "knee: %.0f msg/s achieved at %.0f offered (p99 %.2f ms)@."
+          k.Saturation.achieved k.Saturation.offered k.Saturation.latency.Stats.p99;
+        Some k
+    | None ->
+        Format.printf "knee: no points@.";
+        None
+  in
+  let point_json (p : Saturation.point) =
+    let f v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+    Printf.sprintf
+      {|      {"offered": %.0f, "achieved": %.1f, "mean_ms": %s, "p95_ms": %s, "p99_ms": %s, "max_ms": %s, "util": %s, "checker_ok": %b, "clean": %b, "delivered": %d}|}
+      p.Saturation.offered p.Saturation.achieved
+      (f p.Saturation.latency.Stats.mean)
+      (f p.Saturation.latency.Stats.p95)
+      (f p.Saturation.latency.Stats.p99)
+      (f p.Saturation.latency.Stats.max)
+      (f p.Saturation.util) p.Saturation.checker_ok p.Saturation.clean
+      p.Saturation.delivered
+  in
+  let curve_json (c : Saturation.curve) =
+    String.concat ",\n" (List.map point_json c.Saturation.points)
+  in
+  let knee_json = function
+    | Some (k : Saturation.point) -> Printf.sprintf "%.1f" k.Saturation.achieved
+    | None -> "null"
+  in
+  (* Simulated sweeps: the seed shape saturates around 1 k msg/s, the
+     batched/pipelined/ring shape around 4 k; past the knee the open-loop
+     sim drains everything, so p99 is the overload signal. *)
+  let sim_dur = if quick then 2_000.0 else 4_000.0 in
+  let sim_seed =
+    Saturation.sim_curve ~duration_ms:sim_dur ~n ~batching:Abcast.no_batching
+      ~broadcast:Profile.Flood
+      [ 250.0; 500.0; 750.0; 1_000.0; 1_500.0; 2_000.0 ]
+  in
+  let k_sim_seed = print_curve "sim: seed (unbatched, flood)" sim_seed in
+  let sim_batched =
+    Saturation.sim_curve ~duration_ms:sim_dur ~n ~batching:batched
+      ~broadcast:Profile.Ring
+      [ 1_000.0; 2_000.0; 3_000.0; 4_000.0; 5_000.0; 6_000.0 ]
+  in
+  let k_sim_batched =
+    print_curve "sim: batch=32 pipeline=4 flush=1ms, ring" sim_batched
+  in
+  (* Live sweeps: real processes on loopback TCP.  Overload shows up as
+     the drain running long (p99 explodes), never as a dirty trace. *)
+  let live_seed, live_batched =
+    if not (Saturation.live_supported ()) then begin
+      Format.printf "live sweeps skipped: no loopback sockets here@.";
+      (None, None)
+    end
+    else
+      (* Best-of-3 per point: one co-tenant burst during a 1 s arrival
+         window is noise, not a capacity statement (see Saturation). *)
+      let seed =
+        Saturation.live_curve ~duration_ms:1_000.0 ~attempts:3 ~n
+          ~batching:Abcast.no_batching ~broadcast:Profile.Flood
+          [ 1_000.0; 2_000.0; 3_000.0; 4_000.0 ]
+      in
+      let batched_c =
+        Saturation.live_curve ~duration_ms:1_000.0 ~attempts:3 ~n
+          ~batching:batched ~broadcast:Profile.Ring
+          [ 2_000.0; 5_000.0; 8_000.0; 11_000.0; 13_000.0; 15_000.0 ]
+      in
+      (Some seed, Some batched_c)
+  in
+  let k_live_seed = Option.map (print_curve "live: seed (unbatched, flood)") live_seed in
+  let k_live_batched =
+    Option.map (print_curve "live: batch=32 pipeline=4 flush=1ms, ring") live_batched
+  in
+  (match Option.join k_live_batched with
+  | Some k ->
+      Format.printf "@.live knee vs BENCH_PR3 (%.0f msg/s): %.1fx@." pr3_live_msg_s
+        (k.Saturation.achieved /. pr3_live_msg_s)
+  | None -> ());
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc
+    {|{
+  "n": %d,
+  "config": {"batch": %d, "pipeline": %d, "flush_ms": %.1f, "dissemination": "ring", "algo": "ct", "ordering": "indirect"},
+  "p99_bound_ms": %.1f,
+  "sim": {
+    "seed": [
+%s
+    ],
+    "batched": [
+%s
+    ]
+  },
+  "live": {
+    "seed": [
+%s
+    ],
+    "batched": [
+%s
+    ]
+  },
+  "knee_msg_s": {"sim_seed": %s, "sim_batched": %s, "live_seed": %s, "live_batched": %s},
+  "pr3_live_msg_s": %.0f
+}
+|}
+    n batched.Abcast.batch batched.Abcast.pipeline batched.Abcast.flush_ms
+    Saturation.p99_bound_ms (curve_json sim_seed) (curve_json sim_batched)
+    (match live_seed with Some c -> curve_json c | None -> "")
+    (match live_batched with Some c -> curve_json c | None -> "")
+    (knee_json k_sim_seed) (knee_json k_sim_batched)
+    (knee_json (Option.join k_live_seed))
+    (knee_json (Option.join k_live_batched))
+    pr3_live_msg_s;
+  close_out oc;
+  Format.printf "wrote BENCH_PR6.json@."
 
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
 
@@ -922,5 +1081,6 @@ let () =
   if want "claims" then run_claims ~quick;
   if want "micro" then run_micro ();
   if want "wire" then run_wire ~quick;
+  if want "saturation" then run_saturation ~quick;
   if want "perf" then run_perf ~quick;
   Format.printf "@.done.@."

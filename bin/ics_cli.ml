@@ -53,6 +53,7 @@ let stack_config_of_profile (p : Profile.t) =
     algo = p.Profile.algo;
     ordering = p.Profile.ordering;
     broadcast = p.Profile.broadcast;
+    batching = Profile.batching p;
   }
 
 (* `run` command: one configuration under one load. *)
@@ -231,8 +232,13 @@ let trace_cmd =
    clusters judged by the same checker. *)
 
 let chaos_cmd =
-  let exec seeds seed_base n stacks plans no_retransmit live replay_check
-      verbose =
+  let exec seeds seed_base n stacks plans batch pipeline flush no_retransmit
+      live replay_check verbose =
+    let batching = { Abcast.batch; pipeline; flush_ms = flush } in
+    if batch < 1 || pipeline < 1 || flush < 0.0 then begin
+      Format.eprintf "chaos: --batch/--pipeline must be >= 1, --flush >= 0@.";
+      exit 2
+    end;
     let parse_csv ~what ~of_string ~all s =
       if s = "all" then all
       else
@@ -263,8 +269,8 @@ let chaos_cmd =
       if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> ()
     in
     let cells =
-      Chaos.sweep ~backend ~retransmit:(not no_retransmit) ?n ~seed_base
-        ~seeds ~progress ~stacks ~plans ()
+      Chaos.sweep ~backend ~batching ~retransmit:(not no_retransmit) ?n
+        ~seed_base ~seeds ~progress ~stacks ~plans ()
     in
     Chaos.report ~verbose Format.std_formatter cells;
     if replay_check then begin
@@ -274,8 +280,8 @@ let chaos_cmd =
            (fault counters are; the sweep above already used them)@."
       else
         let mismatches =
-          Chaos.replay_check ~retransmit:(not no_retransmit) ?n ~seed_base
-            ~stacks ~plans ()
+          Chaos.replay_check ~batching ~retransmit:(not no_retransmit) ?n
+            ~seed_base ~stacks ~plans ()
         in
         match mismatches with
         | [] ->
@@ -330,6 +336,24 @@ let chaos_cmd =
       & info [ "plans" ]
           ~doc:"Comma-separated: drop, dup, reorder, partition, storm, blackout, mixed; or 'all'.")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ]
+          ~doc:"Fresh ids that trigger a consensus proposal (1 = seed behaviour).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ]
+          ~doc:"Concurrent consensus instances (commits stay in instance order).")
+  in
+  let flush =
+    Arg.(
+      value
+      & opt float Abcast.no_batching.Abcast.flush_ms
+      & info [ "flush" ] ~doc:"Batch flush timer, ms.")
+  in
   let no_retransmit =
     Arg.(
       value & flag
@@ -363,8 +387,8 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds), simulated or live")
     Term.(
-      const exec $ seeds $ seed_base $ n $ stacks $ plans $ no_retransmit
-      $ live $ replay_check $ verbose)
+      const exec $ seeds $ seed_base $ n $ stacks $ plans $ batch $ pipeline
+      $ flush $ no_retransmit $ live $ replay_check $ verbose)
 
 (* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
    the merged delivery logs; `node` runs a single process of one (for
@@ -376,8 +400,9 @@ module Cluster = Ics_runtime.Cluster
 module Trace_io = Ics_runtime.Trace_io
 
 let pp_latency ppf (l : Cluster.latency) =
-  Format.fprintf ppf "mean=%.2f ms p95=%.2f ms max=%.2f ms (%d samples)" l.Cluster.mean_ms
-    l.Cluster.p95_ms l.Cluster.max_ms l.Cluster.samples
+  Format.fprintf ppf "mean=%.2f ms p95=%.2f ms p99=%.2f ms max=%.2f ms (%d samples)"
+    l.Cluster.mean_ms l.Cluster.p95_ms l.Cluster.p99_ms l.Cluster.max_ms
+    l.Cluster.samples
 
 let cluster_cmd =
   let exec profile keep_dir use_exec =
@@ -561,6 +586,140 @@ let node_cmd =
          ])
     Term.(const exec $ self $ ports $ profile $ epoch $ trace_out $ stats_out)
 
+(* `bench` command: the saturation sweep — offered-load points on the
+   sim or live backend, each point correctness-gated by the full checker
+   battery, knee reported at the end. *)
+
+module Saturation = Ics_workload.Saturation
+
+let bench_cmd =
+  let exec profile offered live duration size seed replay_check =
+    let loads =
+      String.split_on_char ',' offered
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match float_of_string_opt s with
+             | Some v when v > 0.0 && Float.is_finite v -> v
+             | _ ->
+                 Format.eprintf "bench: bad offered load %s@." s;
+                 exit 2)
+    in
+    if loads = [] then begin
+      Format.eprintf "bench: --offered-load is empty@.";
+      exit 2
+    end;
+    let n = profile.Profile.n in
+    let algo = profile.Profile.algo in
+    let ordering = profile.Profile.ordering in
+    let broadcast = profile.Profile.broadcast in
+    let batching = Profile.batching profile in
+    Format.printf
+      "saturation: %s dissemination=%s batch=%d pipeline=%d flush=%.1fms %s@."
+      (Profile.describe profile)
+      (Profile.broadcast_to_string broadcast)
+      batching.Abcast.batch batching.Abcast.pipeline batching.Abcast.flush_ms
+      (if live then "live" else "sim");
+    if replay_check then begin
+      match
+        Saturation.replay_check ~seed ~algo ~ordering ~n ~batching ~broadcast ()
+      with
+      | Ok fp -> Format.printf "replay check: bit-identical (%s)@." fp
+      | Error (a, b) ->
+          Format.printf "FAIL: saturation cell replayed differently: %s vs %s@."
+            a b;
+          exit 1
+    end;
+    let curve =
+      if live then begin
+        if not (Saturation.live_supported ()) then begin
+          Format.eprintf
+            "bench: skip: loopback sockets unavailable in this environment@.";
+          exit 2
+        end;
+        Saturation.live_curve ~seed ~algo ~ordering ~body_bytes:size
+          ~duration_ms:(duration *. 1000.0) ~n ~batching ~broadcast loads
+      end
+      else
+        Saturation.sim_curve ~seed ~algo ~ordering ~body_bytes:size
+          ~duration_ms:(duration *. 1000.0) ~n ~batching ~broadcast loads
+    in
+    Format.printf
+      "@.%10s %10s %9s %9s %9s %9s %6s  %s@." "offered" "achieved" "mean"
+      "p95" "p99" "max" "util" "status";
+    List.iter
+      (fun (p : Saturation.point) ->
+        Format.printf "%10.0f %10.0f %9.2f %9.2f %9.2f %9.2f %6s  %s@."
+          p.Saturation.offered p.Saturation.achieved p.Saturation.latency.Stats.mean
+          p.Saturation.latency.Stats.p95 p.Saturation.latency.Stats.p99
+          p.Saturation.latency.Stats.max
+          (if Float.is_nan p.Saturation.util then "-"
+           else Printf.sprintf "%.0f%%" (p.Saturation.util *. 100.0))
+          (if not p.Saturation.checker_ok then "CHECKER FAIL"
+           else if Saturation.healthy p then "ok"
+           else "overload (checker ok)"))
+      curve.Saturation.points;
+    (match Saturation.knee curve with
+    | Some k ->
+        Format.printf "@.knee: %.0f msg/s achieved at %.0f offered (p99 %.2f ms)@."
+          k.Saturation.achieved k.Saturation.offered k.Saturation.latency.Stats.p99
+    | None -> Format.printf "@.knee: no points ran@.");
+    if List.exists (fun (p : Saturation.point) -> not p.Saturation.checker_ok)
+         curve.Saturation.points
+    then begin
+      Format.printf "FAIL: a point violated the checker battery@.";
+      exit 1
+    end
+  in
+  let profile = profile_term ~specs:Profile.stack_specs Profile.default in
+  let offered =
+    Arg.(
+      value
+      & opt string "500,1000,2000,4000,8000"
+      & info [ "offered-load" ] ~docv:"R0,R1,..."
+          ~doc:"Comma-separated offered loads, msg/s cluster-wide.")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Run each point as a forked loopback-TCP cluster instead of a \
+             simulation. Exit 2 when the environment cannot create sockets.")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Seconds of arrivals per point.")
+  in
+  let size = Arg.(value & opt int 32 & info [ "size" ] ~doc:"Payload bytes.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Run seed.") in
+  let replay_check =
+    Arg.(
+      value & flag
+      & info [ "replay-check" ]
+          ~doc:
+            "First rerun one deterministic sim cell of this configuration \
+             twice and fail unless the trace fingerprints match — the \
+             determinism gate for the batched/pipelined/ring path.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Offered-load saturation sweep (knee curve), simulated or live"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the configured stack at each $(b,--offered-load) point with \
+              the full checker battery on, reports achieved throughput and \
+              latency percentiles per point, and prints the knee — the fastest \
+              point that is still checker-green and finished cleanly. Exit \
+              status: 0 on success (overloaded points are expected past the \
+              knee), 1 if any point fails the checker, 2 if $(b,--live) has no \
+              socket support.";
+         ])
+    Term.(
+      const exec $ profile $ offered $ live $ duration $ size $ seed
+      $ replay_check)
+
 let list_cmd =
   let exec () =
     List.iter
@@ -583,5 +742,6 @@ let () =
             trace_cmd;
             cluster_cmd;
             node_cmd;
+            bench_cmd;
             list_cmd;
           ]))

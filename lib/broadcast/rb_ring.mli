@@ -1,0 +1,28 @@
+(** Reliable broadcast by ring (chain) dissemination — the payload plane
+    of Ring Paxos, adapted to the indirect-consensus split.
+
+    To R-broadcast [m], the origin delivers locally and sends a [Pass]
+    batch to its successor [(origin+1) mod n]; each process delivers the
+    batch's fresh messages and forwards it one hop further until the
+    batch has travelled [n-1] hops.  Each broadcast thus costs exactly
+    [n-1] unicasts — O(n) against flood's O(n²) — and spreads the send
+    load evenly around the ring instead of concentrating it on the
+    origin's (or a coordinator's) NIC.  The price is latency (up to
+    [n-1] sequential hops to the last process) and fault coverage: a
+    crashed process breaks the chain for batches that have not passed it
+    yet, and the chain is not repaired from the failure detector, so
+    Agreement holds only in crash-free runs.  Use it for saturation
+    benchmarking; keep flood or fd-relay wherever faults are in play
+    (the chaos sweeps do). *)
+
+val layer : string
+(** Transport layer name, ["rb"] — ring traffic shares the rb wire id. *)
+
+val create :
+  Ics_net.Transport.t -> deliver:Broadcast_intf.deliver -> Broadcast_intf.handle
+(** Installs handlers for every process.  [deliver] is called exactly once
+    per (alive process, message), in a zero-time event after receipt. *)
+
+val register_codec : unit -> unit
+(** Register the [Pass] batch constructor (tag 0x14, ["rb.ring"]) with
+    {!Ics_codec.Codec} (idempotent); {!Ics_core.Codecs.ensure} calls it. *)

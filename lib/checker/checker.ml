@@ -32,12 +32,16 @@ module Run = struct
   type t = {
     n : int;
     crash_times : (Pid.t, Time.t) Hashtbl.t;
+    exit_times : (Pid.t, Time.t) Hashtbl.t;
+        (* clean barrier exits (live runtime); exited processes are still
+           correct, but termination checks stop at their exit time *)
     abroadcasts : (Pid.t * Msg_id.t * Time.t) list;
     adeliveries : Msg_id.t list array;  (* delivery order per process *)
     rdeliveries : Msg_id.t list array;  (* includes urb deliveries *)
     rdelivered_sets : Id_set.t array;
     proposes : (Pid.t * int * Msg_id.t list) list;
     decisions : (Pid.t * int * Msg_id.t list) list;
+    first_propose_time : (int, Time.t) Hashtbl.t;
     first_decision_time : (int, Time.t) Hashtbl.t;
     first_rdeliver_time : (Pid.t * Msg_id.t, Time.t) Hashtbl.t;
     rbroadcasts : (Pid.t * Msg_id.t) list;  (* chronological *)
@@ -47,11 +51,13 @@ module Run = struct
 
   let of_trace trace ~n =
     let crash_times = Hashtbl.create 4 in
+    let exit_times = Hashtbl.create 4 in
     let abroadcasts = ref [] in
     let adeliv = Array.make n [] in
     let rdeliv = Array.make n [] in
     let proposes = ref [] in
     let decisions = ref [] in
+    let first_propose_time = Hashtbl.create 32 in
     let first_decision_time = Hashtbl.create 32 in
     let first_rdeliver_time = Hashtbl.create 256 in
     let rbroadcasts = ref [] in
@@ -61,6 +67,9 @@ module Run = struct
         | Trace.Crash ->
             if not (Hashtbl.mem crash_times e.pid) then
               Hashtbl.add crash_times e.pid e.time
+        | Trace.Exit ->
+            if not (Hashtbl.mem exit_times e.pid) then
+              Hashtbl.add exit_times e.pid e.time
         | Trace.Abroadcast id -> abroadcasts := (e.pid, id, e.time) :: !abroadcasts
         | Trace.Adeliver id -> adeliv.(e.pid) <- id :: adeliv.(e.pid)
         | Trace.Rdeliver id | Trace.Urb_deliver id ->
@@ -68,7 +77,10 @@ module Run = struct
             local_events.(e.pid) <- `Deliv id :: local_events.(e.pid);
             if not (Hashtbl.mem first_rdeliver_time (e.pid, id)) then
               Hashtbl.add first_rdeliver_time (e.pid, id) e.time
-        | Trace.Propose (k, ids) -> proposes := (e.pid, k, ids) :: !proposes
+        | Trace.Propose (k, ids) ->
+            proposes := (e.pid, k, ids) :: !proposes;
+            if not (Hashtbl.mem first_propose_time k) then
+              Hashtbl.add first_propose_time k e.time
         | Trace.Decide (k, ids) ->
             decisions := (e.pid, k, ids) :: !decisions;
             if not (Hashtbl.mem first_decision_time k) then
@@ -86,12 +98,14 @@ module Run = struct
     {
       n;
       crash_times;
+      exit_times;
       abroadcasts = List.rev !abroadcasts;
       adeliveries;
       rdeliveries;
       rdelivered_sets = Array.map Id_set.of_list rdeliveries;
       proposes = List.rev !proposes;
       decisions = List.rev !decisions;
+      first_propose_time;
       first_decision_time;
       first_rdeliver_time;
       rbroadcasts = List.rev !rbroadcasts;
@@ -100,6 +114,7 @@ module Run = struct
 
   let n t = t.n
   let crash_time t p = Hashtbl.find_opt t.crash_times p
+  let exit_time t p = Hashtbl.find_opt t.exit_times p
   let is_correct t p = not (Hashtbl.mem t.crash_times p)
   let correct t = List.filter (is_correct t) (Pid.all ~n:t.n)
   let crashed t = List.filter (fun p -> not (is_correct t p)) (Pid.all ~n:t.n)
@@ -290,23 +305,48 @@ let check_consensus run =
               (Printf.sprintf "instance %d: decided {%s} matches no proposal" k
                  (String.concat "," (List.map Msg_id.to_string v))))
     decisions_by_k;
-  (* Termination: a decided instance is decided by every correct process. *)
+  (* Termination: a decided instance is decided by every correct process.
+     A clean barrier exit (live runtime) bounds the obligation: a process
+     that left the run before an instance's first decision cannot be
+     expected to have decided it (trailing pipelined instances keep
+     deciding while the first nodes are already past the barrier). *)
   List.iter
     (fun (k, decs) ->
       let deciders = List.map fst decs in
+      let first_decided = Hashtbl.find_opt run.Run.first_decision_time k in
       List.iter
         (fun q ->
-          if not (List.mem q deciders) then
+          let excused =
+            match (Run.exit_time run q, first_decided) with
+            | Some te, Some td -> td > te
+            | _ -> false
+          in
+          if (not (List.mem q deciders)) && not excused then
             add "consensus.termination" (Some q)
               (Printf.sprintf "instance %d decided elsewhere but not by correct process" k))
         correct)
     decisions_by_k;
-  (* Termination: an instance proposed by a correct process decides. *)
+  (* Termination: an instance proposed by a correct process decides.  Once
+     the first clean exit has happened the quorum is no longer guaranteed,
+     so instances first proposed after that point are exempt. *)
+  let shutdown_start =
+    List.fold_left
+      (fun acc q ->
+        match Run.exit_time run q with
+        | Some te -> ( match acc with None -> Some te | Some t -> Some (Float.min t te))
+        | None -> acc)
+      None correct
+  in
   List.iter
     (fun (k, props) ->
       let proposed_by_correct = List.exists (fun (p, _) -> List.mem p correct) props in
       let decided = List.mem_assoc k decisions_by_k in
-      if proposed_by_correct && not decided then
+      let excused =
+        match (shutdown_start, Hashtbl.find_opt run.Run.first_propose_time k) with
+        | Some te, Some tp -> tp > te
+        | _ -> false
+      in
+      if proposed_by_correct && (not decided) && not excused then
         add "consensus.termination" None
           (Printf.sprintf "instance %d proposed by a correct process but never decided" k))
     proposes_by_k;

@@ -48,6 +48,11 @@ module Run : sig
   val crashed : t -> Pid.t list
   val crash_time : t -> Pid.t -> Time.t option
 
+  val exit_time : t -> Pid.t -> Time.t option
+  (** Clean barrier exit ([Trace.Exit]), if any: the process stayed
+      correct but left the run at this time, so termination obligations
+      stop accruing for it past this point. *)
+
   val abroadcasts : t -> (Pid.t * Msg_id.t * Time.t) list
   val adeliveries : t -> Pid.t -> Msg_id.t list
   (** Identifiers in delivery order at one process. *)

@@ -121,7 +121,7 @@ let get_counts tbl key =
       Hashtbl.add tbl key c;
       c
 
-let create transport fd config (cb : Consensus_intf.callbacks) =
+let create ?(announce = false) transport fd config (cb : Consensus_intf.callbacks) =
   let engine = Transport.engine transport in
   let host = Transport.host transport in
   let n = Transport.n transport in
@@ -292,7 +292,27 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   let on_message p (msg : Message.t) =
     match msg.payload with
     | Est { k; r; est; ts } ->
-        let inst = get_inst p k in
+        let inst =
+          (* Announce path: a round-1 estimate reaching the round-1
+             coordinator before it knows the instance seeds its join.  The
+             AB layer's join value may be empty under batching (everything
+             fresh already rides other open instances); adopting the
+             announced estimate instead keeps the coordinator from
+             proposing — and the instance from deciding — an empty set. *)
+          if
+            announce && r = 1
+            && (not (Hashtbl.mem procs.(p).instances k))
+            && Pid.equal p (Pid.coordinator ~n ~round:1)
+          then begin
+            let own = cb.join p k in
+            let inst =
+              new_instance p k (if Proposal.is_empty own then est else own)
+            in
+            start_round p inst;
+            inst
+          end
+          else get_inst p k
+        in
         if (not inst.decided) && r >= inst.r then begin
           let l = get_list inst.est_in r in
           l := (msg.src, ts, est) :: !l;
@@ -351,7 +371,22 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   let propose p k value =
     if Engine.is_alive engine p && not (Hashtbl.mem procs.(p).instances k) then begin
       let inst = new_instance p k value in
-      start_round p inst
+      start_round p inst;
+      (* Round-1 non-coordinator proposals are otherwise silent — the
+         coordinator alone multicasts in round 1.  Under batching /
+         pipelining the proposers of an instance can be exactly the
+         non-coordinators (the coordinator's fresh set may be empty), so
+         a silent proposal would deadlock the instance: announce it by
+         sending the phase-1 estimate to the coordinator, which joins and
+         proposes (the r > 1 send, generalized to round 1).  Off by
+         default so the unbatched traffic — and the pinned replay
+         fingerprints — stay byte-identical. *)
+      if announce && (not inst.decided) && inst.r = 1 then begin
+        let c = Pid.coordinator ~n ~round:1 in
+        if not (Pid.equal p c) then
+          send ~src:p ~dst:c ~bytes:(est_bytes inst.estimate)
+            (Est { k; r = 1; est = inst.estimate; ts = inst.ts })
+      end
     end
   in
   let has_instance p k = Hashtbl.mem procs.(p).instances k in

@@ -13,6 +13,12 @@ module Failure_detector = Ics_fd.Failure_detector
 type Message.payload +=
   | Relay of { k : int; r : int; est : Proposal.t option }
   | Decide of { k : int; est : Proposal.t }
+  | Nudge of { k : int; est : Proposal.t }
+      (* a round-1 non-coordinator proposer waking the coordinator (the
+         batched/pipelined proposers of an instance may not include it);
+         carries the proposer's estimate so a coordinator with nothing
+         fresh of its own seeds the instance with it instead of an empty
+         set *)
 
 type config = { layer : string; rcv : Consensus_intf.rcv option }
 
@@ -42,6 +48,7 @@ let relay_bytes = function
   | None -> 10
 
 let decide_bytes est = 5 + Proposal.encoded_bytes est
+let nudge_bytes est = 5 + Proposal.encoded_bytes est
 
 let register_codec () =
   let module Codec = Ics_codec.Codec in
@@ -83,9 +90,21 @@ let register_codec () =
     ~dec:(fun rd ->
       let k = Prim.r_u32 rd in
       Decide { k; est = Proposal.decode rd })
-    ~gen:(fun rng -> Decide { k = Rng.int rng 100; est = Proposal.gen rng })
+    ~gen:(fun rng -> Decide { k = Rng.int rng 100; est = Proposal.gen rng });
+  Codec.register ~tag:0x2A ~name:"mr.nudge"
+    ~fits:(function Nudge _ -> true | _ -> false)
+    ~size:(function Nudge { est; _ } -> nudge_bytes est | _ -> assert false)
+    ~enc:(fun w -> function
+      | Nudge { k; est } ->
+          Prim.u32 w k;
+          Proposal.encode w est
+      | _ -> assert false)
+    ~dec:(fun rd ->
+      let k = Prim.r_u32 rd in
+      Nudge { k; est = Proposal.decode rd })
+    ~gen:(fun rng -> Nudge { k = Rng.int rng 100; est = Proposal.gen rng })
 
-let create transport fd config (cb : Consensus_intf.callbacks) =
+let create ?(announce = false) transport fd config (cb : Consensus_intf.callbacks) =
   let engine = Transport.engine transport in
   let host = Transport.host transport in
   let n = Transport.n transport in
@@ -253,6 +272,20 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
           | None -> new_instance p k est
         in
         decide_flood p inst est ~relay_from:(Some msg.src)
+    | Nudge { k; est } ->
+        (* Joining is the point: a nudged coordinator starts round 1 and
+           relays its estimate, giving the instance its first traffic.
+           When the AB layer's join value is empty (everything fresh is
+           already inflight elsewhere), seed with the announced estimate —
+           the receivers' rcv guards still protect No-loss even though
+           this coordinator may not hold those payloads yet. *)
+        if not (Hashtbl.mem procs.(p).instances k) then begin
+          let own = cb.join p k in
+          let inst =
+            new_instance p k (if Proposal.is_empty own then est else own)
+          in
+          start_round p inst
+        end
     | _ -> ()
   in
 
@@ -277,7 +310,20 @@ let create transport fd config (cb : Consensus_intf.callbacks) =
   let propose p k value =
     if Engine.is_alive engine p && not (Hashtbl.mem procs.(p).instances k) then begin
       let inst = new_instance p k value in
-      start_round p inst
+      start_round p inst;
+      (* Same liveness hole as CT's round 1: a non-coordinator proposer
+         sends nothing until the coordinator's relay arrives, and under
+         batching / pipelining the coordinator may never propose this
+         instance itself.  Announce with a nudge (LB's Kick, ported).
+         Off by default to keep the unbatched traffic — and the pinned
+         replay fingerprints — byte-identical. *)
+      if announce && (not inst.decided) && inst.r = 1 then begin
+        let c = Pid.coordinator ~n ~round:1 in
+        if not (Pid.equal p c) then
+          Transport.send transport ~src:p ~dst:c ~layer
+            ~body_bytes:(nudge_bytes inst.estimate)
+            (Nudge { k; est = inst.estimate })
+      end
     end
   in
   let has_instance p k = Hashtbl.mem procs.(p).instances k in

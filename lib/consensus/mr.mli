@@ -40,8 +40,15 @@ type config = {
 }
 
 val create :
+  ?announce:bool ->
   Transport.t -> Failure_detector.t -> config -> Consensus_intf.callbacks ->
   Consensus_intf.handle
+(** [announce] (default false): a round-1 non-coordinator proposer sends
+    a [Nudge] to the round-1 coordinator, which joins and relays its
+    estimate.  Required for termination when instance proposers are
+    chosen by batching / pipelining (the coordinator may never propose
+    the instance itself); off by default so unbatched traffic is
+    unchanged. *)
 
 val register_codec : unit -> unit
 (** Register this layer's payload codecs with {!Ics_codec.Codec}

@@ -5,17 +5,29 @@ module Trace = Ics_sim.Trace
 module Msg_id = Ics_net.Msg_id
 module App_msg = Ics_net.App_msg
 module Transport = Ics_net.Transport
+module Env = Ics_net.Env
 module Broadcast_intf = Ics_broadcast.Broadcast_intf
 module Consensus_intf = Ics_consensus.Consensus_intf
 module Proposal = Ics_consensus.Proposal
 
 type ordering = Consensus_on_messages | Consensus_on_ids | Indirect_consensus
 
+type batching = { batch : int; pipeline : int; flush_ms : float }
+
+let no_batching = { batch = 1; pipeline = 1; flush_ms = 2.0 }
+
 type pstate = {
   received : App_msg.t Msg_id.Table.t;
   mutable unordered : Msg_id.Set.t;
   mutable unordered_elems : Msg_id.t list option;
       (* memo of [Msg_id.Set.elements unordered]; invalidated on mutation *)
+  mutable inflight : Msg_id.Set.t;
+      (* ids this process has proposed into a still-open instance; the
+         complement [unordered \ inflight] is what the next slot may carry *)
+  proposed_ids : (int, Msg_id.t list) Hashtbl.t;
+      (* instance -> ids we proposed there, so [inflight] can be released
+         when the instance's decision is applied *)
+  mutable flush_armed : bool;
   ordered_pending : Msg_id.t Queue.t;
   ordered_ever : unit Msg_id.Table.t;
   decisions : (int, Proposal.t) Hashtbl.t;
@@ -26,12 +38,19 @@ type pstate = {
 
 type t = {
   engine : Engine.t;
+  transport : Transport.t;
   ordering : ordering;
+  batching : batching;
   states : pstate array;
   mutable broadcast : Broadcast_intf.handle;
   mutable consensus : Consensus_intf.handle;
   deliver : Pid.t -> App_msg.t -> unit;
 }
+
+(* Fetched per use, not captured at [create]: the live runtime installs
+   its wall-clock Env on the transport and must win even if it does so
+   after the stack is assembled. *)
+let env t = Transport.env t.transport
 
 let holds t p id = Msg_id.Table.mem t.states.(p).received id
 
@@ -43,15 +62,43 @@ let unordered_elems st =
       st.unordered_elems <- Some ids;
       ids
 
-let make_proposal t p =
-  let st = t.states.(p) in
-  let ids = unordered_elems st in
+let proposal_of_ids t p ids =
   match t.ordering with
   | Consensus_on_messages ->
-      Proposal.on_messages (List.map (Msg_id.Table.find st.received) ids)
+      Proposal.on_messages (List.map (Msg_id.Table.find t.states.(p).received) ids)
   | Consensus_on_ids | Indirect_consensus ->
       (* [ids] comes from Set.elements: already sorted and duplicate-free. *)
       Proposal.of_sorted ids
+
+let make_proposal t p = proposal_of_ids t p (unordered_elems t.states.(p))
+
+(* Ids eligible for the next instance slot: unordered minus whatever is
+   already riding an open instance. *)
+let fresh_ids st =
+  if Msg_id.Set.is_empty st.inflight then unordered_elems st
+  else Msg_id.Set.elements (Msg_id.Set.diff st.unordered st.inflight)
+
+(* Proposal size cap, batched modes only.  [batch] stays a trigger, but a
+   single value may not carry an unbounded backlog: every cost downstream
+   of a proposal — frame bytes, the rcv-guard scan, a CT round change
+   re-shipping the estimate — is linear in its id count, so an O(backlog)
+   value makes overload quadratic and the stack collapses instead of
+   queueing.  Capped, a backlog drains cap x pipeline ids per decision
+   wave.  The cap never binds at batch=1/pipeline=1 (seed behaviour and
+   its pinned fingerprints are computed without it). *)
+let cap_factor = 8
+
+let batched b = b.batch > 1 || b.pipeline > 1
+
+let rec take k ids =
+  if k <= 0 then []
+  else match ids with [] -> [] | id :: tl -> id :: take (k - 1) tl
+
+let cap_ids b ids = if batched b then take (b.batch * cap_factor) ids else ids
+
+(* [List.length ids >= k] without walking a backlog-sized list. *)
+let rec at_least k ids =
+  k <= 0 || (match ids with [] -> false | _ :: tl -> at_least (k - 1) tl)
 
 let try_deliver t p =
   let st = t.states.(p) in
@@ -68,12 +115,56 @@ let try_deliver t p =
   in
   loop ()
 
-let try_propose t p =
+(* Batching and pipelining of Algorithm 1's proposal step.  Instance
+   slots [applied+1 .. applied+pipeline] may run concurrently; each id is
+   proposed into at most one open instance (tracked by [inflight]), and a
+   slot is opened only once [batch] fresh ids have accumulated or the
+   flush timer fires.  [batch] is a trigger, not a cap: a proposal carries
+   every fresh id, so a backlog drains in one instance.  At the default
+   batch=1/pipeline=1 this reduces exactly to the seed behaviour — one
+   instance at a time, proposed the moment an id shows up, no timer ever
+   armed — which is what keeps the pinned chaos fingerprints bit-identical. *)
+let rec try_propose ?(flush = false) t p =
   let st = t.states.(p) in
-  if not (Msg_id.Set.is_empty st.unordered) then begin
-    let k = st.applied + 1 in
-    if not (t.consensus.has_instance p k) then
-      t.consensus.propose p k (make_proposal t p)
+  let rec slots d =
+    if d <= t.batching.pipeline then begin
+      let k = st.applied + d in
+      (* Occupancy first: while every slot is riding an instance — the
+         steady state under load — this call must stay O(pipeline), not
+         pay the O(backlog) set walk below on every arrival. *)
+      if t.consensus.has_instance p k then slots (d + 1)
+      else
+        let ids = fresh_ids st in
+        if ids <> [] then
+          if flush || at_least t.batching.batch ids then begin
+            let ids = cap_ids t.batching ids in
+            t.consensus.propose p k (proposal_of_ids t p ids);
+            Hashtbl.replace st.proposed_ids k ids;
+            st.inflight <-
+              List.fold_left (fun s id -> Msg_id.Set.add id s) st.inflight ids;
+            slots (d + 1)
+          end
+          else arm_flush t p
+    end
+  in
+  slots 1
+
+and arm_flush t p =
+  let st = t.states.(p) in
+  if not st.flush_armed then begin
+    let e = env t in
+    let at = Time.( + ) (e.Env.now ()) t.batching.flush_ms in
+    if Env.beyond_horizon e ~at then
+      (* Deadline discipline (the P2 rule for self-rearming timers):
+         never park ids behind a timer that would fire after the run's
+         horizon — flush now so a faulted run still drains to quiescence. *)
+      try_propose ~flush:true t p
+    else begin
+      st.flush_armed <- true;
+      e.Env.schedule ~at (fun () ->
+          st.flush_armed <- false;
+          if (env t).Env.is_alive p then try_propose ~flush:true t p)
+    end
   end
 
 let apply_decisions t p =
@@ -86,6 +177,14 @@ let apply_decisions t p =
         let k = st.applied + 1 in
         Hashtbl.remove st.decisions k;
         st.applied <- k;
+        (* Release our own proposal for [k] from [inflight]: ids the
+           decision left out return to the fresh pool for a later slot. *)
+        (match Hashtbl.find_opt st.proposed_ids k with
+        | Some ids ->
+            Hashtbl.remove st.proposed_ids k;
+            st.inflight <-
+              List.fold_left (fun s id -> Msg_id.Set.remove id s) st.inflight ids
+        | None -> ());
         (* Proposal ids are sorted (deterministic order, Algorithm 1 line
            20); skip anything already ordered by an earlier instance. *)
         List.iter
@@ -126,7 +225,12 @@ let on_broadcast_deliver t p (m : App_msg.t) =
     try_propose t p
   end
 
-let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
+let create ?(batching = no_batching) transport ~ordering ~make_broadcast
+    ~make_consensus ~deliver =
+  if batching.batch < 1 then invalid_arg "Abcast.create: batch < 1";
+  if batching.pipeline < 1 then invalid_arg "Abcast.create: pipeline < 1";
+  if batching.flush_ms < 0.0 || not (Float.is_finite batching.flush_ms) then
+    invalid_arg "Abcast.create: bad flush_ms";
   let engine = Transport.engine transport in
   let n = Transport.n transport in
   let states =
@@ -135,6 +239,9 @@ let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
           received = Msg_id.Table.create 256;
           unordered = Msg_id.Set.empty;
           unordered_elems = None;
+          inflight = Msg_id.Set.empty;
+          proposed_ids = Hashtbl.create 8;
+          flush_armed = false;
           ordered_pending = Queue.create ();
           ordered_ever = Msg_id.Table.create 256;
           decisions = Hashtbl.create 16;
@@ -154,7 +261,16 @@ let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
     }
   in
   let t =
-    { engine; ordering; states; broadcast = dummy_broadcast; consensus = dummy_consensus; deliver }
+    {
+      engine;
+      transport;
+      ordering;
+      batching;
+      states;
+      broadcast = dummy_broadcast;
+      consensus = dummy_consensus;
+      deliver;
+    }
   in
   t.broadcast <- make_broadcast ~deliver:(on_broadcast_deliver t);
   let rcv =
@@ -163,12 +279,28 @@ let create transport ~ordering ~make_broadcast ~make_consensus ~deliver =
         Some (fun q ids -> List.for_all (fun id -> holds t q id) ids)
     | Consensus_on_messages | Consensus_on_ids -> None
   in
-  let callbacks =
-    {
-      Consensus_intf.on_decide = on_decide t;
-      join = (fun p _k -> make_proposal t p);
-    }
+  (* Join values: unbatched, the full unordered set (Algorithm 1's
+     proposal — a joiner's value only matters if the coordinator's is
+     lost, and then completeness beats batch shape).  Batched/pipelined,
+     the fresh set only, marked inflight like a regular proposal: with
+     several instances open, re-offering ids that already ride an earlier
+     open instance makes the same ids decide twice in consecutive
+     instances (pure waste) and keeps the instance stream running after
+     the workload is drained. *)
+  let join p k =
+    if batched batching then begin
+      let st = t.states.(p) in
+      let ids = cap_ids batching (fresh_ids st) in
+      if ids <> [] then begin
+        Hashtbl.replace st.proposed_ids k ids;
+        st.inflight <-
+          List.fold_left (fun s id -> Msg_id.Set.add id s) st.inflight ids
+      end;
+      proposal_of_ids t p ids
+    end
+    else make_proposal t p
   in
+  let callbacks = { Consensus_intf.on_decide = on_decide t; join } in
   t.consensus <- make_consensus ~rcv callbacks;
   t
 
@@ -193,5 +325,6 @@ let blocked_head t p =
   | Some id when not (Msg_id.Table.mem st.received id) -> Some id
   | Some _ | None -> None
 
+let batching t = t.batching
 let broadcast_name t = t.broadcast.Broadcast_intf.name
 let consensus_name t = t.consensus.Consensus_intf.name

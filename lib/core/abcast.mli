@@ -45,9 +45,31 @@ module Proposal = Ics_consensus.Proposal
 
 type ordering = Consensus_on_messages | Consensus_on_ids | Indirect_consensus
 
+type batching = {
+  batch : int;
+      (** fresh ids that trigger a proposal.  A trigger, not a cap: a
+          proposal always carries every fresh id, so a backlog drains in
+          one instance. *)
+  pipeline : int;
+      (** instance slots [applied+1 .. applied+pipeline] that may run
+          concurrently.  Decisions still commit strictly in instance
+          order, so delivery order stays deterministic. *)
+  flush_ms : float;
+      (** one-shot flush timer armed (via {!Ics_net.Env.t}[.schedule], so
+          it is backend-neutral) when fresh ids sit below [batch]; a
+          timer that would land past the run horizon flushes immediately
+          instead, keeping faulted runs quiescent. *)
+}
+
+val no_batching : batching
+(** [{batch = 1; pipeline = 1; flush_ms = 2.0}] — the seed behaviour:
+    one instance at a time, proposed the moment an id shows up, no timer
+    ever armed.  Event-for-event identical to the pre-batching code. *)
+
 type t
 
 val create :
+  ?batching:batching ->
   Transport.t ->
   ordering:ordering ->
   make_broadcast:(deliver:Broadcast_intf.deliver -> Broadcast_intf.handle) ->
@@ -57,7 +79,7 @@ val create :
   t
 (** Wires the three layers together.  [make_consensus] receives the [rcv]
     function (the closure over every process's received-payload table) only
-    in {!Indirect_consensus} mode. *)
+    in {!Indirect_consensus} mode.  [batching] defaults to {!no_batching}. *)
 
 val abroadcast : t -> src:Pid.t -> body_bytes:int -> App_msg.t
 (** Invoke atomic broadcast at process [src] with a fresh message of the
@@ -78,5 +100,6 @@ val blocked_head : t -> Pid.t -> Msg_id.t option
 val holds : t -> Pid.t -> Msg_id.t -> bool
 (** Whether the process holds the payload for [id] — the [rcv] substrate. *)
 
+val batching : t -> batching
 val broadcast_name : t -> string
 val consensus_name : t -> string

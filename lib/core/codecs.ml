@@ -8,6 +8,7 @@ let ensure () =
   Ics_codec.Codec.register_builtins ();
   Ics_broadcast.Rb_flood.register_codec ();
   Ics_broadcast.Rb_fd.register_codec ();
+  Ics_broadcast.Rb_ring.register_codec ();
   Ics_broadcast.Urb.register_codec ();
   Ics_consensus.Ct.register_codec ();
   Ics_consensus.Mr.register_codec ();

@@ -6,13 +6,16 @@
    its forked children) and the CLI's generically-built cmdliner terms. *)
 
 type algo = Ct | Mr | Lb
-type broadcast_kind = Flood | Fd_relay | Uniform
+type broadcast_kind = Flood | Fd_relay | Uniform | Ring
 
 type t = {
   n : int;
   algo : algo;
   ordering : Abcast.ordering;
   broadcast : broadcast_kind;
+  batch : int;
+  pipeline : int;
+  flush_ms : float;
   count : int;
   body_bytes : int;
   gap_ms : float;
@@ -28,6 +31,9 @@ let default =
     algo = Ct;
     ordering = Abcast.Indirect_consensus;
     broadcast = Flood;
+    batch = Abcast.no_batching.Abcast.batch;
+    pipeline = Abcast.no_batching.Abcast.pipeline;
+    flush_ms = Abcast.no_batching.Abcast.flush_ms;
     count = 20;
     body_bytes = 128;
     gap_ms = 5.0;
@@ -36,6 +42,9 @@ let default =
     hb_timeout_ms = 120.0;
     deadline_ms = 10_000.0;
   }
+
+let batching p =
+  { Abcast.batch = p.batch; pipeline = p.pipeline; flush_ms = p.flush_ms }
 
 (* Canonical names.  These strings are the CLI vocabulary and the wire
    format of [to_args]; everything that prints or parses a stack shape
@@ -51,7 +60,7 @@ let orderings =
   ]
 
 let broadcasts =
-  [ ("flood", Flood); ("fd-relay", Fd_relay); ("uniform", Uniform) ]
+  [ ("flood", Flood); ("fd-relay", Fd_relay); ("uniform", Uniform); ("ring", Ring) ]
 
 let to_name table v =
   fst (List.find (fun (_, v') -> v' = v) table)
@@ -139,10 +148,26 @@ let stack_specs =
       ~get:(fun p -> p.ordering)
       ~put:(fun p ordering -> { p with ordering })
       ();
-    enum_spec ~keys:[ "broadcast" ] ~doc:"Reliable broadcast flavour"
+    enum_spec ~keys:[ "broadcast"; "dissemination" ]
+      ~doc:"Reliable broadcast flavour / payload dissemination"
       ~table:broadcasts
       ~get:(fun p -> p.broadcast)
       ~put:(fun p broadcast -> { p with broadcast })
+      ();
+    int_spec ~keys:[ "batch" ] ~min:1
+      ~doc:"Fresh ids that trigger a consensus proposal (1 = seed behaviour)."
+      ~get:(fun p -> p.batch)
+      ~put:(fun p batch -> { p with batch })
+      ();
+    int_spec ~keys:[ "pipeline" ] ~min:1
+      ~doc:"Concurrent consensus instances (commits stay in instance order)."
+      ~get:(fun p -> p.pipeline)
+      ~put:(fun p pipeline -> { p with pipeline })
+      ();
+    float_spec ~keys:[ "flush" ]
+      ~doc:"Batch flush timer, ms (fires when a batch sits below --batch)."
+      ~get:(fun p -> p.flush_ms)
+      ~put:(fun p flush_ms -> { p with flush_ms })
       ();
   ]
 

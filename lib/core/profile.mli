@@ -15,12 +15,16 @@ type broadcast_kind =
   | Flood  (** reliable broadcast, O(n²) messages *)
   | Fd_relay  (** reliable broadcast, O(n) messages in good runs *)
   | Uniform  (** uniform reliable broadcast, O(n²), 2 steps *)
+  | Ring  (** successor-to-successor chain, O(n); crash-free runs only *)
 
 type t = {
   n : int;
   algo : algo;
   ordering : Abcast.ordering;
   broadcast : broadcast_kind;
+  batch : int;  (** fresh ids that trigger a consensus proposal *)
+  pipeline : int;  (** concurrent consensus instances *)
+  flush_ms : float;  (** batch flush timer *)
   count : int;  (** A-broadcasts per node (live workload) *)
   body_bytes : int;
   gap_ms : float;  (** spacing between one node's A-broadcasts *)
@@ -31,9 +35,12 @@ type t = {
 }
 
 val default : t
-(** n = 3, CT, indirect consensus, flood RB; 20 × 128 B messages per
-    node at 5 ms gaps after a 150 ms warm-up; 25/120 ms heartbeats;
-    10 s deadline. *)
+(** n = 3, CT, indirect consensus, flood RB, no batching
+    (batch = pipeline = 1); 20 × 128 B messages per node at 5 ms gaps
+    after a 150 ms warm-up; 25/120 ms heartbeats; 10 s deadline. *)
+
+val batching : t -> Abcast.batching
+(** The {!Abcast.batching} knobs of this profile. *)
 
 (** {1 Canonical names}
 
@@ -64,7 +71,8 @@ type spec = {
 }
 
 val stack_specs : spec list
-(** Shape flags: [--n]/[--nodes], [--algo], [--ordering], [--broadcast]. *)
+(** Shape flags: [--n]/[--nodes], [--algo], [--ordering],
+    [--broadcast]/[--dissemination], [--batch], [--pipeline], [--flush]. *)
 
 val workload_specs : spec list
 (** Live workload flags: [--count], [--size], [--gap], [--warmup],

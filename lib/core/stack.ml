@@ -13,7 +13,7 @@ module Ct = Ics_consensus.Ct
 module Mr = Ics_consensus.Mr
 
 type algo = Profile.algo = Ct | Mr | Lb
-type broadcast_kind = Profile.broadcast_kind = Flood | Fd_relay | Uniform
+type broadcast_kind = Profile.broadcast_kind = Flood | Fd_relay | Uniform | Ring
 
 type setup =
   | Setup1
@@ -30,6 +30,7 @@ type config = {
   algo : algo;
   ordering : Abcast.ordering;
   broadcast : broadcast_kind;
+  batching : Abcast.batching;
   setup : setup;
   fd_kind : fd_kind;
   trace : [ `On | `Off ];
@@ -42,6 +43,7 @@ let default_config =
     algo = Ct;
     ordering = Abcast.Indirect_consensus;
     broadcast = Flood;
+    batching = Abcast.no_batching;
     setup = Setup1;
     fd_kind = Oracle 200.0;
     trace = `On;
@@ -87,15 +89,27 @@ let assemble transport ~fd ~profile ~on_deliver =
     | Flood -> Rb_flood.create transport ~deliver
     | Fd_relay -> Rb_fd.create transport ~fd ~deliver
     | Uniform -> Urb.create transport ~deliver
+    | Ring -> Ics_broadcast.Rb_ring.create transport ~deliver
   in
   let make_consensus ~rcv callbacks =
+    (* Batched / pipelined proposals need self-announcing instances (LB's
+       Kick has this built in); at batch=1/pipeline=1 announce stays off
+       and the wire traffic is byte-identical to the seed. *)
+    let announce =
+      profile.Profile.batch > 1 || profile.Profile.pipeline > 1
+    in
     match profile.Profile.algo with
-    | Ct -> Ics_consensus.Ct.create transport fd { layer = "consensus"; rcv } callbacks
-    | Mr -> Ics_consensus.Mr.create transport fd { layer = "consensus"; rcv } callbacks
+    | Ct ->
+        Ics_consensus.Ct.create ~announce transport fd
+          { layer = "consensus"; rcv } callbacks
+    | Mr ->
+        Ics_consensus.Mr.create ~announce transport fd
+          { layer = "consensus"; rcv } callbacks
     | Lb -> Ics_consensus.Lb.create transport fd { layer = "consensus"; rcv } callbacks
   in
-  Abcast.create transport ~ordering:profile.Profile.ordering ~make_broadcast
-    ~make_consensus ~deliver:on_deliver
+  Abcast.create ~batching:(Profile.batching profile) transport
+    ~ordering:profile.Profile.ordering ~make_broadcast ~make_consensus
+    ~deliver:on_deliver
 
 let profile config =
   {
@@ -104,6 +118,9 @@ let profile config =
     algo = config.algo;
     ordering = config.ordering;
     broadcast = config.broadcast;
+    batch = config.batching.Abcast.batch;
+    pipeline = config.batching.Abcast.pipeline;
+    flush_ms = config.batching.Abcast.flush_ms;
   }
 
 let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =

@@ -38,6 +38,7 @@ type broadcast_kind = Profile.broadcast_kind =
   | Flood  (** reliable broadcast, O(n²) messages *)
   | Fd_relay  (** reliable broadcast, O(n) messages in good runs *)
   | Uniform  (** uniform reliable broadcast, O(n²), 2 steps *)
+  | Ring  (** successor-to-successor chain, O(n); crash-free runs only *)
 
 type setup =
   | Setup1  (** Pentium III hosts on switched 100 Mbit/s Ethernet *)
@@ -63,6 +64,7 @@ type config = {
   algo : algo;
   ordering : Abcast.ordering;
   broadcast : broadcast_kind;
+  batching : Abcast.batching;
   setup : setup;
   fd_kind : fd_kind;
   trace : [ `On | `Off ];
@@ -72,8 +74,8 @@ type config = {
 }
 
 val default_config : config
-(** n = 3, seed 1, CT, indirect consensus, flood RB, Setup1, 200 ms-delay
-    oracle detector, tracing on. *)
+(** n = 3, seed 1, CT, indirect consensus, flood RB, no batching, Setup1,
+    200 ms-delay oracle detector, tracing on. *)
 
 (** Named presets for the paper's four benchmark stacks (CT-based). *)
 val abcast_msgs : config
@@ -99,7 +101,7 @@ val assemble :
 (** Wire the protocol layers above an existing transport (simulated or
     live) and failure detector — the assembly shared by {!create} and the
     live runtime's per-node stack.  Reads the shape fields ([algo],
-    [ordering], [broadcast]) of [profile]; the workload fields are the
+    [ordering], [broadcast], [batch]/[pipeline]/[flush]) of [profile]; the workload fields are the
     caller's business.  Also registers all wire codecs
     ({!Codecs.ensure}). *)
 

@@ -6,6 +6,7 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
   ci95_half_width : float;
 }
@@ -19,6 +20,7 @@ let empty_summary =
     max = Float.nan;
     p50 = Float.nan;
     p90 = Float.nan;
+    p95 = Float.nan;
     p99 = Float.nan;
     ci95_half_width = Float.nan;
   }
@@ -64,6 +66,7 @@ let summarize_array a =
       max = sorted.(n - 1);
       p50 = percentile sorted 0.50;
       p90 = percentile sorted 0.90;
+      p95 = percentile sorted 0.95;
       p99 = percentile sorted 0.99;
       ci95_half_width = 1.96 *. sem;
     }
@@ -76,8 +79,8 @@ let mean = function
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.3fms sd=%.3f p50=%.3f p90=%.3f p99=%.3f" s.count
-    s.mean s.stddev s.p50 s.p90 s.p99
+  Format.fprintf ppf "n=%d mean=%.3fms sd=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f"
+    s.count s.mean s.stddev s.p50 s.p90 s.p95 s.p99
 
 module Samples = struct
   type t = { mutable data : float array; mutable length : int }

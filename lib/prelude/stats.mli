@@ -12,6 +12,7 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
   ci95_half_width : float;
       (** half-width of the 95% confidence interval on the mean, using a

@@ -29,7 +29,13 @@ let default =
     check = `By_ordering;
   }
 
-type latency = { samples : int; mean_ms : float; p95_ms : float; max_ms : float }
+type latency = {
+  samples : int;
+  mean_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
 
 type outcome = {
   verdict : Checker.verdict;
@@ -114,16 +120,14 @@ let measure events =
     match !samples with
     | [] -> None
     | l ->
-        let a = Array.of_list l in
-        Array.sort compare a;
-        let k = Array.length a in
-        let sum = Array.fold_left ( +. ) 0.0 a in
+        let s = Ics_prelude.Stats.summarize l in
         Some
           {
-            samples = k;
-            mean_ms = sum /. float_of_int k;
-            p95_ms = a.(min (k - 1) (k * 95 / 100));
-            max_ms = a.(k - 1);
+            samples = s.Ics_prelude.Stats.count;
+            mean_ms = s.Ics_prelude.Stats.mean;
+            p95_ms = s.Ics_prelude.Stats.p95;
+            p99_ms = s.Ics_prelude.Stats.p99;
+            max_ms = s.Ics_prelude.Stats.max;
           }
   in
   let throughput =

@@ -39,7 +39,13 @@ type config = {
 
 val default : config
 
-type latency = { samples : int; mean_ms : float; p95_ms : float; max_ms : float }
+type latency = {
+  samples : int;
+  mean_ms : float;
+  p95_ms : float;
+  p99_ms : float;  (** knee curves report tail latency, not just p95 *)
+  max_ms : float;
+}
 
 type outcome = {
   verdict : Checker.verdict;

@@ -1,5 +1,6 @@
 module Engine = Ics_sim.Engine
 module Pid = Ics_sim.Pid
+module Trace = Ics_sim.Trace
 module Transport = Ics_net.Transport
 module Message = Ics_net.Message
 module Retransmit = Ics_net.Retransmit
@@ -168,7 +169,20 @@ let run ~epoch ~listen ~peer_addrs config =
   let all_done () = !announced && Array.for_all Fun.id done_from in
   (* A plan-scheduled crash of our own pid is process death: leave the
      loop instead of idling to the deadline as a zombie. *)
-  let stop () = all_done () || not (Engine.is_alive engine config.self) in
+  let exit_recorded = ref false in
+  let stop () =
+    if all_done () then begin
+      (* Mark the clean exit in the trace: the checker's termination
+         properties must not demand this node's participation in
+         consensus decisions first reached after it left the run. *)
+      if not !exit_recorded then begin
+        exit_recorded := true;
+        Engine.record engine config.self Trace.Exit
+      end;
+      true
+    end
+    else not (Engine.is_alive engine config.self)
+  in
   Socket_transport.run st ~deadline:p.Profile.deadline_ms ~stop;
   let clean = all_done () in
   Socket_transport.close st;

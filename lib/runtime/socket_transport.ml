@@ -11,13 +11,54 @@ module Prim = Ics_codec.Prim
    never has to agree with a peer about which of two crossing connections
    to keep. *)
 
-type peer = {
-  mutable out_fd : Unix.file_descr option;
-  out_buf : Buffer.t;
-  mutable out_pos : int;  (* consumed prefix of [out_buf] *)
-}
+(* Growable byte queue: append at the tail, consume from the head,
+   amortized O(1) both ways.  The live loop's buffers must never copy
+   their whole contents per syscall — a descheduled node (five of them
+   timeshare one core) accumulates megabytes of backlog, and an
+   O(backlog) copy per 64 KB read turns the catch-up quadratic: the
+   node falls further behind the longer it is behind, which is exactly
+   the congestion collapse the saturation sweep exposes past the knee. *)
+module Bq = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
 
-type conn = { fd : Unix.file_descr; mutable in_buf : string }
+  let create cap = { buf = Bytes.create cap; start = 0; len = 0 }
+
+  (* Make room for [extra] more bytes at the tail: drop the consumed
+     prefix when that suffices with slack, else grow geometrically. *)
+  let reserve q extra =
+    let cap = Bytes.length q.buf in
+    if q.start + q.len + extra > cap then
+      if q.len + extra <= cap / 2 then begin
+        Bytes.blit q.buf q.start q.buf 0 q.len;
+        q.start <- 0
+      end
+      else begin
+        let rec fit c = if c >= q.len + extra then c else fit (2 * c) in
+        let nb = Bytes.create (fit (max cap 1024)) in
+        Bytes.blit q.buf q.start nb 0 q.len;
+        q.buf <- nb;
+        q.start <- 0
+      end
+
+  let consume q k =
+    q.start <- q.start + k;
+    q.len <- q.len - k;
+    if q.len = 0 then q.start <- 0
+
+  let clear q =
+    q.start <- 0;
+    q.len <- 0
+
+  let add_buffer q b =
+    let blen = Buffer.length b in
+    reserve q blen;
+    Buffer.blit b 0 q.buf (q.start + q.len) blen;
+    q.len <- q.len + blen
+end
+
+type peer = { mutable out_fd : Unix.file_descr option; out : Bq.t }
+
+type conn = { fd : Unix.file_descr; in_q : Bq.t }
 
 type t = {
   engine : Engine.t;
@@ -26,10 +67,12 @@ type t = {
   n : int;
   listen : Unix.file_descr;
   peers : peer array;
+  scratch : Buffer.t;  (* per-frame encode staging, reused across emits *)
   mutable conns : conn list;
   mutable transport : Transport.t option;
   mutable frames_out : int;
   mutable bytes_out : int;
+  mutable writes_out : int;
   mutable frames_in : int;
   mutable bytes_in : int;
   mutable decode_errors : int;
@@ -48,26 +91,24 @@ let close_conn t conn =
   t.conns <- List.filter (fun c -> c != conn) t.conns;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let pending peer = Buffer.length peer.out_buf - peer.out_pos
+let pending peer = peer.out.Bq.len
 
-(* Non-blocking drain of one peer's outbound buffer. *)
-let flush_peer peer =
+let high_water = 256 * 1024
+
+(* Non-blocking drain of one peer's outbound queue.  Frames accumulate
+   between select iterations ([emit] no longer flushes), so one write
+   here carries every frame queued since the last drain — straight from
+   the queue's storage, no copy. *)
+let flush_peer t peer =
   match peer.out_fd with
-  | None ->
-      Buffer.clear peer.out_buf;
-      peer.out_pos <- 0
+  | None -> Bq.clear peer.out
   | Some fd -> (
-      let len = pending peer in
-      if len > 0 then
-        match
-          Unix.write_substring fd (Buffer.contents peer.out_buf) peer.out_pos len
-        with
+      let q = peer.out in
+      if q.Bq.len > 0 then
+        match Unix.write fd q.Bq.buf q.Bq.start q.Bq.len with
         | written ->
-            peer.out_pos <- peer.out_pos + written;
-            if peer.out_pos >= Buffer.length peer.out_buf then begin
-              Buffer.clear peer.out_buf;
-              peer.out_pos <- 0
-            end
+            t.writes_out <- t.writes_out + 1;
+            Bq.consume q written
         | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
         | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
             close_peer peer)
@@ -76,28 +117,37 @@ let emit t (msg : Message.t) =
   if msg.Message.dst >= 0 && msg.Message.dst < t.n && msg.Message.dst <> t.self then begin
     let peer = t.peers.(msg.Message.dst) in
     if peer.out_fd <> None then begin
-      let before = Buffer.length peer.out_buf in
+      Buffer.clear t.scratch;
       ignore
-        (Codec.encode_frame peer.out_buf ~src:msg.Message.src ~dst:msg.Message.dst
+        (Codec.encode_frame t.scratch ~src:msg.Message.src ~dst:msg.Message.dst
            ~layer:(Layer.name msg.Message.layer) msg.Message.payload
           : int);
       t.frames_out <- t.frames_out + 1;
-      t.bytes_out <- t.bytes_out + (Buffer.length peer.out_buf - before);
-      flush_peer peer
+      t.bytes_out <- t.bytes_out + Buffer.length t.scratch;
+      Bq.add_buffer peer.out t.scratch;
+      (* Coalesce: leave the frame queued for the next loop-iteration
+         drain unless the queue has grown past the high-water mark
+         (bounds memory if a peer stalls mid-burst). *)
+      if pending peer > high_water then flush_peer t peer
     end
   end
 
-(* Decode every complete frame in [conn.in_buf] and re-enter it through
+(* Decode every complete frame queued on [conn] and re-enter it through
    the transport; a malformed frame kills the connection (a corrupted TCP
-   byte stream cannot be resynchronized). *)
+   byte stream cannot be resynchronized).  Decoding reads the queue's
+   storage in place — [Bytes.unsafe_to_string] is sound here because the
+   codec retains no reference into its input past the call — and only
+   [limit] (the logical tail) bounds parsing, never the physical buffer,
+   which holds stale bytes beyond it. *)
 let drain_input t conn =
-  let buf = conn.in_buf in
-  let len = String.length buf in
-  let pos = ref 0 in
+  let q = conn.in_q in
+  let buf = Bytes.unsafe_to_string q.Bq.buf in
+  let limit = q.Bq.start + q.Bq.len in
+  let pos = ref q.Bq.start in
   let alive = ref true in
   while
     !alive
-    && len - !pos >= Codec.header_bytes
+    && limit - !pos >= Codec.header_bytes
     &&
     match Codec.decode_header ~pos:!pos buf with
     | Error e ->
@@ -114,7 +164,7 @@ let drain_input t conn =
         alive := false;
         false
     | Ok h ->
-        if len - !pos - Codec.header_bytes < h.Codec.h_body_len then false
+        if limit - !pos - Codec.header_bytes < h.Codec.h_body_len then false
         else begin
           (match Codec.decode_body ~pos:(!pos + Codec.header_bytes) buf h with
           | Error e ->
@@ -125,6 +175,12 @@ let drain_input t conn =
           | Ok payload ->
               t.frames_in <- t.frames_in + 1;
               t.bytes_in <- t.bytes_in + Codec.header_bytes + h.Codec.h_body_len;
+              (* Re-pin the virtual clock per frame: a descheduled process
+                 drains a multi-second backlog in one burst, and stamping
+                 every resulting trace event with the loop iteration's
+                 start time makes decisions appear to precede the
+                 broadcasts they order (merged-trace causality breaks). *)
+              Engine.advance t.engine ~upto:(Clock.now t.clock);
               let msg =
                 {
                   Message.src = h.Codec.h_src;
@@ -142,16 +198,20 @@ let drain_input t conn =
   do
     ()
   done;
-  if !alive then
-    conn.in_buf <- (if !pos = 0 then buf else String.sub buf !pos (len - !pos))
+  if !alive then Bq.consume q (!pos - q.Bq.start)
 
-let read_chunk = Bytes.create 65536
+let read_size = 65536
 
+(* Read straight into the queue's tail — no intermediate chunk, no
+   concatenation; whatever a burst leaves unparsed just stays queued. *)
 let handle_readable t conn =
-  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  let q = conn.in_q in
+  Bq.reserve q read_size;
+  let tail = q.Bq.start + q.Bq.len in
+  match Unix.read conn.fd q.Bq.buf tail (Bytes.length q.Bq.buf - tail) with
   | 0 -> close_conn t conn
   | nread ->
-      conn.in_buf <- conn.in_buf ^ Bytes.sub_string read_chunk 0 nread;
+      q.Bq.len <- q.Bq.len + nread;
       drain_input t conn
   | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
   | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> close_conn t conn
@@ -162,7 +222,7 @@ let accept_ready t =
     | fd, _ ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        t.conns <- { fd; in_buf = "" } :: t.conns;
+        t.conns <- { fd; in_q = Bq.create read_size } :: t.conns;
         go ()
     | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
   in
@@ -205,11 +265,13 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
       self;
       n;
       listen;
-      peers = Array.init n (fun _ -> { out_fd = None; out_buf = Buffer.create 4096; out_pos = 0 });
+      peers = Array.init n (fun _ -> { out_fd = None; out = Bq.create 4096 });
+      scratch = Buffer.create 512;
       conns = [];
       transport = None;
       frames_out = 0;
       bytes_out = 0;
+      writes_out = 0;
       frames_in = 0;
       bytes_in = 0;
       decode_errors = 0;
@@ -241,24 +303,26 @@ let connected t =
 let run t ~deadline ~stop =
   Engine.set_horizon t.engine (Some deadline);
   let stopped_at = ref None in
-  let grace = 250.0 (* ms to drain output after [stop] turns true *) in
+  (* After [stop] turns true the node lingers for the full grace window —
+     draining its output AND processing input.  Exiting as soon as the
+     output is flushed would close the sockets while peers' last decide
+     floods for trailing pipelined instances are still in flight; the
+     linger absorbs them, so a cleanly-exited node has seen every decision
+     reached before its barrier. *)
+  let grace = 250.0 (* ms *) in
   let finished now =
     now >= deadline
     ||
     match !stopped_at with
     | None ->
-        if stop () then begin
-          stopped_at := Some now;
-          Array.for_all (fun p -> pending p = 0) t.peers
-        end
-        else false
-    | Some t0 ->
-        t0 +. grace <= now || Array.for_all (fun p -> pending p = 0) t.peers
+        if stop () then stopped_at := Some now;
+        false
+    | Some t0 -> t0 +. grace <= now
   in
   let rec loop () =
     let now = Clock.now t.clock in
     Engine.run_due t.engine ~upto:now;
-    Array.iter flush_peer t.peers;
+    Array.iter (flush_peer t) t.peers;
     let now = Clock.now t.clock in
     if not (finished now) then begin
       let horizon = match !stopped_at with Some t0 -> Float.min deadline (t0 +. grace) | None -> deadline in
@@ -283,7 +347,7 @@ let run t ~deadline ~stop =
           Array.iter
             (fun peer ->
               match peer.out_fd with
-              | Some fd when List.memq fd writable -> flush_peer peer
+              | Some fd when List.memq fd writable -> flush_peer t peer
               | _ -> ())
             t.peers);
       loop ()
@@ -300,6 +364,7 @@ let close t =
 type stats = {
   frames_out : int;
   bytes_out : int;
+  writes_out : int;
   frames_in : int;
   bytes_in : int;
   decode_errors : int;
@@ -309,6 +374,7 @@ let stats (t : t) =
   {
     frames_out = t.frames_out;
     bytes_out = t.bytes_out;
+    writes_out = t.writes_out;
     frames_in = t.frames_in;
     bytes_in = t.bytes_in;
     decode_errors = t.decode_errors;

@@ -47,6 +47,9 @@ val close : t -> unit
 type stats = {
   frames_out : int;
   bytes_out : int;
+  writes_out : int;
+      (** write(2) calls that moved bytes; [frames_out / writes_out] is
+          the outbound coalescing factor *)
   frames_in : int;
   bytes_in : int;
   decode_errors : int;

@@ -34,6 +34,7 @@ let ids_of_str = function
 let kind_str (kind : Trace.kind) =
   match kind with
   | Trace.Crash -> "C"
+  | Trace.Exit -> "EX"
   | Trace.Abroadcast id -> "AB " ^ id_str id
   | Trace.Adeliver id -> "AD " ^ id_str id
   | Trace.Rbroadcast id -> "RB " ^ id_str id
@@ -71,6 +72,7 @@ let pid_field s =
 let kind_of_fields tag args line =
   match (tag, args) with
   | "C", [] -> Trace.Crash
+  | "EX", [] -> Trace.Exit
   | "AB", [ id ] -> Trace.Abroadcast (id_of_str id)
   | "AD", [ id ] -> Trace.Adeliver (id_of_str id)
   | "RB", [ id ] -> Trace.Rbroadcast (id_of_str id)

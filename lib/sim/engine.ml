@@ -115,6 +115,8 @@ let run_due t ~upto =
   done;
   if t.now < upto then t.now <- upto
 
+let advance t ~upto = if t.now < upto then t.now <- upto
+
 let is_alive t p = t.alive.(p)
 
 let correct t =

@@ -67,6 +67,14 @@ val run_due : t -> upto:Time.t -> unit
     in a live run the virtual clock is the real monotonic clock, and
     [upto] is simply "now". *)
 
+val advance : t -> upto:Time.t -> unit
+(** Advance the virtual clock to [upto] (never backwards) without running
+    any queued event.  The live socket loop calls this as it decodes each
+    inbound frame: handler work triggered by the frame then records trace
+    events at (close to) the real arrival time instead of the loop
+    iteration's start time, which can be seconds stale when the process
+    was descheduled and a large input backlog is drained in one burst. *)
+
 val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)
 

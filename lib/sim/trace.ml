@@ -1,5 +1,6 @@
 type kind =
   | Crash
+  | Exit
   | Abroadcast of Msg_id.t
   | Adeliver of Msg_id.t
   | Rbroadcast of Msg_id.t
@@ -67,6 +68,7 @@ let pp_ids ppf ids =
 
 let pp_kind ppf = function
   | Crash -> Format.fprintf ppf "crash"
+  | Exit -> Format.fprintf ppf "exit"
   | Abroadcast m -> Format.fprintf ppf "abroadcast(%a)" Msg_id.pp m
   | Adeliver m -> Format.fprintf ppf "adeliver(%a)" Msg_id.pp m
   | Rbroadcast m -> Format.fprintf ppf "rbroadcast(%a)" Msg_id.pp m

@@ -9,6 +9,11 @@
 
 type kind =
   | Crash  (** the process stops taking steps *)
+  | Exit
+      (** the process left the run {e cleanly} (live runtime's delivery
+          barrier) — unlike {!Crash} it still counts as correct, but the
+          checker must not demand participation in decisions first reached
+          after this point *)
   | Abroadcast of Msg_id.t  (** atomic broadcast invoked with this message id *)
   | Adeliver of Msg_id.t  (** atomic broadcast delivery *)
   | Rbroadcast of Msg_id.t  (** reliable broadcast invoked *)

@@ -158,7 +158,8 @@ let stack_shape = function
   | Mr_indirect -> (Stack.Mr, Abcast.Indirect_consensus)
   | Ct_on_ids -> (Stack.Ct, Abcast.Consensus_on_ids)
 
-let run_one_sim ~retransmit ?n stack plan_kind ~seed =
+let run_one_sim ?(batching = Abcast.no_batching) ~retransmit ?n stack plan_kind
+    ~seed =
   let n = match n with Some n -> n | None -> default_n stack in
   let plan = gen_plan plan_kind ~n ~seed in
   let engine = Engine.create ~seed ~trace:`On ~n () in
@@ -182,6 +183,7 @@ let run_one_sim ~retransmit ?n stack plan_kind ~seed =
       seed;
       algo;
       ordering;
+      batching;
       setup =
         Stack.Custom
           { name = "chaos"; build = (fun ~n:_ -> (model, Host.instant)) };
@@ -246,26 +248,29 @@ let run_one_sim ~retransmit ?n stack plan_kind ~seed =
 let live_warmup_ms = 400.0
 let live_deadline_ms = 2_500.0
 
-let live_profile stack ~n =
+let live_profile ?(batching = Abcast.no_batching) stack ~n =
   let algo, ordering = stack_shape stack in
   {
     Profile.default with
     Profile.n;
     algo;
     ordering;
+    batch = batching.Abcast.batch;
+    pipeline = batching.Abcast.pipeline;
+    flush_ms = batching.Abcast.flush_ms;
     count = messages;
     body_bytes = 32;
     warmup_ms = live_warmup_ms;
     deadline_ms = live_deadline_ms;
   }
 
-let run_one_live ~retransmit ?n stack plan_kind ~seed =
+let run_one_live ?batching ~retransmit ?n stack plan_kind ~seed =
   let n = match n with Some n -> n | None -> default_n stack in
   let plan = gen_plan plan_kind ~n ~seed in
   let node =
     {
       Node.default_workload with
-      Node.profile = live_profile stack ~n;
+      Node.profile = live_profile ?batching stack ~n;
       seed;
       plan;
       plan_seed = Int64.add seed 0x5DEECE66DL;
@@ -300,10 +305,11 @@ let run_one_live ~retransmit ?n stack plan_kind ~seed =
         fingerprint = "";
       }
 
-let run_one ?(backend = `Sim) ?(retransmit = true) ?n stack plan_kind ~seed =
+let run_one ?(backend = `Sim) ?batching ?(retransmit = true) ?n stack plan_kind
+    ~seed =
   match backend with
-  | `Sim -> run_one_sim ~retransmit ?n stack plan_kind ~seed
-  | `Live -> run_one_live ~retransmit ?n stack plan_kind ~seed
+  | `Sim -> run_one_sim ?batching ~retransmit ?n stack plan_kind ~seed
+  | `Live -> run_one_live ?batching ~retransmit ?n stack plan_kind ~seed
 
 let replay_hint r =
   Printf.sprintf
@@ -320,7 +326,7 @@ type cell = {
   failures : result list;  (** chronological; empty for a clean cell *)
 }
 
-let sweep ?(backend = `Sim) ?(retransmit = true) ?n ?(seed_base = 1L)
+let sweep ?(backend = `Sim) ?batching ?(retransmit = true) ?n ?(seed_base = 1L)
     ?(seeds = 100) ?(progress = fun _ -> ()) ~stacks ~plans () =
   List.concat_map
     (fun stack ->
@@ -329,7 +335,7 @@ let sweep ?(backend = `Sim) ?(retransmit = true) ?n ?(seed_base = 1L)
           let failures = ref [] in
           for i = 0 to seeds - 1 do
             let seed = Int64.add seed_base (Int64.of_int i) in
-            let r = run_one ~backend ?n ~retransmit stack plan_kind ~seed in
+            let r = run_one ~backend ?batching ?n ~retransmit stack plan_kind ~seed in
             if not (passed r) then failures := r :: !failures
           done;
           progress
@@ -429,14 +435,14 @@ type mismatch = {
    fingerprint divergence is state leaking between runs or ambient
    nondeterminism, and means the replay commands the sweep prints are
    lies.  One seed per cell keeps this cheap enough for the smoke gate. *)
-let replay_check ?(retransmit = true) ?n ?(seed_base = 1L) ~stacks ~plans ()
-    =
+let replay_check ?batching ?(retransmit = true) ?n ?(seed_base = 1L) ~stacks
+    ~plans () =
   List.concat_map
     (fun stack ->
       List.filter_map
         (fun plan_kind ->
           let fp () =
-            (run_one ?n ~retransmit stack plan_kind ~seed:seed_base)
+            (run_one ?batching ?n ~retransmit stack plan_kind ~seed:seed_base)
               .fingerprint
           in
           let first = fp () in

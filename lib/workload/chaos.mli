@@ -88,13 +88,17 @@ val passed : result -> bool
 
 val run_one :
   ?backend:backend ->
+  ?batching:Ics_core.Abcast.batching ->
   ?retransmit:bool ->
   ?n:int ->
   stack_kind ->
   plan_kind ->
   seed:int64 ->
   result
-(** One run.  [retransmit] (default true) heals the faulted wire —
+(** One run.  [batching] (default {!Ics_core.Abcast.no_batching})
+    configures the abcast layer's batch/pipeline knobs on either backend —
+    the batch=1/pipeline=1 default reproduces the pre-batching runs
+    bit-identically.  [retransmit] (default true) heals the faulted wire —
     {!Ics_net.Retransmit.wrap} over the nemesis model in simulation, the
     acknowledged wire channel ({!Ics_net.Retransmit.install}) on live
     nodes; [n] defaults per stack ({!default_n}).
@@ -112,6 +116,7 @@ type cell = {
 
 val sweep :
   ?backend:backend ->
+  ?batching:Ics_core.Abcast.batching ->
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->
@@ -149,6 +154,7 @@ type mismatch = {
 }
 
 val replay_check :
+  ?batching:Ics_core.Abcast.batching ->
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->

@@ -139,6 +139,7 @@ let random_run ~algo ~ordering ~broadcast ~n ~seed =
       ordering;
       broadcast;
       setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.5 };
+      batching = Abcast.no_batching;
       fd_kind = Stack.Oracle 15.0;
       trace = `On;
     }

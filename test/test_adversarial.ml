@@ -43,6 +43,7 @@ let run_adversarial ~algo ~ordering ~broadcast (n, seed, drop_percent) =
       ordering;
       broadcast;
       setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.3 };
+      batching = Abcast.no_batching;
       fd_kind = Stack.Oracle 15.0;
       trace = `On;
     }

@@ -137,6 +137,7 @@ let qcheck_lb_safety_under_loss =
           ordering = Abcast.Indirect_consensus;
           broadcast = Stack.Flood;
           setup = Stack.Ideal_lan { delay = 1.0; jitter = 0.3 };
+          batching = Abcast.no_batching;
           fd_kind = Stack.Oracle 15.0;
           trace = `On;
         }

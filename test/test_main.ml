@@ -25,6 +25,7 @@ let () =
          Test_protocol_edges.suites;
          Test_more.suites;
          Test_codec.suites;
+         Test_batching.suites;
          Test_runtime.suites;
          Test_fault_parity.suites;
          Test_lint.suites;
