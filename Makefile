@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke lint verify clean
+.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke lint verify clean
 
 all: build
 
@@ -56,12 +56,24 @@ saturation-smoke:
 	if [ $$rc -eq 2 ]; then echo "saturation-smoke: live skipped (no loopback sockets)"; \
 	elif [ $$rc -ne 0 ]; then exit $$rc; fi
 
+# Closed-loop service smoke: a few hundred KV/ledger client sessions
+# through the full stack, replay-checked for sim determinism and gated by
+# the abcast + application checker batteries; the live point must land on
+# the simulator's final state hash bit-for-bit (exit 2 = sandbox has no
+# sockets = the live half is skipped, not failed).
+service-smoke:
+	dune exec bin/ics_cli.exe -- service --clients 200 --requests 3 --replay-check
+	dune exec bin/ics_cli.exe -- service --clients 200 --requests 3 --live; \
+	rc=$$?; \
+	if [ $$rc -eq 2 ]; then echo "service-smoke: live skipped (no loopback sockets)"; \
+	elif [ $$rc -ne 0 ]; then exit $$rc; fi
+
 # Determinism & protocol-safety linter over lib/ and bin/ (exit 0 clean,
 # 1 findings, 2 internal error).
 lint:
 	dune exec bin/ics_lint.exe -- --root .
 
-verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke
+verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke
 
 clean:
 	dune clean

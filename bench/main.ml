@@ -991,6 +991,126 @@ let run_saturation ~quick =
   close_out oc;
   Format.printf "wrote BENCH_PR6.json@."
 
+(* --- Service: closed-loop client plane ----------------------------------- *)
+
+module Service = Ics_workload.Service
+
+(* Tens of thousands of closed-loop clients against the replicated
+   KV/ledger, sim and live at n=3 and n=5.  Every point is gated by the
+   abcast battery plus the application battery, and the headline number
+   is what a client sees: submit -> applied-at-home p50/p99.  The
+   sim/live pair at each n must land on the same final state hash. *)
+let run_service ~quick =
+  section "Service: closed-loop KV/ledger clients, checker- and hash-gated";
+  Codecs.ensure ();
+  let batching = { Abcast.batch = 256; pipeline = 8; flush_ms = 1.0 } in
+  let clients = if quick then 2_000 else 10_000 in
+  let requests = 1 in
+  let live_ok = Service.live_supported () in
+  let pair n =
+    let sim = Service.sim_point ~seed:1L ~batching ~n ~clients ~requests () in
+    let live =
+      if not live_ok then None
+      else
+        match
+          Service.live_point ~seed:1L ~batching ~attempts:3 ~deadline_ms:60_000.0
+            ~n ~clients ~requests ()
+        with
+        | Ok p -> Some p
+        | Error _ -> None
+    in
+    (n, sim, live)
+  in
+  let results = List.map pair [ 3; 5 ] in
+  let status (p : Service.point) =
+    if p.Service.checker_ok && p.Service.clean then "ok"
+    else if not p.Service.checker_ok then "CHECKER FAIL"
+    else "INCOMPLETE"
+  in
+  let table =
+    Table.create ~title:(Printf.sprintf "service: %d closed-loop clients" clients)
+      ~columns:
+        [ "backend"; "n"; "cmd/s"; "p50[ms]"; "p99[ms]"; "status"; "hash" ]
+  in
+  let row (p : Service.point) =
+    Table.add_row table
+      [
+        (match p.Service.backend with `Sim -> "sim" | `Live -> "live");
+        string_of_int p.Service.n;
+        Printf.sprintf "%.0f" p.Service.achieved;
+        Printf.sprintf "%.2f" p.Service.latency.Stats.p50;
+        Printf.sprintf "%.2f" p.Service.latency.Stats.p99;
+        status p;
+        (match p.Service.hash with
+        | Some (c, h) -> Printf.sprintf "%Lx@%d" h c
+        | None -> "-");
+      ]
+  in
+  List.iter
+    (fun (_, sim, live) ->
+      row sim;
+      Option.iter row live)
+    results;
+  Table.print table;
+  if not live_ok then
+    Format.printf "live points skipped: no loopback sockets here@.";
+  List.iter
+    (fun (n, sim, live) ->
+      match live with
+      | None -> ()
+      | Some lp ->
+          if Service.hash_match sim lp then
+            Format.printf "n=%d: sim and live state hashes agree@." n
+          else Format.printf "n=%d: STATE HASH DIVERGENCE@." n)
+    results;
+  let point_json (p : Service.point) =
+    Printf.sprintf
+      {|      {"n": %d, "clients": %d, "requests": %d, "commands": %d, "achieved_cmd_s": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "mean_ms": %.3f, "checker_ok": %b, "clean": %b, "state_hash": %s, "cursor": %s}|}
+      p.Service.n p.Service.clients p.Service.requests p.Service.commands
+      p.Service.achieved p.Service.latency.Stats.p50
+      p.Service.latency.Stats.p99 p.Service.latency.Stats.mean
+      p.Service.checker_ok p.Service.clean
+      (match p.Service.hash with
+      | Some (_, h) -> Printf.sprintf {|"%Lx"|} h
+      | None -> "null")
+      (match p.Service.hash with
+      | Some (c, _) -> string_of_int c
+      | None -> "null")
+  in
+  let sims = List.map (fun (_, s, _) -> point_json s) results in
+  let lives = List.filter_map (fun (_, _, l) -> Option.map point_json l) results in
+  let agree =
+    List.filter_map
+      (fun (n, sim, live) ->
+        Option.map
+          (fun lp ->
+            Printf.sprintf {|"n%d": %b|} n (Service.hash_match sim lp))
+          live)
+      results
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  Printf.fprintf oc
+    {|{
+  "clients": %d,
+  "requests": %d,
+  "config": {"batch": %d, "pipeline": %d, "flush_ms": %.1f, "algo": "ct", "ordering": "indirect"},
+  "sim": [
+%s
+  ],
+  "live": [
+%s
+  ],
+  "hash_agreement": {%s}
+}
+|}
+    clients requests batching.Abcast.batch batching.Abcast.pipeline
+    batching.Abcast.flush_ms
+    (String.concat ",\n" sims)
+    (String.concat ",\n" lives)
+    (String.concat ", " agree);
+  close_out oc;
+  Format.printf "wrote BENCH_PR8.json@."
+
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
 
 let micro_tests () =
@@ -1082,5 +1202,6 @@ let () =
   if want "micro" then run_micro ();
   if want "wire" then run_wire ~quick;
   if want "saturation" then run_saturation ~quick;
+  if want "service" then run_service ~quick;
   if want "perf" then run_perf ~quick;
   Format.printf "@.done.@."

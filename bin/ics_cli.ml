@@ -233,7 +233,7 @@ let trace_cmd =
 
 let chaos_cmd =
   let exec seeds seed_base n stacks plans batch pipeline flush no_retransmit
-      live replay_check verbose =
+      app live replay_check verbose =
     let batching = { Abcast.batch; pipeline; flush_ms = flush } in
     if batch < 1 || pipeline < 1 || flush < 0.0 then begin
       Format.eprintf "chaos: --batch/--pipeline must be >= 1, --flush >= 0@.";
@@ -269,7 +269,7 @@ let chaos_cmd =
       if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> ()
     in
     let cells =
-      Chaos.sweep ~backend ~batching ~retransmit:(not no_retransmit) ?n
+      Chaos.sweep ~backend ~batching ~app ~retransmit:(not no_retransmit) ?n
         ~seed_base ~seeds ~progress ~stacks ~plans ()
     in
     Chaos.report ~verbose Format.std_formatter cells;
@@ -280,7 +280,7 @@ let chaos_cmd =
            (fault counters are; the sweep above already used them)@."
       else
         let mismatches =
-          Chaos.replay_check ~batching ~retransmit:(not no_retransmit) ?n
+          Chaos.replay_check ~batching ~app ~retransmit:(not no_retransmit) ?n
             ~seed_base ~stacks ~plans ()
         in
         match mismatches with
@@ -360,6 +360,17 @@ let chaos_cmd =
       & info [ "no-retransmit" ]
           ~doc:"Run directly over the lossy links, without the retransmission channel.")
   in
+  let app_flag =
+    Arg.(
+      value & flag
+      & info [ "app" ]
+          ~doc:
+            "Host the replicated KV/ledger machine on every cell's \
+             broadcasts and add the application battery (dedup, order, \
+             state-hash agreement, progress) to each verdict: a cell \
+             where ordered commands never take effect fails semantically, \
+             not just at the message level.")
+  in
   let live =
     Arg.(
       value & flag
@@ -388,7 +399,7 @@ let chaos_cmd =
        ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds), simulated or live")
     Term.(
       const exec $ seeds $ seed_base $ n $ stacks $ plans $ batch $ pipeline
-      $ flush $ no_retransmit $ live $ replay_check $ verbose)
+      $ flush $ no_retransmit $ app_flag $ live $ replay_check $ verbose)
 
 (* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
    the merged delivery logs; `node` runs a single process of one (for
@@ -720,6 +731,144 @@ let bench_cmd =
       const exec $ profile $ offered $ live $ duration $ size $ seed
       $ replay_check)
 
+(* `service` command: the closed-loop client plane — sessions submit to
+   the replicated KV/ledger through the full stack, the point is judged
+   by the abcast battery plus the application battery, and (with --live)
+   the live cluster's final state hash must match the simulator's. *)
+
+module Service = Ics_workload.Service
+
+let service_cmd =
+  let exec n clients requests seed batch pipeline flush live attempts
+      replay_check =
+    let batching = { Abcast.batch; pipeline; flush_ms = flush } in
+    if batch < 1 || pipeline < 1 || flush < 0.0 || n < 1 || clients < 1
+       || requests < 1
+    then begin
+      Format.eprintf
+        "service: --n/--clients/--requests/--batch/--pipeline must be >= 1, \
+         --flush >= 0@.";
+      exit 2
+    end;
+    if replay_check then begin
+      match Service.replay_check ~seed ~batching ~n () with
+      | Ok fp -> Format.printf "replay check: bit-identical (%s)@." fp
+      | Error (a, b) ->
+          Format.printf "FAIL: service cell replayed differently: %s vs %s@." a
+            b;
+          exit 1
+    end;
+    let pp_point (p : Service.point) =
+      Format.printf
+        "%-4s n=%d clients=%d requests=%d: %d commands, %.0f cmd/s, p50 %.2f \
+         ms, p99 %.2f ms, %s%s@."
+        (match p.Service.backend with `Sim -> "sim" | `Live -> "live")
+        p.Service.n p.Service.clients p.Service.requests p.Service.commands
+        p.Service.achieved p.Service.latency.Stats.p50
+        p.Service.latency.Stats.p99
+        (if p.Service.checker_ok && p.Service.clean then "ok"
+         else if not p.Service.checker_ok then "CHECKER FAIL"
+         else "INCOMPLETE")
+        (match p.Service.hash with
+        | Some (c, h) -> Printf.sprintf " (hash %Lx @ %d)" h c
+        | None -> "")
+    in
+    let sim = Service.sim_point ~seed ~batching ~n ~clients ~requests () in
+    pp_point sim;
+    let failed = ref (not (sim.Service.checker_ok && sim.Service.clean)) in
+    if live then begin
+      if not (Service.live_supported ()) then begin
+        Format.eprintf
+          "service: skip: loopback sockets unavailable in this environment@.";
+        exit 2
+      end;
+      match
+        Service.live_point ~seed ~batching ~attempts ~n ~clients ~requests ()
+      with
+      | Error reason ->
+          Format.eprintf "service: skip: %s@." reason;
+          exit 2
+      | Ok lp ->
+          pp_point lp;
+          if not (lp.Service.checker_ok && lp.Service.clean) then failed := true;
+          if Service.hash_match sim lp then
+            Format.printf "state hash: sim and live agree@."
+          else begin
+            Format.printf
+              "FAIL: sim and live disagree on the final state hash@.";
+            failed := true
+          end
+    end;
+    if !failed then begin
+      Format.printf "FAIL: a service point violated its battery@.";
+      exit 1
+    end
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of replicas.") in
+  let clients =
+    Arg.(value & opt int 200 & info [ "clients" ] ~doc:"Closed-loop client sessions.")
+  in
+  let requests =
+    Arg.(value & opt int 3 & info [ "requests" ] ~doc:"Commands per client.")
+  in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Run seed.") in
+  let batch =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~doc:"Fresh ids that trigger a consensus proposal.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 4
+      & info [ "pipeline" ] ~doc:"Concurrent consensus instances.")
+  in
+  let flush =
+    Arg.(value & opt float 1.0 & info [ "flush" ] ~doc:"Batch flush timer, ms.")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Also run the point as a forked loopback-TCP cluster and require \
+             its final state hash to match the simulator's, bit for bit. \
+             Exit 2 when the environment cannot create sockets.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 2
+      & info [ "attempts" ]
+          ~doc:"Best-of-k reruns for an unhealthy live point (checker-gated).")
+  in
+  let replay_check =
+    Arg.(
+      value & flag
+      & info [ "replay-check" ]
+          ~doc:
+            "First rerun one deterministic sim service cell twice and fail \
+             unless the trace fingerprints match.")
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:"Closed-loop KV/ledger service point, checker- and hash-gated"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs $(b,--clients) closed-loop sessions of $(b,--requests) \
+              commands each against the replicated KV/ledger machine, on the \
+              simulator and (with $(b,--live)) on a real loopback cluster. \
+              Every point is gated by the full abcast checker battery plus \
+              the application battery (exactly-once, per-client order, \
+              state-hash agreement, progress); the live point must also \
+              reproduce the simulator's final state hash. Exit status: 0 on \
+              success, 1 on any checker/hash failure, 2 when $(b,--live) has \
+              no socket support.";
+         ])
+    Term.(
+      const exec $ n $ clients $ requests $ seed $ batch $ pipeline $ flush
+      $ live $ attempts $ replay_check)
+
 let list_cmd =
   let exec () =
     List.iter
@@ -743,5 +892,6 @@ let () =
             cluster_cmd;
             node_cmd;
             bench_cmd;
+            service_cmd;
             list_cmd;
           ]))

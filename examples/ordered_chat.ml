@@ -62,7 +62,7 @@ let run_broadcast name make_layer =
         let m =
           App_msg.make ~id:(Msg_id.make ~origin:site ~seq)
             ~body_bytes:(if big then 300 else 20)
-            ~created_at:at
+            ~created_at:at ()
         in
         post ~text m;
         handle.Ics_broadcast.Broadcast_intf.broadcast ~src:site m)

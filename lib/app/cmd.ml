@@ -1,0 +1,70 @@
+(* Deterministic command derivation: what operation client [c]'s request
+   [r] performs, and what value it writes, are pure functions of
+   (app seed, c, r).  Both the submitting session and every replica's
+   state machine derive the command independently — the wire carries only
+   the (client, request) pair, packed into the message blob — so the
+   whole client plane adds eight bytes to a payload, not an op encoding.
+
+   Everything here is 64-bit integer arithmetic (a splitmix64 finalizer),
+   identical on the simulated and live backends by construction. *)
+
+let slots = 4
+
+(* blob layout: high 32 bits = client + 1, low 32 bits = request.  The
+   +1 keeps a real command distinct from the all-zero blob that plain
+   (non-app) workload messages carry. *)
+let pack ~client ~req =
+  if client < 0 || req < 0 then invalid_arg "Cmd.pack: negative client/req";
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (client + 1)) 32)
+    (Int64.of_int (req land 0xFFFF_FFFF))
+
+let unpack blob =
+  if Int64.equal blob 0L then None
+  else
+    let client = Int64.to_int (Int64.shift_right_logical blob 32) - 1 in
+    let req = Int64.to_int (Int64.logand blob 0xFFFF_FFFFL) in
+    if client < 0 then None else Some (client, req)
+
+(* splitmix64: the standard finalizer over a keyed counter. *)
+let mix seed ~client ~req ~salt =
+  let z =
+    Int64.add seed
+      (Int64.mul
+         (Int64.of_int ((((client * 2) + salt) * 0x3FFF_FFFF) + req))
+         0x9E3779B97F4A7C15L)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* The value any op of (client, req) leaves in its slot: bounded so sums
+   over thousands of clients stay far from int overflow. *)
+let val_of seed ~client ~req =
+  Int64.to_int (Int64.logand (mix seed ~client ~req ~salt:0) 0xFF_FFFFL) + 1
+
+type kind =
+  | Create  (** open the account with the grant of 1000 units *)
+  | Put  (** blind slot write *)
+  | Get  (** read the slot and check read-your-writes *)
+  | Cas  (** compare the slot against its derived value, then write *)
+  | Transfer of { dst : int; amount : int }
+      (** move units to [dst]'s account; overdraft allowed, so the two
+          balance updates commute with every other command *)
+
+let kind_of seed ~nclients ~client ~req =
+  if req = 0 then Create
+  else
+    let m = mix seed ~client ~req ~salt:1 in
+    match Int64.to_int (Int64.logand m 0xFFL) mod 4 with
+    | 0 -> Put
+    | 1 -> Get
+    | 2 -> Cas
+    | _ ->
+        let pick = Int64.to_int (Int64.logand (Int64.shift_right_logical m 8) 0xFFFFFFL) in
+        let dst =
+          if nclients <= 1 then client
+          else (client + 1 + (pick mod (nclients - 1))) mod nclients
+        in
+        let amount = 1 + (Int64.to_int (Int64.logand (Int64.shift_right_logical m 32) 0xFFL)) in
+        Transfer { dst; amount }

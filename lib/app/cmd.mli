@@ -1,0 +1,35 @@
+(** Deterministic command derivation for the replicated KV/ledger.
+
+    A command is identified on the wire by nothing but its
+    [(client, request)] pair, packed into the eight-byte message blob;
+    what the command {e does} is a pure function of the app seed and
+    that pair, recomputed identically by the submitting session and by
+    every replica.  All derivation is 64-bit integer arithmetic
+    (splitmix64), so the simulated and live backends agree bit for bit. *)
+
+val slots : int
+(** Client-private key slots per account (requests write slot
+    [req mod slots]). *)
+
+val pack : client:int -> req:int -> int64
+(** Pack a command identity into a blob; never [0L] (the high half
+    carries [client + 1]). @raise Invalid_argument on negative input. *)
+
+val unpack : int64 -> (int * int) option
+(** Inverse of {!pack}; [None] for the all-zero (non-app) blob. *)
+
+val val_of : int64 -> client:int -> req:int -> int
+(** The (positive, small) value [(client, req)]'s op writes to its slot. *)
+
+type kind =
+  | Create  (** open the account with the grant of 1000 units *)
+  | Put  (** blind slot write *)
+  | Get  (** read the slot and check read-your-writes *)
+  | Cas  (** compare the slot against its derived value, then write *)
+  | Transfer of { dst : int; amount : int }
+      (** move units to [dst]'s account; overdraft allowed, so the two
+          balance updates commute with every other command *)
+
+val kind_of : int64 -> nclients:int -> client:int -> req:int -> kind
+(** Request 0 is always [Create]; later requests draw uniformly from the
+    other four kinds. *)

@@ -1,0 +1,165 @@
+(* The replicated accounts/KV state machine.  One instance lives on each
+   replica and is driven purely by A-deliveries: [apply] is called in
+   delivery order with the (client, request) identity carried by the
+   message blob, derives the command with Cmd, executes it, and advances
+   the applied cursor.
+
+   Determinism discipline: state is flat int arrays indexed by client id
+   (no hashtable traversal anywhere, rule D1), derivation is seeded
+   (D2), comparisons are on ints (D3) — so two replicas at the same
+   cursor hold bit-identical state, across backends, and the canonical
+   state hash is a meaningful agreement check.
+
+   Exactly-once: each account carries a watermark (the next request it
+   expects).  Atomic broadcast preserves the per-client submission order
+   — a session submits request r+1 only after r was applied at its home
+   replica, so r's first delivery precedes r+1's everywhere — which
+   makes the watermark a complete dedup: a retried command arrives with
+   req < watermark and is dropped.  req > watermark can only mean the
+   ordering layer lost or reordered a command, and fires a probe.
+
+   The final state is order-independent by construction: slots are
+   client-private (per-client order is fixed by the watermark), and the
+   only cross-client op, Transfer, is commutative addition with
+   overdraft allowed — so the sim and live backends reach the same final
+   hash even though their interleavings differ. *)
+
+let grant = 1_000
+
+type t = {
+  nclients : int;
+  seed : int64;
+  emit : string -> unit;  (* invariant-probe violations *)
+  balance : int array;
+  watermark : int array;  (* next expected request per client *)
+  slot : int array;  (* nclients x Cmd.slots, flattened *)
+  mutable created : int;
+  mutable sum : int;  (* incrementally tracked sum of balances *)
+  mutable cursor : int;  (* commands applied (duplicates excluded) *)
+  mutable dups : int;
+  mutable violations : int;
+}
+
+let create ?(emit = fun _ -> ()) ~nclients ~seed () =
+  if nclients <= 0 then invalid_arg "Machine.create: nclients <= 0";
+  {
+    nclients;
+    seed;
+    emit;
+    balance = Array.make nclients 0;
+    watermark = Array.make nclients 0;
+    slot = Array.make (nclients * Cmd.slots) 0;
+    created = 0;
+    sum = 0;
+    cursor = 0;
+    dups = 0;
+    violations = 0;
+  }
+
+let nclients t = t.nclients
+let cursor t = t.cursor
+let duplicates t = t.dups
+let violations t = t.violations
+let watermark t ~client = t.watermark.(client)
+let balance t ~client = t.balance.(client)
+
+let violate t fmt =
+  Printf.ksprintf
+    (fun s ->
+      t.violations <- t.violations + 1;
+      t.emit s)
+    fmt
+
+let slot_ix ~client ~req = (client * Cmd.slots) + (req mod Cmd.slots)
+
+(* What the slot [req] is about to touch must still hold: the value of
+   the last request that wrote it ([req - slots]), or 0 before any did.
+   This is the read-your-writes probe Get and Cas share. *)
+let expected_slot t ~client ~req =
+  if req >= Cmd.slots then Cmd.val_of t.seed ~client ~req:(req - Cmd.slots) else 0
+
+type outcome = Applied | Duplicate | Rejected
+
+let apply t ~client ~req =
+  if client < 0 || client >= t.nclients || req < 0 then begin
+    violate t "app.bogus-command: client %d req %d outside the workload" client req;
+    Rejected
+  end
+  else
+    let w = t.watermark.(client) in
+    if req < w then begin
+      t.dups <- t.dups + 1;
+      Duplicate
+    end
+    else if req > w then begin
+      (* The ordering layer skipped a command: per-client FIFO is a
+         consequence of closed-loop submission over atomic broadcast, so
+         a gap means a command was ordered-but-lost or reordered. *)
+      violate t "app.gap: client %d applied req %d above watermark %d" client req w;
+      Rejected
+    end
+    else begin
+      (match Cmd.kind_of t.seed ~nclients:t.nclients ~client ~req with
+      | Cmd.Create ->
+          t.balance.(client) <- t.balance.(client) + grant;
+          t.created <- t.created + 1;
+          t.sum <- t.sum + grant
+      | Cmd.Put -> ()
+      | Cmd.Get ->
+          let got = t.slot.(slot_ix ~client ~req) in
+          let want = expected_slot t ~client ~req in
+          if got <> want then
+            violate t "app.read-your-writes: client %d req %d read %d, wrote %d" client
+              req got want
+      | Cmd.Cas ->
+          let got = t.slot.(slot_ix ~client ~req) in
+          let want = expected_slot t ~client ~req in
+          if got <> want then
+            violate t "app.cas: client %d req %d expected %d, found %d" client req want
+              got
+      | Cmd.Transfer { dst; amount } ->
+          t.balance.(client) <- t.balance.(client) - amount;
+          t.balance.(dst) <- t.balance.(dst) + amount);
+      t.slot.(slot_ix ~client ~req) <- Cmd.val_of t.seed ~client ~req;
+      t.watermark.(client) <- req + 1;
+      t.cursor <- t.cursor + 1;
+      (* Conservation of funds, O(1) per apply against the tracked sum:
+         transfers move units, only Create mints them. *)
+      if t.sum <> t.created * grant then
+        violate t "app.conservation: balances sum to %d, %d accounts minted %d" t.sum
+          t.created (t.created * grant);
+      Applied
+    end
+
+(* Canonical state hash: FNV-1a 64 over the sorted-by-construction
+   encoding (client ids index the arrays, so traversal order is the key
+   order).  The walk recomputes the balance sum and checks it against
+   the incremental tracker — the full-scan half of the conservation
+   probe, paid only at hash points. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let hash t =
+  let h = ref fnv_offset in
+  let feed v =
+    (* eight bytes of [v], low to high *)
+    let v = ref (Int64.of_int v) in
+    for _ = 0 to 7 do
+      h := Int64.mul (Int64.logxor !h (Int64.logand !v 0xFFL)) fnv_prime;
+      v := Int64.shift_right_logical !v 8
+    done
+  in
+  feed t.nclients;
+  feed t.created;
+  let full_sum = ref 0 in
+  for c = 0 to t.nclients - 1 do
+    feed t.balance.(c);
+    feed t.watermark.(c);
+    for s = 0 to Cmd.slots - 1 do
+      feed t.slot.((c * Cmd.slots) + s)
+    done;
+    full_sum := !full_sum + t.balance.(c)
+  done;
+  if !full_sum <> t.sum then
+    violate t "app.conservation: tracked sum %d but balances sum to %d" t.sum !full_sum;
+  !h

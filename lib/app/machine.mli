@@ -1,0 +1,42 @@
+(** The replicated accounts/KV state machine.
+
+    One instance per replica, driven purely by A-deliveries: {!apply}
+    executes commands in delivery order, dedups retries against each
+    account's watermark (exactly-once in effect), runs the invariant
+    probes (conservation of funds, read-your-writes, gap detection) and
+    advances the applied cursor.  {!hash} is the canonical state hash the
+    checker compares across replicas at matching cursors — state is flat
+    client-indexed arrays and seeded integer derivation throughout, so
+    equal cursors imply bit-equal hashes on both backends. *)
+
+type t
+
+val create : ?emit:(string -> unit) -> nclients:int -> seed:int64 -> unit -> t
+(** [emit] receives each invariant-probe violation as it fires (the host
+    records it as a {!Ics_sim.Trace.App_violation} event). *)
+
+type outcome =
+  | Applied
+  | Duplicate  (** a retry below the client's watermark; state untouched *)
+  | Rejected  (** out-of-workload or above-watermark (a probe fired) *)
+
+val apply : t -> client:int -> req:int -> outcome
+
+val nclients : t -> int
+
+val cursor : t -> int
+(** Commands applied so far, duplicates excluded — the replica's position
+    in the total order of distinct commands. *)
+
+val duplicates : t -> int
+val violations : t -> int
+val watermark : t -> client:int -> int
+val balance : t -> client:int -> int
+
+val hash : t -> int64
+(** Canonical state hash (FNV-1a 64 over the client-id-sorted encoding).
+    Also recomputes the balance sum and fires the conservation probe if
+    it disagrees with the incrementally tracked sum. *)
+
+val grant : int
+(** Units minted by each Create (request 0 of every client). *)

@@ -1,0 +1,32 @@
+(* The client plane's only wire message: a command identity forwarded to
+   a non-home proposer.  A session's first attempt is abroadcast directly
+   by its home replica; a retry rotates to the next proposer in the ring,
+   which receives this frame and abroadcasts the command on the client's
+   behalf.  The command itself needs no encoding — the receiving replica
+   packs the same (client, req) pair into the message blob. *)
+
+module Message = Ics_net.Message
+module Codec = Ics_codec.Codec
+module Prim = Ics_codec.Prim
+module Rng = Ics_prelude.Rng
+
+type Message.payload += Submit of { client : int; req : int }
+
+let layer = "app"
+let submit_bytes = 1 + 4 + 4
+
+let register_codec () =
+  Codec.register ~tag:0x58 ~name:"app.submit"
+    ~fits:(function Submit _ -> true | _ -> false)
+    ~size:(fun _ -> submit_bytes)
+    ~enc:(fun w p ->
+      match p with
+      | Submit { client; req } ->
+          Prim.u32 w client;
+          Prim.u32 w req
+      | _ -> assert false)
+    ~dec:(fun r ->
+      let client = Prim.r_u32 r in
+      let req = Prim.r_u32 r in
+      Submit { client; req })
+    ~gen:(fun rng -> Submit { client = Rng.int rng 100_000; req = Rng.int rng 10_000 })

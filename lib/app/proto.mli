@@ -1,0 +1,17 @@
+(** Client-plane wire protocol: redirect-to-proposer submission.
+
+    A retrying session forwards its command identity to another replica
+    on the ["app"] layer; the receiver abroadcasts the command on the
+    client's behalf.  Dedup is the state machine's job, so forwarding the
+    same command to several proposers is safe. *)
+
+module Message = Ics_net.Message
+
+type Message.payload += Submit of { client : int; req : int }
+
+val layer : string
+(** ["app"] — has a static wire id in {!Ics_codec.Codec.layer_table};
+    the submit payload carries codec tag [0x58]. *)
+
+val submit_bytes : int
+val register_codec : unit -> unit

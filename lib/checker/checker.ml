@@ -47,6 +47,13 @@ module Run = struct
     rbroadcasts : (Pid.t * Msg_id.t) list;  (* chronological *)
     local_events : [ `Bcast of Msg_id.t | `Deliv of Msg_id.t ] list array;
         (* per process, chronological broadcast-layer events *)
+    app_submits : (Pid.t * int * int) list;
+        (* chronological (pid, client, req); first attempts only *)
+    app_applied : (int * int) list array;  (* per process, application order *)
+    first_applied_time : (int * int, Time.t) Hashtbl.t;
+        (* command -> earliest application anywhere *)
+    app_hashes : (Pid.t * int * int64) list;  (* (pid, cursor, state hash) *)
+    app_violation_events : (Pid.t * string) list;  (* machine probe firings *)
   }
 
   let of_trace trace ~n =
@@ -62,6 +69,11 @@ module Run = struct
     let first_rdeliver_time = Hashtbl.create 256 in
     let rbroadcasts = ref [] in
     let local_events = Array.make n [] in
+    let app_submits = ref [] in
+    let app_applied = Array.make n [] in
+    let first_applied_time = Hashtbl.create 256 in
+    let app_hashes = ref [] in
+    let app_violation_events = ref [] in
     Trace.iter trace (fun (e : Trace.event) ->
         match e.kind with
         | Trace.Crash ->
@@ -88,6 +100,15 @@ module Run = struct
         | Trace.Rbroadcast id | Trace.Urb_broadcast id ->
             rbroadcasts := (e.pid, id) :: !rbroadcasts;
             local_events.(e.pid) <- `Bcast id :: local_events.(e.pid)
+        | Trace.App_submit (client, req) ->
+            app_submits := (e.pid, client, req) :: !app_submits
+        | Trace.App_applied (client, req) ->
+            app_applied.(e.pid) <- (client, req) :: app_applied.(e.pid);
+            if not (Hashtbl.mem first_applied_time (client, req)) then
+              Hashtbl.add first_applied_time (client, req) e.time
+        | Trace.App_hash (cursor, h) -> app_hashes := (e.pid, cursor, h) :: !app_hashes
+        | Trace.App_violation msg ->
+            app_violation_events := (e.pid, msg) :: !app_violation_events
         | Trace.Suspect _ | Trace.Trust _ | Trace.Note _
         (* Injected faults are environment events, not protocol steps: the
            properties are checked against what the protocol did under them. *)
@@ -110,6 +131,11 @@ module Run = struct
       first_rdeliver_time;
       rbroadcasts = List.rev !rbroadcasts;
       local_events = Array.map List.rev local_events;
+      app_submits = List.rev !app_submits;
+      app_applied = Array.map List.rev app_applied;
+      first_applied_time;
+      app_hashes = List.rev !app_hashes;
+      app_violation_events = List.rev !app_violation_events;
     }
 
   let n t = t.n
@@ -124,6 +150,9 @@ module Run = struct
   let decisions t = t.decisions
   let rbroadcasts t = t.rbroadcasts
   let local_events t p = t.local_events.(p)
+  let app_submits t = t.app_submits
+  let app_applied t p = t.app_applied.(p)
+  let app_hashes t = t.app_hashes
 end
 
 let dup_check ~property ~primitive run seqs =
@@ -586,3 +615,105 @@ let check_all_abcast run =
       check_no_loss run;
       check_no_loss ~strict:true run;
     ]
+
+(* The application layer's semantic properties, checked against the app
+   trace events the hosted state machine emits.  These sit above the
+   abstract abcast properties: a run can order ids perfectly and still be
+   wrong here (a machine that lost a command, diverged state, or applied
+   a retry twice), and conversely a blackout that merely *stalls* the
+   stack shows up as client commands that never take effect even though
+   no ordering property is violated. *)
+let check_app run =
+  let violations = ref [] in
+  let add property culprit detail =
+    violations := { property; culprit; detail } :: !violations
+  in
+  (* app.probes: the machine's own invariant probes (conservation of
+     funds, read-your-writes, gap, cas) must never fire. *)
+  List.iter
+    (fun (p, msg) -> add "app.probes" (Some p) msg)
+    run.Run.app_violation_events;
+  (* app.dedup / app.order: effects are exactly-once and per-client FIFO.
+     An App_applied event is an executed (non-duplicate) command, so per
+     process each (client, req) appears at most once, with each client's
+     reqs strictly increasing. *)
+  List.iter
+    (fun p ->
+      let last = Hashtbl.create 64 in
+      List.iter
+        (fun (client, req) ->
+          (match Hashtbl.find_opt last client with
+          | Some r when req = r ->
+              add "app.dedup" (Some p)
+                (Printf.sprintf "client %d req %d took effect twice" client req)
+          | Some r when req < r ->
+              add "app.order" (Some p)
+                (Printf.sprintf "client %d req %d applied after req %d" client req r)
+          | _ -> ());
+          match Hashtbl.find_opt last client with
+          | Some r when r > req -> ()
+          | _ -> Hashtbl.replace last client req)
+        (Run.app_applied run p))
+    (Pid.all ~n:(Run.n run));
+  (* app.hash-agreement: replicas at the same cursor hold the same state.
+     Stronger than total order alone — it certifies the machines executed
+     the shared order to identical effect, on either backend. *)
+  let by_cursor = Hashtbl.create 32 in
+  List.iter
+    (fun (p, cursor, h) ->
+      let l = try Hashtbl.find by_cursor cursor with Not_found -> [] in
+      Hashtbl.replace by_cursor cursor ((p, h) :: l))
+    run.Run.app_hashes;
+  Ics_prelude.Sorted_tbl.iter ~cmp:Int.compare
+    (fun cursor entries ->
+      match List.rev entries with
+      | [] -> ()
+      | (p0, h0) :: rest ->
+          List.iter
+            (fun (p, h) ->
+              if not (Int64.equal h h0) then
+                add "app.hash-agreement" (Some p)
+                  (Printf.sprintf "state hash %Lx at cursor %d, but %s hashed %Lx" h
+                     cursor (Pid.to_string p0) h0))
+            rest)
+    by_cursor;
+  (* app.progress: a command submitted by a correct process takes effect
+     at every correct replica.  This is the end-to-end liveness statement
+     — and the semantic blackout signal: a stalled-but-safe run fails
+     here, because clients submitted and nothing ever happened.  Crashed
+     submitters are excused (their command may never have left the node);
+     a replica that exited before the command's first application
+     anywhere is excused (it left the run before the effect existed). *)
+  let submit_seen = Hashtbl.create 256 in
+  let correct = Run.correct run in
+  List.iter
+    (fun (src, client, req) ->
+      if (not (Hashtbl.mem submit_seen (client, req))) && Run.is_correct run src
+      then begin
+        Hashtbl.add submit_seen (client, req) ();
+        let first_applied = Hashtbl.find_opt run.Run.first_applied_time (client, req) in
+        List.iter
+          (fun q ->
+            let applied_here =
+              List.exists
+                (fun (c, r) -> c = client && r = req)
+                (Run.app_applied run q)
+            in
+            let excused =
+              match (Run.exit_time run q, first_applied) with
+              | Some te, Some ta -> ta > te
+              | _ -> false
+            in
+            if (not applied_here) && not excused then
+              add "app.progress" (Some q)
+                (Printf.sprintf
+                   "client %d req %d submitted by correct %s but never took effect"
+                   client req (Pid.to_string src)))
+          correct
+      end)
+    run.Run.app_submits;
+  {
+    violations = List.rev !violations;
+    checked =
+      [ "app.probes"; "app.dedup"; "app.order"; "app.hash-agreement"; "app.progress" ];
+  }

@@ -36,6 +36,9 @@ type verdict = { violations : violation list; checked : string list }
 val ok : verdict -> bool
 val pp_verdict : Format.formatter -> verdict -> unit
 
+val merge : verdict list -> verdict
+(** Concatenate violations and checked-property lists. *)
+
 (** The crash/correctness view extracted from a trace. *)
 module Run : sig
   type t
@@ -65,6 +68,20 @@ module Run : sig
 
   val local_events : t -> Pid.t -> [ `Bcast of Msg_id.t | `Deliv of Msg_id.t ] list
   (** One process's broadcast-layer events in local order. *)
+
+  val is_correct : t -> Pid.t -> bool
+
+  val app_submits : t -> (Pid.t * int * int) list
+  (** Client commands submitted ([App_submit]), chronological; the pid is
+      the submitting client's home replica.  First attempts only —
+      retries reuse the identity. *)
+
+  val app_applied : t -> Pid.t -> (int * int) list
+  (** Commands that took effect at one replica, in application order
+      (duplicates dropped by the machine never appear here). *)
+
+  val app_hashes : t -> (Pid.t * int * int64) list
+  (** State-hash events: (replica, applied cursor, canonical hash). *)
 end
 
 val check_reliable_broadcast : Run.t -> verdict
@@ -116,3 +133,20 @@ val check_atomic_broadcast : Run.t -> verdict
 val check_all_abcast : Run.t -> verdict
 (** Union of {!check_atomic_broadcast}, {!check_consensus} and
     {!check_no_loss} in both readings (eventual and strict). *)
+
+val check_app : Run.t -> verdict
+(** The hosted application's semantic properties:
+
+    - [app.probes] — the state machine's invariant probes (conservation
+      of funds, read-your-writes, gap, cas) never fired;
+    - [app.dedup] — no command took effect twice at a replica
+      (exactly-once despite client retries);
+    - [app.order] — each client's commands took effect in request order;
+    - [app.hash-agreement] — replicas at the same applied cursor report
+      the same canonical state hash, across backends;
+    - [app.progress] — a command submitted by a correct process takes
+      effect at every correct replica (crashed submitters excused; a
+      replica that exited before the command first took effect anywhere
+      is excused).  This is the {e semantic} failure signal: a faulty
+      ordering stack that merely stalls — safe but not live — fails here
+      even when every abstract abcast property still holds. *)

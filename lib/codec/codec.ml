@@ -92,27 +92,57 @@ let dec_msg_id r =
 
 (* id + declared payload length + creation stamp + payload filler: the
    declared application bytes become actual bytes on the wire, which is
-   what makes [body_bytes] real instead of estimated. *)
+   what makes [body_bytes] real instead of estimated.  When the payload is
+   at least eight bytes its first eight carry the application blob (two
+   big-endian u32 halves — Prim has no 64-bit primitive); a blob of zero
+   encodes exactly like the pre-app all-zero filler, so content-free
+   messages are byte-identical to what they always were. *)
 let app_msg_bytes (m : App_msg.t) = msg_id_bytes + 4 + 8 + m.App_msg.body_bytes
 
 let enc_app_msg w (m : App_msg.t) =
   enc_msg_id w m.App_msg.id;
   Prim.u32 w m.App_msg.body_bytes;
   Prim.f64 w m.App_msg.created_at;
-  Prim.filler w m.App_msg.body_bytes
+  if m.App_msg.body_bytes >= 8 then begin
+    let blob = m.App_msg.blob in
+    Prim.u32 w (Int64.to_int (Int64.shift_right_logical blob 32));
+    Prim.u32 w (Int64.to_int (Int64.logand blob 0xFFFF_FFFFL));
+    Prim.filler w (m.App_msg.body_bytes - 8)
+  end
+  else Prim.filler w m.App_msg.body_bytes
 
 let dec_app_msg r =
   let id = dec_msg_id r in
   let body_bytes = Prim.r_u32 r in
   let created_at = Prim.r_f64 r in
-  Prim.r_skip r body_bytes;
-  App_msg.make ~id ~body_bytes ~created_at
+  let blob =
+    if body_bytes >= 8 then begin
+      let hi = Prim.r_u32 r in
+      let lo = Prim.r_u32 r in
+      Prim.r_skip r (body_bytes - 8);
+      Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+    end
+    else begin
+      Prim.r_skip r body_bytes;
+      0L
+    end
+  in
+  App_msg.make ~blob ~id ~body_bytes ~created_at ()
 
 let gen_msg_id rng = Msg_id.make ~origin:(Rng.int rng 64) ~seq:(Rng.int rng 100_000)
 
 let gen_app_msg rng =
-  App_msg.make ~id:(gen_msg_id rng) ~body_bytes:(Rng.int rng 200)
+  let body_bytes = Rng.int rng 200 in
+  let blob =
+    if body_bytes >= 8 && Rng.int rng 2 = 0 then
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (Rng.int rng 0x3FFF_FFFF)) 32)
+        (Int64.of_int (Rng.int rng 0x3FFF_FFFF))
+    else 0L
+  in
+  App_msg.make ~blob ~id:(gen_msg_id rng) ~body_bytes
     ~created_at:(Rng.float rng 10_000.0)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Frame format (DESIGN.md section 8): a fixed 16-byte header and a    *)
@@ -142,6 +172,7 @@ let layer_table =
     ("retx-ack", 5);
     ("ctl", 6);
     ("parity", 7);  (* cross-backend fault-parity harness traffic *)
+    ("app", 8);  (* client plane: cross-node command submission *)
   ]
 
 let layer_to_wire name = List.assoc_opt name layer_table

@@ -64,7 +64,7 @@ let gen rng =
       (List.map
          (fun id ->
            App_msg.make ~id ~body_bytes:(Rng.int rng 100)
-             ~created_at:(Rng.float rng 1_000.0))
+             ~created_at:(Rng.float rng 1_000.0) ())
          ids)
 
 let pp ppf t =

@@ -304,11 +304,11 @@ let create ?(batching = no_batching) transport ~ordering ~make_broadcast
   t.consensus <- make_consensus ~rcv callbacks;
   t
 
-let abroadcast t ~src ~body_bytes =
+let abroadcast ?(blob = 0L) t ~src ~body_bytes =
   let st = t.states.(src) in
   let id = Msg_id.make ~origin:src ~seq:st.next_seq in
   st.next_seq <- st.next_seq + 1;
-  let m = App_msg.make ~id ~body_bytes ~created_at:(Engine.now t.engine) in
+  let m = App_msg.make ~blob ~id ~body_bytes ~created_at:(Engine.now t.engine) () in
   if Engine.is_alive t.engine src then begin
     Engine.record t.engine src (Trace.Abroadcast id);
     t.broadcast.broadcast ~src m

@@ -81,7 +81,7 @@ val create :
     function (the closure over every process's received-payload table) only
     in {!Indirect_consensus} mode.  [batching] defaults to {!no_batching}. *)
 
-val abroadcast : t -> src:Pid.t -> body_bytes:int -> App_msg.t
+val abroadcast : ?blob:int64 -> t -> src:Pid.t -> body_bytes:int -> App_msg.t
 (** Invoke atomic broadcast at process [src] with a fresh message of the
     given payload size; returns the message (whose [id] is unique).
     No-op apart from id allocation if [src] has crashed. *)

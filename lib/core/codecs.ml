@@ -13,4 +13,5 @@ let ensure () =
   Ics_consensus.Ct.register_codec ();
   Ics_consensus.Mr.register_codec ();
   Ics_consensus.Lb.register_codec ();
-  Ics_fd.Failure_detector.register_codec ()
+  Ics_fd.Failure_detector.register_codec ();
+  Ics_app.Proto.register_codec ()

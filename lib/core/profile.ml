@@ -7,6 +7,7 @@
 
 type algo = Ct | Mr | Lb
 type broadcast_kind = Flood | Fd_relay | Uniform | Ring
+type app_kind = No_app | Kv
 
 type t = {
   n : int;
@@ -23,6 +24,12 @@ type t = {
   hb_period_ms : float;
   hb_timeout_ms : float;
   deadline_ms : float;
+  app : app_kind;
+  clients : int;  (* total client sessions across the cluster *)
+  requests : int;  (* commands per client (closed loop) *)
+  app_seed : int;  (* command-derivation seed; independent of the run seed *)
+  hash_every : int;  (* applies between App_hash trace events *)
+  retry_ms : float;  (* client retry window (base of the linear backoff) *)
 }
 
 let default =
@@ -41,6 +48,12 @@ let default =
     hb_period_ms = 25.0;
     hb_timeout_ms = 120.0;
     deadline_ms = 10_000.0;
+    app = No_app;
+    clients = 12;
+    requests = 5;
+    app_seed = 42;
+    hash_every = 32;
+    retry_ms = 500.0;
   }
 
 let batching p =
@@ -62,6 +75,8 @@ let orderings =
 let broadcasts =
   [ ("flood", Flood); ("fd-relay", Fd_relay); ("uniform", Uniform); ("ring", Ring) ]
 
+let apps = [ ("none", No_app); ("kv", Kv) ]
+
 let to_name table v =
   fst (List.find (fun (_, v') -> v' = v) table)
 
@@ -71,6 +86,8 @@ let ordering_to_string o = to_name orderings o
 let ordering_of_string s = List.assoc_opt s orderings
 let broadcast_to_string b = to_name broadcasts b
 let broadcast_of_string s = List.assoc_opt s broadcasts
+let app_to_string a = to_name apps a
+let app_of_string s = List.assoc_opt s apps
 
 (* ------------------------------------------------------------------ *)
 (* The flag table.                                                    *)
@@ -82,6 +99,11 @@ type spec = {
   doc : string;
   get : t -> string;
   set : t -> string -> (t, string) result;
+  samples : string list;
+      (* canonical values this flag must round-trip: [set] then [get]
+         yields the sample back.  Derived by the constructors below, so
+         every new flag is covered by the table-driven round-trip test
+         without anyone remembering to extend it. *)
 }
 
 let bad key value what =
@@ -99,6 +121,8 @@ let int_spec ~keys ~doc ?(min = 0) ~get ~put () =
         match int_of_string_opt s with
         | Some v when v >= min -> Ok (put p v)
         | _ -> bad key s (Printf.sprintf "an integer >= %d" min));
+    samples =
+      List.map string_of_int [ min; min + 1; min + 97; (min * 2) + 10_000 ];
   }
 
 (* %.17g round-trips every float through float_of_string exactly. *)
@@ -116,6 +140,10 @@ let float_spec ~keys ~doc ~get ~put () =
         match float_of_string_opt s with
         | Some v when v >= 0.0 && Float.is_finite v -> Ok (put p v)
         | _ -> bad key s "a non-negative number");
+    (* Small binary fractions: exactly representable and exactly
+       rescalable by 1000, so get-after-set is string-equal even for
+       specs that convert units (e.g. --timeout's seconds <-> ms). *)
+    samples = List.map float_str [ 0.0; 0.125; 12.5; 437.5 ];
   }
 
 let enum_spec ~keys ~doc ~table ~get ~put () =
@@ -131,6 +159,7 @@ let enum_spec ~keys ~doc ~table ~get ~put () =
         match List.assoc_opt s table with
         | Some v -> Ok (put p v)
         | None -> bad key s ("one of " ^ vocabulary));
+    samples = List.map fst table;
   }
 
 let stack_specs =
@@ -204,7 +233,39 @@ let workload_specs =
       ();
   ]
 
-let specs = stack_specs @ workload_specs
+let app_specs =
+  [
+    enum_spec ~keys:[ "app" ] ~doc:"Application hosted on A-deliveries" ~table:apps
+      ~get:(fun p -> p.app)
+      ~put:(fun p app -> { p with app })
+      ();
+    int_spec ~keys:[ "clients" ] ~min:1
+      ~doc:"Closed-loop client sessions across the cluster."
+      ~get:(fun p -> p.clients)
+      ~put:(fun p clients -> { p with clients })
+      ();
+    int_spec ~keys:[ "requests" ] ~min:1 ~doc:"Commands per client."
+      ~get:(fun p -> p.requests)
+      ~put:(fun p requests -> { p with requests })
+      ();
+    int_spec ~keys:[ "app-seed" ]
+      ~doc:"Command-derivation seed (independent of the run seed)."
+      ~get:(fun p -> p.app_seed)
+      ~put:(fun p app_seed -> { p with app_seed })
+      ();
+    int_spec ~keys:[ "hash-every" ] ~min:1
+      ~doc:"Applies between state-hash trace events."
+      ~get:(fun p -> p.hash_every)
+      ~put:(fun p hash_every -> { p with hash_every })
+      ();
+    float_spec ~keys:[ "retry" ]
+      ~doc:"Client retry window, ms (linear backoff base)."
+      ~get:(fun p -> p.retry_ms)
+      ~put:(fun p retry_ms -> { p with retry_ms })
+      ();
+  ]
+
+let specs = stack_specs @ workload_specs @ app_specs
 
 let set profile ~key ~value =
   match List.find_opt (fun s -> List.mem key s.keys) specs with

@@ -17,6 +17,10 @@ type broadcast_kind =
   | Uniform  (** uniform reliable broadcast, O(n²), 2 steps *)
   | Ring  (** successor-to-successor chain, O(n); crash-free runs only *)
 
+type app_kind =
+  | No_app  (** content-free payloads (the seed workloads) *)
+  | Kv  (** the {!Ics_app} accounts/KV machine rides every A-delivery *)
+
 type t = {
   n : int;
   algo : algo;
@@ -32,6 +36,12 @@ type t = {
   hb_period_ms : float;
   hb_timeout_ms : float;
   deadline_ms : float;  (** hard stop for a live run *)
+  app : app_kind;
+  clients : int;  (** total client sessions across the cluster *)
+  requests : int;  (** commands per client (closed loop) *)
+  app_seed : int;  (** command-derivation seed, independent of the run seed *)
+  hash_every : int;  (** applies between state-hash trace events *)
+  retry_ms : float;  (** client retry window (linear backoff base) *)
 }
 
 val default : t
@@ -50,12 +60,15 @@ val batching : t -> Abcast.batching
 val algos : (string * algo) list
 val orderings : (string * Abcast.ordering) list
 val broadcasts : (string * broadcast_kind) list
+val apps : (string * app_kind) list
 val algo_to_string : algo -> string
 val algo_of_string : string -> algo option
 val ordering_to_string : Abcast.ordering -> string
 val ordering_of_string : string -> Abcast.ordering option
 val broadcast_to_string : broadcast_kind -> string
 val broadcast_of_string : string -> broadcast_kind option
+val app_to_string : app_kind -> string
+val app_of_string : string -> app_kind option
 
 val describe : t -> string
 (** e.g. ["ct/indirect/flood n=3"]. *)
@@ -68,6 +81,10 @@ type spec = {
   doc : string;
   get : t -> string;
   set : t -> string -> (t, string) result;
+  samples : string list;
+      (** canonical values the flag round-trips ([set] then [get] yields
+          the sample back) — derived by the spec constructors, consumed
+          by the table-driven round-trip test *)
 }
 
 val stack_specs : spec list
@@ -78,8 +95,12 @@ val workload_specs : spec list
 (** Live workload flags: [--count], [--size], [--gap], [--warmup],
     [--hb-period], [--hb-timeout], [--timeout] (seconds). *)
 
+val app_specs : spec list
+(** Application-plane flags: [--app], [--clients], [--requests],
+    [--app-seed], [--hash-every], [--retry]. *)
+
 val specs : spec list
-(** [stack_specs @ workload_specs]. *)
+(** [stack_specs @ workload_specs @ app_specs]. *)
 
 val set : t -> key:string -> value:string -> (t, string) result
 (** Apply one flag by name (any name in a spec's [keys]). *)

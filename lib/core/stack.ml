@@ -148,7 +148,8 @@ let create ?engine ?rule ?(on_deliver = fun _ _ -> ()) ?manual_fd config =
   let abcast = assemble transport ~fd ~profile:(profile config) ~on_deliver in
   { config; engine; transport; fd; abcast; model }
 
-let abroadcast t ~src ~body_bytes = Abcast.abroadcast t.abcast ~src ~body_bytes
+let abroadcast ?blob t ~src ~body_bytes =
+  Abcast.abroadcast ?blob t.abcast ~src ~body_bytes
 let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
 
 let utilization ?horizon t =

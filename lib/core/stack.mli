@@ -125,7 +125,7 @@ val create :
     configured one.
     @raise Invalid_argument on an engine/config process-count mismatch. *)
 
-val abroadcast : t -> src:Pid.t -> body_bytes:int -> App_msg.t
+val abroadcast : ?blob:int64 -> t -> src:Pid.t -> body_bytes:int -> App_msg.t
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 

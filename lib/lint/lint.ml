@@ -18,12 +18,13 @@ type report = {
   errors : (string * string) list;
 }
 
-let deterministic_layers = [ "sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults" ]
+let deterministic_layers =
+  [ "sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults"; "app" ]
 
 (* Layers below the runtime boundary: they may reach the outside world
    only through the Env capability seam (lib/net/env.mli), never by
    naming a backend module directly. *)
-let backend_neutral_layers = [ "net"; "faults"; "consensus"; "broadcast"; "core" ]
+let backend_neutral_layers = [ "net"; "faults"; "consensus"; "broadcast"; "core"; "app" ]
 let rule_ids = [ "B1"; "D1"; "D2"; "D3"; "P1"; "P2" ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,9 +1,13 @@
 module Pid = Ics_sim.Pid
 module Time = Ics_sim.Time
 
-type t = { id : Msg_id.t; body_bytes : int; created_at : Time.t }
+type t = { id : Msg_id.t; body_bytes : int; created_at : Time.t; blob : int64 }
 
-let make ~id ~body_bytes ~created_at = { id; body_bytes; created_at }
+let make ?(blob = 0L) ~id ~body_bytes ~created_at () =
+  if not (Int64.equal blob 0L) && body_bytes < 8 then
+    invalid_arg "App_msg.make: blob needs body_bytes >= 8";
+  { id; body_bytes; created_at; blob }
+
 let origin t = t.id.Msg_id.origin
 
 let pp ppf t =

@@ -12,9 +12,18 @@ type t = {
   id : Msg_id.t;
   body_bytes : int;  (** application payload size in bytes *)
   created_at : Time.t;  (** when [abroadcast] was invoked *)
+  blob : int64;
+      (** opaque application command carried in the payload's first eight
+          bytes; [0L] (the default) means "content-free filler" and keeps
+          the pre-app wire encoding byte-identical *)
 }
 
-val make : id:Msg_id.t -> body_bytes:int -> created_at:Time.t -> t
+val make :
+  ?blob:int64 -> id:Msg_id.t -> body_bytes:int -> created_at:Time.t -> unit -> t
+(** @raise Invalid_argument when a non-zero [blob] is given with
+    [body_bytes < 8] — the blob rides inside the payload bytes, so there
+    must be room for it. *)
+
 val origin : t -> Pid.t
 val pp : Format.formatter -> t -> unit
 

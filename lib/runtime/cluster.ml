@@ -32,6 +32,7 @@ let default =
 type latency = {
   samples : int;
   mean_ms : float;
+  p50_ms : float;
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
@@ -44,6 +45,10 @@ type outcome = {
   exits : int array;  (** per-node exit codes (0 = clean barrier exit) *)
   duration_ms : float;  (** first abroadcast to last adelivery, merged clock *)
   latency : latency option;
+  app_latency : latency option;
+      (** client-visible: App_submit to App_applied at the client's home *)
+  app_hash : (int * int64) option;
+      (** deepest state-hash event: (applied cursor, canonical hash) *)
   throughput_msg_s : float;  (** distinct messages ordered per second *)
   events : int;
   faults : (string * int) list;  (** per-node fault counters, summed *)
@@ -95,12 +100,34 @@ let split_kv prefix kvs =
       else None)
     kvs
 
-(* Latency/throughput digest of the merged trace. *)
+(* Percentile digest, None when no samples arrived: a run where nothing
+   was delivered (or no command took effect) must report "no data", not a
+   summary of an empty list. *)
+let summarize_opt = function
+  | [] -> None
+  | l ->
+      let s = Ics_prelude.Stats.summarize l in
+      Some
+        {
+          samples = s.Ics_prelude.Stats.count;
+          mean_ms = s.Ics_prelude.Stats.mean;
+          p50_ms = s.Ics_prelude.Stats.p50;
+          p95_ms = s.Ics_prelude.Stats.p95;
+          p99_ms = s.Ics_prelude.Stats.p99;
+          max_ms = s.Ics_prelude.Stats.max;
+        }
+
+(* Latency/throughput digest of the merged trace.  Message latency is
+   Abroadcast -> Adeliver per delivery; app latency is client-visible —
+   App_submit to the App_applied at the same pid (the client's home
+   replica, where the closed loop unblocks). *)
 let measure events =
   let bcast = Msg_id.Table.create 256 in
   let first_b = ref infinity and last_d = ref neg_infinity in
   let samples = ref [] in
   let ordered = Msg_id.Table.create 256 in
+  let app_submit = Hashtbl.create 256 in
+  let app_samples = ref [] in
   List.iter
     (fun (e : Trace.event) ->
       match e.Trace.kind with
@@ -113,28 +140,23 @@ let measure events =
           (match Msg_id.Table.find_opt bcast id with
           | Some t0 -> samples := (e.Trace.time -. t0) :: !samples
           | None -> ())
+      | Trace.App_submit (c, r) ->
+          if not (Hashtbl.mem app_submit (c, r)) then
+            Hashtbl.add app_submit (c, r) (e.Trace.pid, e.Trace.time)
+      | Trace.App_applied (c, r) -> (
+          match Hashtbl.find_opt app_submit (c, r) with
+          | Some (home, t0) when home = e.Trace.pid ->
+              app_samples := (e.Trace.time -. t0) :: !app_samples;
+              Hashtbl.remove app_submit (c, r)
+          | _ -> ())
       | _ -> ())
     events;
   let duration = if !last_d > !first_b then !last_d -. !first_b else 0.0 in
-  let latency =
-    match !samples with
-    | [] -> None
-    | l ->
-        let s = Ics_prelude.Stats.summarize l in
-        Some
-          {
-            samples = s.Ics_prelude.Stats.count;
-            mean_ms = s.Ics_prelude.Stats.mean;
-            p95_ms = s.Ics_prelude.Stats.p95;
-            p99_ms = s.Ics_prelude.Stats.p99;
-            max_ms = s.Ics_prelude.Stats.max;
-          }
-  in
   let throughput =
     if duration > 0.0 then float_of_int (Msg_id.Table.length ordered) /. duration *. 1000.0
     else 0.0
   in
-  (duration, latency, throughput)
+  (duration, summarize_opt !samples, summarize_opt !app_samples, throughput)
 
 let fork_children ~config ~dir ~epoch ~listeners ~addrs n =
   flush stdout;
@@ -277,8 +299,21 @@ let run config =
         ->
           Checker.check_atomic_broadcast run
     in
+    (* With an app hosted, its semantic battery judges the run too. *)
+    let verdict =
+      match profile.Profile.app with
+      | Profile.Kv -> Checker.merge [ verdict; Checker.check_app run ]
+      | Profile.No_app -> verdict
+    in
+    let app_hash =
+      List.fold_left
+        (fun acc (_, c, h) ->
+          match acc with Some (c0, _) when c0 >= c -> acc | _ -> Some (c, h))
+        None
+        (Checker.Run.app_hashes run)
+    in
     let events_list = Trace.events merged in
-    let duration_ms, latency, throughput_msg_s = measure events_list in
+    let duration_ms, latency, app_latency, throughput_msg_s = measure events_list in
     let delivered_per_node =
       Array.init n (fun i -> List.length (Checker.Run.adeliveries run i))
     in
@@ -290,8 +325,12 @@ let run config =
     in
     let totals = Trace_io.sum_kv node_stats in
     let expected_per_node =
-      if config.node.Node.chaos_workload then profile.Profile.count
-      else profile.Profile.count * n
+      match profile.Profile.app with
+      | Profile.Kv when not config.node.Node.chaos_workload ->
+          profile.Profile.clients * profile.Profile.requests
+      | _ ->
+          if config.node.Node.chaos_workload then profile.Profile.count
+          else profile.Profile.count * n
     in
     let outcome =
       {
@@ -301,6 +340,8 @@ let run config =
         exits;
         duration_ms;
         latency;
+        app_latency;
+        app_hash;
         throughput_msg_s;
         events = Trace.length merged;
         faults = split_kv "fault." totals;

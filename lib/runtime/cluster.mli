@@ -42,6 +42,7 @@ val default : config
 type latency = {
   samples : int;
   mean_ms : float;
+  p50_ms : float;  (** client-visible medians headline the service bench *)
   p95_ms : float;
   p99_ms : float;  (** knee curves report tail latency, not just p95 *)
   max_ms : float;
@@ -54,6 +55,13 @@ type outcome = {
   exits : int array;  (** per-node exit codes (0 = clean barrier exit) *)
   duration_ms : float;  (** first abroadcast to last adelivery, merged clock *)
   latency : latency option;  (** abroadcast → adelivery, all (msg, node) pairs *)
+  app_latency : latency option;
+      (** client-visible: App_submit to App_applied at the client's home
+          replica; [None] when no app is hosted (or nothing applied) *)
+  app_hash : (int * int64) option;
+      (** deepest state-hash event of the run: (applied cursor, hash) —
+          comparable bit-for-bit against a simulated run of the same
+          workload once both are complete *)
   throughput_msg_s : float;  (** distinct messages ordered per second *)
   events : int;  (** merged trace size *)
   faults : (string * int) list;
@@ -65,6 +73,13 @@ type outcome = {
 
 val ok : outcome -> bool
 (** Checker verdict passed and every node exited via the done barrier. *)
+
+val measure :
+  Ics_sim.Trace.event list -> float * latency option * latency option * float
+(** [(duration_ms, latency, app_latency, throughput_msg_s)] digest of a
+    merged trace.  Both latency summaries are [None] — never a summary
+    of an empty sample list — when the trace holds no deliveries
+    (resp. no applied client commands). *)
 
 val supported : unit -> bool
 (** Whether this environment can create and bind loopback TCP sockets

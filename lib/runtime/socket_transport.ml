@@ -40,14 +40,27 @@ module Bq = struct
         q.start <- 0
       end
 
+  (* A queue that ballooned during a burst must not pin the burst-sized
+     allocation forever: five nodes timeshare one machine, and the
+     steady-state footprint should reflect steady-state backlog.  Once
+     drained, anything bigger than this falls back to it. *)
+  let rest_cap = 64 * 1024
+
   let consume q k =
     q.start <- q.start + k;
     q.len <- q.len - k;
-    if q.len = 0 then q.start <- 0
+    if q.len = 0 then begin
+      q.start <- 0;
+      if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap
+    end
 
   let clear q =
     q.start <- 0;
-    q.len <- 0
+    q.len <- 0;
+    if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap
+
+  let capacity q = Bytes.length q.buf
+  let length q = q.len
 
   let add_buffer q b =
     let blen = Buffer.length b in

@@ -15,6 +15,29 @@
 module Engine = Ics_sim.Engine
 module Transport = Ics_net.Transport
 
+(** The loop's growable byte queue (append at tail, consume at head,
+    amortized O(1) both ways).  Grows geometrically under a burst and
+    — the part worth testing — shrinks back to its resting capacity
+    once drained, so one burst doesn't pin its peak allocation for the
+    rest of the run. *)
+module Bq : sig
+  type t
+
+  val create : int -> t
+  val add_buffer : t -> Buffer.t -> unit
+  val consume : t -> int -> unit
+  val clear : t -> unit
+
+  val capacity : t -> int
+  (** Current backing-store size in bytes. *)
+
+  val length : t -> int
+  (** Unconsumed bytes queued. *)
+
+  val rest_cap : int
+  (** The resting capacity a drained queue decays to (64 KiB). *)
+end
+
 type t
 
 val create :

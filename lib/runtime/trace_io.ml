@@ -50,6 +50,10 @@ let kind_str (kind : Trace.kind) =
   | Trace.Net_delay p -> Printf.sprintf "NL %d" p
   | Trace.Partition_start s -> Printf.sprintf "PS %S" s
   | Trace.Partition_heal s -> Printf.sprintf "PH %S" s
+  | Trace.App_submit (c, r) -> Printf.sprintf "AS %d %d" c r
+  | Trace.App_applied (c, r) -> Printf.sprintf "AA %d %d" c r
+  | Trace.App_hash (cur, h) -> Printf.sprintf "AH %d %Ld" cur h
+  | Trace.App_violation s -> Printf.sprintf "AV %S" s
   | Trace.Note s -> Printf.sprintf "N %S" s
 
 let write_event oc (e : Trace.event) =
@@ -86,6 +90,13 @@ let kind_of_fields tag args line =
   | "ND", [ p ] -> Trace.Net_drop (pid_field p)
   | "NU", [ p ] -> Trace.Net_dup (pid_field p)
   | "NL", [ p ] -> Trace.Net_delay (pid_field p)
+  | "AS", [ c; r ] -> Trace.App_submit (int_field c, int_field r)
+  | "AA", [ c; r ] -> Trace.App_applied (int_field c, int_field r)
+  | "AH", [ cur; h ] -> (
+      match Int64.of_string_opt h with
+      | Some h -> Trace.App_hash (int_field cur, h)
+      | None -> fail "bad hash %S" h)
+  | "AV", _ :: _ -> Trace.App_violation (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
   | "PS", _ :: _ -> Trace.Partition_start (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
   | "PH", _ :: _ -> Trace.Partition_heal (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
   | "N", _ :: _ -> Trace.Note (Scanf.sscanf (String.concat " " args) "%S" Fun.id)
@@ -163,10 +174,15 @@ let sum_kv kv_lists =
 
 let merge event_lists =
   (* Stable sort keeps each node's own (already chronological) order for
-     equal timestamps; cross-node ties have no defined order anyway. *)
+     equal timestamps; cross-node ties break on pid, so the merged trace
+     (and every fingerprint computed over it) is independent of the order
+     the per-node logs were handed in. *)
   let all =
     List.stable_sort
-      (fun (a : Trace.event) b -> compare a.Trace.time b.Trace.time)
+      (fun (a : Trace.event) b ->
+        match Float.compare a.Trace.time b.Trace.time with
+        | 0 -> Int.compare a.Trace.pid b.Trace.pid
+        | c -> c)
       (List.concat event_lists)
   in
   let t = Trace.create () in

@@ -16,6 +16,10 @@ type kind =
   | Net_delay of Pid.t
   | Partition_start of string
   | Partition_heal of string
+  | App_submit of int * int
+  | App_applied of int * int
+  | App_hash of int * int64
+  | App_violation of string
   | Note of string
 
 type event = { time : Time.t; pid : Pid.t; kind : kind }
@@ -84,6 +88,10 @@ let pp_kind ppf = function
   | Net_delay q -> Format.fprintf ppf "net-delay(->%a)" Pid.pp q
   | Partition_start s -> Format.fprintf ppf "partition-start(%s)" s
   | Partition_heal s -> Format.fprintf ppf "partition-heal(%s)" s
+  | App_submit (c, r) -> Format.fprintf ppf "app-submit(%d#%d)" c r
+  | App_applied (c, r) -> Format.fprintf ppf "app-applied(%d#%d)" c r
+  | App_hash (cur, h) -> Format.fprintf ppf "app-hash(@%d %Lx)" cur h
+  | App_violation s -> Format.fprintf ppf "app-violation(%s)" s
   | Note s -> Format.fprintf ppf "note(%s)" s
 
 let pp_event ppf e =

@@ -30,6 +30,15 @@ type kind =
   | Net_delay of Pid.t  (** fault injection delayed a message to [pid] *)
   | Partition_start of string  (** a partition/isolation window opened *)
   | Partition_heal of string  (** the window closed; links flow again *)
+  | App_submit of int * int
+      (** client session [c] submitted request [r] (recorded at the
+          client's home process, first attempt only) *)
+  | App_applied of int * int
+      (** the replica applied client [c]'s request [r] to its state machine *)
+  | App_hash of int * int64
+      (** state hash at applied-cursor [c] — replicas at equal cursors
+          must carry equal hashes *)
+  | App_violation of string  (** a state-machine invariant probe fired *)
   | Note of string  (** free-form, for debugging only *)
 
 type event = { time : Time.t; pid : Pid.t; kind : kind }

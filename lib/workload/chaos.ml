@@ -10,6 +10,8 @@ module Nemesis = Ics_faults.Nemesis
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
 module Profile = Ics_core.Profile
+module App_host = Ics_core.App_host
+module Cmd = Ics_app.Cmd
 module Checker = Ics_checker.Checker
 module Node = Ics_runtime.Node
 module Cluster = Ics_runtime.Cluster
@@ -158,8 +160,18 @@ let stack_shape = function
   | Mr_indirect -> (Stack.Mr, Abcast.Indirect_consensus)
   | Ct_on_ids -> (Stack.Ct, Abcast.Consensus_on_ids)
 
-let run_one_sim ?(batching = Abcast.no_batching) ~retransmit ?n stack plan_kind
-    ~seed =
+(* App-on-top cells host the KV machine on the exact same chaos
+   broadcasts (Ride mode: slot i = one-request client i), so a cell where
+   ordered commands never take effect fails *semantically* — via
+   app.progress and state-hash agreement — not just via the message-level
+   battery.  The app fields are cell constants, identical on both
+   backends, so a (stack, plan, seed) cell means the same run either
+   way. *)
+let app_seed = 42
+let app_hash_every = 4
+
+let run_one_sim ?(batching = Abcast.no_batching) ?(app = false) ~retransmit ?n
+    stack plan_kind ~seed =
   let n = match n with Some n -> n | None -> default_n stack in
   let plan = gen_plan plan_kind ~n ~seed in
   let engine = Engine.create ~seed ~trace:`On ~n () in
@@ -191,22 +203,52 @@ let run_one_sim ?(batching = Abcast.no_batching) ~retransmit ?n stack plan_kind
       trace = `On;
     }
   in
-  let stack_t = Stack.create ~engine config in
+  let hosts = ref [||] in
+  let on_deliver p m =
+    if Array.length !hosts > 0 then App_host.on_deliver !hosts.(p) m
+  in
+  let stack_t = Stack.create ~engine ~on_deliver config in
+  if app then begin
+    let profile =
+      {
+        (Stack.profile config) with
+        Profile.app = Profile.Kv;
+        app_seed;
+        hash_every = app_hash_every;
+        count = messages;
+        body_bytes = 32;
+      }
+    in
+    hosts :=
+      Array.init n (fun p ->
+          App_host.install stack_t.Stack.transport ~abcast:stack_t.Stack.abcast
+            ~profile ~self:p ~mode:App_host.Ride)
+  end;
   (* Deterministic workload: [messages] abroadcasts, origin 0 first (the
-     blackout victim must originate), then round-robin at seeded spacing. *)
+     blackout victim must originate), then round-robin at seeded spacing.
+     With the app hosted, slot [i] carries command (client = i, req = 0)
+     in its blob — the broadcasts themselves are unchanged. *)
   let wrng = Rng.create (Int64.add seed 104729L) in
   let at = ref 1.0 in
   for i = 0 to messages - 1 do
     let t = !at in
+    let src = i mod n in
+    let blob = if app then Cmd.pack ~client:i ~req:0 else 0L in
     Engine.schedule engine ~at:t (fun () ->
-        ignore (Stack.abroadcast stack_t ~src:(i mod n) ~body_bytes:32));
+        if app && Engine.is_alive engine src then
+          Engine.record engine src (Ics_sim.Trace.App_submit (i, 0));
+        ignore (Stack.abroadcast ~blob stack_t ~src ~body_bytes:32));
     at := t +. 2.0 +. Rng.float wrng 4.0
   done;
   Stack.run ~until:horizon stack_t;
   let quiescent = Engine.pending engine = 0 in
   let trace = Engine.trace engine in
   let run = Checker.Run.of_trace trace ~n in
-  let verdict = Checker.check_all_abcast run in
+  let verdict =
+    if app then
+      Checker.merge [ Checker.check_all_abcast run; Checker.check_app run ]
+    else Checker.check_all_abcast run
+  in
   let correct = Checker.Run.correct run in
   let delivered =
     List.fold_left
@@ -248,7 +290,7 @@ let run_one_sim ?(batching = Abcast.no_batching) ~retransmit ?n stack plan_kind
 let live_warmup_ms = 400.0
 let live_deadline_ms = 2_500.0
 
-let live_profile ?(batching = Abcast.no_batching) stack ~n =
+let live_profile ?(batching = Abcast.no_batching) ?(app = false) stack ~n =
   let algo, ordering = stack_shape stack in
   {
     Profile.default with
@@ -258,19 +300,22 @@ let live_profile ?(batching = Abcast.no_batching) stack ~n =
     batch = batching.Abcast.batch;
     pipeline = batching.Abcast.pipeline;
     flush_ms = batching.Abcast.flush_ms;
+    app = (if app then Profile.Kv else Profile.No_app);
+    app_seed;
+    hash_every = app_hash_every;
     count = messages;
     body_bytes = 32;
     warmup_ms = live_warmup_ms;
     deadline_ms = live_deadline_ms;
   }
 
-let run_one_live ?batching ~retransmit ?n stack plan_kind ~seed =
+let run_one_live ?batching ?(app = false) ~retransmit ?n stack plan_kind ~seed =
   let n = match n with Some n -> n | None -> default_n stack in
   let plan = gen_plan plan_kind ~n ~seed in
   let node =
     {
       Node.default_workload with
-      Node.profile = live_profile ?batching stack ~n;
+      Node.profile = live_profile ?batching ~app stack ~n;
       seed;
       plan;
       plan_seed = Int64.add seed 0x5DEECE66DL;
@@ -305,11 +350,11 @@ let run_one_live ?batching ~retransmit ?n stack plan_kind ~seed =
         fingerprint = "";
       }
 
-let run_one ?(backend = `Sim) ?batching ?(retransmit = true) ?n stack plan_kind
-    ~seed =
+let run_one ?(backend = `Sim) ?batching ?app ?(retransmit = true) ?n stack
+    plan_kind ~seed =
   match backend with
-  | `Sim -> run_one_sim ?batching ~retransmit ?n stack plan_kind ~seed
-  | `Live -> run_one_live ?batching ~retransmit ?n stack plan_kind ~seed
+  | `Sim -> run_one_sim ?batching ?app ~retransmit ?n stack plan_kind ~seed
+  | `Live -> run_one_live ?batching ?app ~retransmit ?n stack plan_kind ~seed
 
 let replay_hint r =
   Printf.sprintf
@@ -326,8 +371,9 @@ type cell = {
   failures : result list;  (** chronological; empty for a clean cell *)
 }
 
-let sweep ?(backend = `Sim) ?batching ?(retransmit = true) ?n ?(seed_base = 1L)
-    ?(seeds = 100) ?(progress = fun _ -> ()) ~stacks ~plans () =
+let sweep ?(backend = `Sim) ?batching ?app ?(retransmit = true) ?n
+    ?(seed_base = 1L) ?(seeds = 100) ?(progress = fun _ -> ()) ~stacks ~plans
+    () =
   List.concat_map
     (fun stack ->
       List.map
@@ -335,7 +381,10 @@ let sweep ?(backend = `Sim) ?batching ?(retransmit = true) ?n ?(seed_base = 1L)
           let failures = ref [] in
           for i = 0 to seeds - 1 do
             let seed = Int64.add seed_base (Int64.of_int i) in
-            let r = run_one ~backend ?batching ?n ~retransmit stack plan_kind ~seed in
+            let r =
+              run_one ~backend ?batching ?app ?n ~retransmit stack plan_kind
+                ~seed
+            in
             if not (passed r) then failures := r :: !failures
           done;
           progress
@@ -435,14 +484,15 @@ type mismatch = {
    fingerprint divergence is state leaking between runs or ambient
    nondeterminism, and means the replay commands the sweep prints are
    lies.  One seed per cell keeps this cheap enough for the smoke gate. *)
-let replay_check ?batching ?(retransmit = true) ?n ?(seed_base = 1L) ~stacks
-    ~plans () =
+let replay_check ?batching ?app ?(retransmit = true) ?n ?(seed_base = 1L)
+    ~stacks ~plans () =
   List.concat_map
     (fun stack ->
       List.filter_map
         (fun plan_kind ->
           let fp () =
-            (run_one ?batching ?n ~retransmit stack plan_kind ~seed:seed_base)
+            (run_one ?batching ?app ?n ~retransmit stack plan_kind
+               ~seed:seed_base)
               .fingerprint
           in
           let first = fp () in

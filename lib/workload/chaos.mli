@@ -89,6 +89,7 @@ val passed : result -> bool
 val run_one :
   ?backend:backend ->
   ?batching:Ics_core.Abcast.batching ->
+  ?app:bool ->
   ?retransmit:bool ->
   ?n:int ->
   stack_kind ->
@@ -98,7 +99,12 @@ val run_one :
 (** One run.  [batching] (default {!Ics_core.Abcast.no_batching})
     configures the abcast layer's batch/pipeline knobs on either backend —
     the batch=1/pipeline=1 default reproduces the pre-batching runs
-    bit-identically.  [retransmit] (default true) heals the faulted wire —
+    bit-identically.  [app] (default false) hosts the replicated KV
+    machine on the same broadcasts ({!Ics_core.App_host} in [Ride] mode:
+    slot [i] is one-request client [i]) and adds the application battery
+    to the verdict — a cell where ordered commands never take effect then
+    fails semantically, not just at the message level.  [retransmit]
+    (default true) heals the faulted wire —
     {!Ics_net.Retransmit.wrap} over the nemesis model in simulation, the
     acknowledged wire channel ({!Ics_net.Retransmit.install}) on live
     nodes; [n] defaults per stack ({!default_n}).
@@ -117,6 +123,7 @@ type cell = {
 val sweep :
   ?backend:backend ->
   ?batching:Ics_core.Abcast.batching ->
+  ?app:bool ->
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->
@@ -155,6 +162,7 @@ type mismatch = {
 
 val replay_check :
   ?batching:Ics_core.Abcast.batching ->
+  ?app:bool ->
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->

@@ -200,6 +200,7 @@ let live_point ?(seed = 1L) ?algo ?ordering ?body_bytes
                 Stats.empty_summary with
                 Stats.count = l.Cluster.samples;
                 mean = l.Cluster.mean_ms;
+                p50 = l.Cluster.p50_ms;
                 p95 = l.Cluster.p95_ms;
                 p99 = l.Cluster.p99_ms;
                 max = l.Cluster.max_ms;

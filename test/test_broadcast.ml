@@ -37,7 +37,7 @@ let mk_harness ?(n = 4) ?(delay = 1.0) which =
   in
   { engine; transport; handle; delivered }
 
-let msg ~origin ~seq = App_msg.make ~id:(Msg_id.make ~origin ~seq) ~body_bytes:10 ~created_at:0.0
+let msg ~origin ~seq = App_msg.make ~id:(Msg_id.make ~origin ~seq) ~body_bytes:10 ~created_at:0.0 ()
 
 let deliveries_of h p = List.filter_map (fun (q, id) -> if q = p then Some id else None) (List.rev !(h.delivered))
 

@@ -80,7 +80,7 @@ let test_proposal_sizes () =
   let ids = [ mid 0 0; mid 1 1 ] in
   let on_ids = Proposal.on_ids ids in
   let msgs =
-    List.map (fun id -> App_msg.make ~id ~body_bytes:1000 ~created_at:0.0) ids
+    List.map (fun id -> App_msg.make ~id ~body_bytes:1000 ~created_at:0.0 ()) ids
   in
   let on_msgs = Proposal.on_messages msgs in
   checkb "same ids" true (Proposal.equal on_ids on_msgs);

@@ -28,5 +28,6 @@ let () =
          Test_batching.suites;
          Test_runtime.suites;
          Test_fault_parity.suites;
+         Test_app.suites;
          Test_lint.suites;
        ])

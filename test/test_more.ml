@@ -105,7 +105,7 @@ let test_transport_counts_dropped_sends () =
   checki "counted" 1 (Transport.sent_messages tr)
 
 let test_app_msg_pp () =
-  let m = App_msg.make ~id:(Msg_id.make ~origin:1 ~seq:4) ~body_bytes:32 ~created_at:2.0 in
+  let m = App_msg.make ~id:(Msg_id.make ~origin:1 ~seq:4) ~body_bytes:32 ~created_at:2.0 () in
   checkb "pp" true (Test_util.contains (Format.asprintf "%a" App_msg.pp m) "p1#4")
 
 (* --- proposal / quorum properties --- *)

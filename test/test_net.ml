@@ -48,7 +48,7 @@ let test_msg_id_set_table () =
 
 let test_app_msg () =
   let id = Msg_id.make ~origin:2 ~seq:7 in
-  let m = App_msg.make ~id ~body_bytes:100 ~created_at:5.0 in
+  let m = App_msg.make ~id ~body_bytes:100 ~created_at:5.0 () in
   checki "origin" 2 (App_msg.origin m);
   checki "rb body" (Wire.payload_with_id_bytes 100) (App_msg.rb_body_bytes m)
 

@@ -16,7 +16,7 @@ module Trace = Ics_sim.Trace
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
-let msg ~origin ~seq = App_msg.make ~id:(Msg_id.make ~origin ~seq) ~body_bytes:10 ~created_at:0.0
+let msg ~origin ~seq = App_msg.make ~id:(Msg_id.make ~origin ~seq) ~body_bytes:10 ~created_at:0.0 ()
 
 type h = {
   engine : Engine.t;
@@ -186,7 +186,7 @@ let test_plain_flood_is_not_causal () =
   Engine.schedule engine ~at:1.0 (fun () ->
       handle.broadcast ~src:0
         (App_msg.make ~id:(Msg_id.make ~origin:0 ~seq:0) ~body_bytes:(big + 100)
-           ~created_at:0.0));
+           ~created_at:0.0 ()));
   Engine.schedule engine ~at:5.0 (fun () -> handle.broadcast ~src:1 (msg ~origin:1 ~seq:0));
   Engine.run engine;
   let run = Checker.Run.of_trace (Engine.trace engine) ~n in
