@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke lint verify clean
+.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke lint lint-report verify clean
 
 all: build
 
@@ -68,12 +68,19 @@ service-smoke:
 	if [ $$rc -eq 2 ]; then echo "service-smoke: live skipped (no loopback sockets)"; \
 	elif [ $$rc -ne 0 ]; then exit $$rc; fi
 
-# Determinism & protocol-safety linter over lib/ and bin/ (exit 0 clean,
-# 1 findings, 2 internal error).
+# Determinism & protocol-safety linter over lib/, bin/ and examples/
+# (exit 0 clean, 1 findings, 2 internal error).
 lint:
 	dune exec bin/ics_lint.exe -- --root .
 
-verify: build test lint perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke
+# Same run, SARIF 2.1.0 to _build/lint.sarif for CI annotation.  The
+# report is written even when findings exist; the exit code still gates.
+lint-report:
+	@mkdir -p _build
+	dune exec bin/ics_lint.exe -- --root . --format sarif > _build/lint.sarif; \
+	rc=$$?; echo "lint-report: _build/lint.sarif"; exit $$rc
+
+verify: build test lint lint-report perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke
 
 clean:
 	dune clean

@@ -4,23 +4,43 @@
 
 module Lint = Ics_lint.Lint
 
-let usage = "ics_lint [--root DIR] [--format text|json] [--rule ID]... [FILE...]"
+let usage =
+  "ics_lint [--root DIR] [--format text|json|sarif] [--rule ID]... [--explain RULE] [FILE...]"
 
 let () =
   let root = ref "." in
   let format = ref "text" in
   let rules = ref [] in
   let files = ref [] in
+  let explain = ref [] in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repo root to scan (default .)");
-      ("--format", Arg.Symbol ([ "text"; "json" ], fun s -> format := s), " output format");
+      ( "--format",
+        Arg.Symbol ([ "text"; "json"; "sarif" ], fun s -> format := s),
+        " output format" );
       ( "--rule",
         Arg.String (fun r -> rules := r :: !rules),
-        "ID restrict to this rule id (repeatable)" );
+        "ID restrict the run to this rule id (repeatable; allow semantics follow)" );
+      ( "--explain",
+        Arg.String (fun r -> explain := r :: !explain),
+        "RULE print what the rule checks and why, then exit" );
     ]
   in
   Arg.parse spec (fun f -> files := f :: !files) usage;
+  if !explain <> [] then begin
+    let bad = ref false in
+    List.iter
+      (fun r ->
+        match Lint.explain r with
+        | Some text -> print_endline text
+        | None ->
+            Printf.eprintf "ics_lint: unknown rule %s (have: %s, allow)\n" r
+              (String.concat ", " Lint.rule_ids);
+            bad := true)
+      (List.rev !explain);
+    exit (if !bad then 2 else 0)
+  end;
   List.iter
     (fun r ->
       if not (List.mem r ("allow" :: Lint.rule_ids)) then begin
@@ -29,18 +49,17 @@ let () =
         exit 2
       end)
     !rules;
+  (* The rule filter runs inside the engine, not over its output: the
+     suppression/stale-allow accounting must be computed against the
+     active rule set, or a filtered run misreports allows as stale. *)
+  let rules = match !rules with [] -> None | rs -> Some (List.rev rs) in
   let report =
     match List.rev !files with
-    | [] -> Lint.run ~root:!root
-    | files -> Lint.run_files ~root:!root ~files
-  in
-  let report =
-    match !rules with
-    | [] -> report
-    | rules ->
-        { report with Lint.findings = List.filter (fun f -> List.mem f.Lint.rule rules) report.Lint.findings }
+    | [] -> Lint.run ?rules ~root:!root ()
+    | files -> Lint.run_files ?rules ~root:!root ~files ()
   in
   (match !format with
   | "json" -> print_string (Lint.to_json report)
+  | "sarif" -> print_string (Lint.to_sarif report)
   | _ -> Format.printf "%a" Lint.pp_report report);
   exit (Lint.exit_code report)

@@ -19,7 +19,10 @@ type entry = {
   gen : Rng.t -> Message.payload;
 }
 
+(* lint: allow DS1 — write-once registry: tags are constants, registration is idempotent and completes during stack assembly, before any sweep cell forks a domain *)
 let by_tag : entry option array = Array.make 256 None
+
+(* lint: allow DS1 — registration-order audit trail, written only inside the same pre-fork registration window as by_tag *)
 let order : int list ref = ref []  (* tags in registration order *)
 
 let register ~tag ~name ~fits ~size ~enc ~dec ~gen =

@@ -1,0 +1,134 @@
+(* Phase 1½ of the interprocedural analysis: resolve the raw ident
+   paths in every unit's summary against the repo's module-path
+   conventions and build the cross-module call graph plus the
+   global-state access maps phase 2 propagates over.
+
+   Resolution mirrors how dune actually wires the tree: a library under
+   [lib/<layer>] is the wrapped module [Ics_<layer>], whose submodules
+   are the capitalized file basenames; a bare module name is a sibling
+   file in the caller's own directory (same library); everything else —
+   stdlib modules, inner modules, functor results — stays unresolved
+   and simply contributes no edge.  Unresolved is always safe for the
+   rules built on top: fewer edges means fewer findings, never wrong
+   ones. *)
+
+type node = { nfile : string; nname : string }
+
+let compare_node a b =
+  match String.compare a.nfile b.nfile with
+  | 0 -> String.compare a.nname b.nname
+  | c -> c
+
+type resolution = [ `Fn of node | `Global of node | `Unresolved ]
+
+type t = {
+  summaries : (string * Summary.t) list;  (* rel -> summary, input order *)
+  nodes : node list;  (* every toplevel function, sorted *)
+  calls : (node, (node * int * int) list) Hashtbl.t;  (* callee, call-site line/col *)
+  reads : (node, (node * int * int) list) Hashtbl.t;  (* global -> reading fns *)
+  writes : (node, (node * int * int) list) Hashtbl.t;  (* global -> writing fns *)
+}
+
+let summary t rel = List.assoc_opt rel t.summaries
+let summaries t = List.map snd t.summaries
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let file_of_module summaries ~dir m =
+  let rel = Filename.concat dir (String.uncapitalize_ascii m ^ ".ml") in
+  if List.mem_assoc rel summaries then Some rel else None
+
+let rec last = function [ x ] -> Some x | _ :: tl -> last tl | [] -> None
+
+let lookup summaries file name : resolution =
+  match List.assoc_opt file summaries with
+  | None -> `Unresolved
+  | Some (s : Summary.t) ->
+      if List.exists (fun (f : Summary.fn) -> f.Summary.fn_name = name) s.Summary.fns then
+        `Fn { nfile = file; nname = name }
+      else if List.exists (fun (g : Summary.global) -> g.Summary.g_name = name) s.Summary.globals
+      then `Global { nfile = file; nname = name }
+      else `Unresolved
+
+let resolve_in summaries ~from_rel path : resolution =
+  match path with
+  | [] -> `Unresolved
+  | [ x ] -> lookup summaries from_rel x
+  | head :: rest -> (
+      if starts_with ~prefix:"Ics_" head then
+        (* Ics_<layer>.<Module>...<name>: a wrapped library reference. *)
+        let layer = String.lowercase_ascii (String.sub head 4 (String.length head - 4)) in
+        match rest with
+        | m :: (_ :: _ as more) -> (
+            match (file_of_module summaries ~dir:(Filename.concat "lib" layer) m, last more) with
+            | Some file, Some name -> lookup summaries file name
+            | _ -> `Unresolved)
+        | _ -> `Unresolved
+      else
+        (* Bare module name: a sibling file in the caller's directory. *)
+        match (file_of_module summaries ~dir:(Filename.dirname from_rel) head, last rest) with
+        | Some file, Some name -> lookup summaries file name
+        | _ -> `Unresolved)
+
+let build (summaries : Summary.t list) =
+  let assoc = List.map (fun (s : Summary.t) -> (s.Summary.rel, s)) summaries in
+  let calls = Hashtbl.create 256 in
+  let reads = Hashtbl.create 64 in
+  let writes = Hashtbl.create 64 in
+  let push tbl key v =
+    let prev = try Hashtbl.find tbl key with Not_found -> [] in
+    if not (List.mem v prev) then Hashtbl.replace tbl key (v :: prev)
+  in
+  let nodes = ref [] in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          let from_node = { nfile = s.Summary.rel; nname = f.Summary.fn_name } in
+          nodes := from_node :: !nodes;
+          (* Write targets resolved first: a ref that is purely the
+             written operand of the same site should not double as a
+             read below. *)
+          let write_sites = ref [] in
+          List.iter
+            (fun (w : Summary.ident_ref) ->
+              match resolve_in assoc ~from_rel:s.Summary.rel w.Summary.path with
+              | `Global g ->
+                  write_sites := (w.Summary.line, w.Summary.col) :: !write_sites;
+                  push writes g (from_node, w.Summary.line, w.Summary.col)
+              | _ -> ())
+            f.Summary.writes;
+          List.iter
+            (fun (r : Summary.ident_ref) ->
+              match resolve_in assoc ~from_rel:s.Summary.rel r.Summary.path with
+              | `Fn callee -> push calls from_node (callee, r.Summary.line, r.Summary.col)
+              | `Global g ->
+                  if not (List.mem (r.Summary.line, r.Summary.col) !write_sites) then
+                    push reads g (from_node, r.Summary.line, r.Summary.col)
+              | `Unresolved -> ())
+            f.Summary.refs)
+        s.Summary.fns)
+    summaries;
+  {
+    summaries = assoc;
+    nodes = List.sort_uniq compare_node !nodes;
+    calls;
+    reads;
+    writes;
+  }
+
+let nodes t = t.nodes
+
+let sorted3 l =
+  List.sort
+    (fun (a, la, ca) (b, lb, cb) ->
+      match compare_node a b with
+      | 0 -> ( match Int.compare la lb with 0 -> Int.compare ca cb | c -> c)
+      | c -> c)
+    l
+
+let calls t n = sorted3 (try Hashtbl.find t.calls n with Not_found -> [])
+let global_readers t g = sorted3 (try Hashtbl.find t.reads g with Not_found -> [])
+let global_writers t g = sorted3 (try Hashtbl.find t.writes g with Not_found -> [])
+let resolve t ~from_rel path = resolve_in t.summaries ~from_rel path

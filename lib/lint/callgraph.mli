@@ -1,0 +1,51 @@
+(** Phase 1½ of the interprocedural lint: the cross-module call graph.
+
+    Built from every unit's {!Summary.t}, with ident paths resolved
+    against the repo's module-path conventions:
+
+    - [Ics_<layer>.<Module>.<name>] — the wrapped library under
+      [lib/<layer>], submodule = capitalized file basename;
+    - [<Module>.<name>] — a sibling [.ml] in the caller's own directory
+      (same dune library);
+    - [<name>] — a toplevel binding of the caller's own file.
+
+    A path that matches none of these (stdlib modules, inner modules,
+    functor applications) resolves to [`Unresolved] and contributes no
+    edge — under-approximation is safe for every rule built on top.
+    Resolution works over the supplied file set only, so fixture tests
+    see a closed world. *)
+
+type node = { nfile : string; nname : string }
+(** A toplevel function — or, as the key of the access maps, a
+    module-toplevel global — identified by (file, binding name). *)
+
+val compare_node : node -> node -> int
+
+type resolution = [ `Fn of node | `Global of node | `Unresolved ]
+
+type t
+
+val build : Summary.t list -> t
+
+val nodes : t -> node list
+(** Every toplevel function, sorted by (file, name). *)
+
+val calls : t -> node -> (node * int * int) list
+(** Resolved call edges out of a function, with the call-site line/col,
+    sorted and deduplicated. *)
+
+val global_readers : t -> node -> (node * int * int) list
+(** Functions whose body mentions the global other than as a pure write
+    target, with the reference site. *)
+
+val global_writers : t -> node -> (node * int * int) list
+(** Functions that mutate the global ([:=], [.( ) <-], [.field <- ],
+    [Hashtbl.add], ...), with the write site. *)
+
+val resolve : t -> from_rel:string -> string list -> resolution
+(** Exposed for the unit tests: resolve one alias-expanded ident path
+    as seen from [from_rel]. *)
+
+val summary : t -> string -> Summary.t option
+val summaries : t -> Summary.t list
+(** The input summaries, in the order supplied to {!build}. *)

@@ -1,6 +1,10 @@
-(* Parsetree-level determinism & protocol-safety lint.  See lint.mli for
-   the rule catalog; everything here is deliberately syntactic — the pass
-   must run on any tree that parses, with no build or type information. *)
+(* Determinism & protocol-safety lint.  See lint.mli for the rule
+   catalog.  The pass has two layers: the original per-file syntactic
+   rules (D1..D3, P1, P2, B1 — this file), and the interprocedural
+   pipeline (Summary -> Callgraph -> Propagate) that upgrades D2 to D4
+   and B1 to B2 transitively and adds the DS1/DS2 domain-safety rules.
+   Everything runs on any tree that parses, with no build or type
+   information. *)
 
 type finding = {
   file : string;
@@ -9,6 +13,7 @@ type finding = {
   rule : string;
   message : string;
   hint : string;
+  chain : string list;
 }
 
 type report = {
@@ -25,7 +30,13 @@ let deterministic_layers =
    only through the Env capability seam (lib/net/env.mli), never by
    naming a backend module directly. *)
 let backend_neutral_layers = [ "net"; "faults"; "consensus"; "broadcast"; "core"; "app" ]
-let rule_ids = [ "B1"; "D1"; "D2"; "D3"; "P1"; "P2" ]
+let rule_ids = [ "B1"; "B2"; "D1"; "D2"; "D3"; "D4"; "DS1"; "DS2"; "P1"; "P2" ]
+let all_rules = "allow" :: rule_ids
+
+(* The file whose toplevel functions seed DS1/DS2 reachability: every
+   chaos-sweep cell body lives here, and the Domains-parallel sweep
+   will run them concurrently. *)
+let ds_root = "lib/workload/chaos.ml"
 
 (* ------------------------------------------------------------------ *)
 (* File discovery                                                      *)
@@ -48,7 +59,9 @@ let scan_root root =
     end
     else if is_ml rel then acc := rel :: !acc
   in
-  List.iter (fun top -> if Sys.file_exists (Filename.concat root top) then walk top) [ "lib"; "bin" ];
+  List.iter
+    (fun top -> if Sys.file_exists (Filename.concat root top) then walk top)
+    [ "lib"; "bin"; "examples" ];
   List.sort String.compare !acc
 
 (* ------------------------------------------------------------------ *)
@@ -60,6 +73,7 @@ let layer_of_rel rel =
   match split_path rel with
   | "lib" :: layer :: _ :: _ -> layer
   | "bin" :: _ -> "bin"
+  | "examples" :: _ -> "examples"
   | _ -> "?"
 
 let starts_with ~prefix s =
@@ -86,7 +100,11 @@ let scope_of rel =
     d3 = det;
     d2_random = not (starts_with ~prefix:"lib/prelude/rng" rel);
     d2_time = layer <> "runtime";
-    p2 = det || List.mem layer [ "net"; "workload"; "runtime" ];
+    (* examples get the relaxed scope: ambient nondeterminism (D2) and
+       timer hygiene (P2) still apply, everything else — D1/D3/B1 and
+       the transitive rules — is off, because examples may legitimately
+       use the runtime and unordered iteration. *)
+    p2 = det || List.mem layer [ "net"; "workload"; "runtime"; "examples" ];
     b1 = List.mem layer backend_neutral_layers;
   }
 
@@ -214,7 +232,7 @@ let rec non_scalar e =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Per-file pass                                                       *)
+(* Per-file syntactic pass                                             *)
 
 type filestate = {
   scope : scope;
@@ -229,7 +247,7 @@ type filestate = {
 
 let finding st ~loc ~rule ~message ~hint =
   let line, col = loc_pos loc in
-  st.raw <- { file = st.scope.rel; line; col; rule; message; hint } :: st.raw
+  st.raw <- { file = st.scope.rel; line; col; rule; message; hint; chain = [] } :: st.raw
 
 let d1_hint =
   Printf.sprintf
@@ -439,7 +457,12 @@ let check_p2 st =
       st.bindings
   end
 
-let lint_source ~scope text =
+let parse_source ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf rel;
+  Parse.implementation lexbuf
+
+let lint_structure ~scope str =
   let st =
     {
       scope;
@@ -452,9 +475,6 @@ let lint_source ~scope text =
       skip = [];
     }
   in
-  let lexbuf = Lexing.from_string text in
-  Location.init lexbuf scope.rel;
-  let str = Parse.implementation lexbuf in
   (* Pre-pass: bindings, compare definitions, quiescence vocabulary. *)
   let pre =
     {
@@ -517,9 +537,11 @@ let compare_findings a b =
       | c -> c)
   | c -> c
 
-let run_files ~root ~files =
+let run_files ?(rules = all_rules) ~root ~files () =
+  let active r = List.mem r rules in
   let errors = ref [] in
   let states = ref [] in
+  let summaries = ref [] in
   let allows_by_file = ref [] in
   List.iter
     (fun rel ->
@@ -534,12 +556,15 @@ let run_files ~root ~files =
       | exception Sys_error e -> errors := (rel, e) :: !errors
       | text -> (
           allows_by_file := (rel, parse_allows text) :: !allows_by_file;
-          match lint_source ~scope:(scope_of rel) text with
-          | st -> states := st :: !states
+          match parse_source ~rel text with
+          | str ->
+              states := lint_structure ~scope:(scope_of rel) str :: !states;
+              summaries := Summary.of_structure ~rel str :: !summaries
           | exception e ->
               errors := (rel, Printf.sprintf "parse error: %s" (Printexc.to_string e)) :: !errors))
     files;
   let states = List.rev !states in
+  let summaries = List.rev !summaries in
   (* P1: a declared payload constructor must be fits-covered, in its own
      file or (for layers whose codecs live below them, like
      Codec.register_builtins) anywhere in the scanned set. *)
@@ -564,11 +589,59 @@ let run_files ~root ~files =
                   hint =
                     "register a codec for it next to the layer's handlers (see ct.ml's \
                      register_codec) and hook it into Codecs.ensure";
+                  chain = [];
                 })
           (List.rev st.decls))
       states
   in
-  let raw = List.concat_map (fun st -> List.rev st.raw) states @ p1 in
+  (* Phase 2: the interprocedural rules, over the same parsed set.  A
+     reasoned allow participates here *semantically* (a D2-audited
+     source still taints its deterministic callers; a DS1 audit clears
+     its state's DS2 hazards) without being marked used — usage
+     accounting belongs to the finding it textually suppresses. *)
+  let covered rel rule line =
+    match List.assoc_opt rel !allows_by_file with
+    | None -> false
+    | Some allows ->
+        List.exists
+          (fun a ->
+            a.a_rule = Some rule && a.a_reason && (a.a_line = line || a.a_line = line - 1))
+          allows
+  in
+  let interproc =
+    let cg = Callgraph.build summaries in
+    let pf =
+      Propagate.run ~cg
+        ~det_scope:(fun rel -> (scope_of rel).d1)
+        ~neutral_scope:(fun rel -> (scope_of rel).b1)
+        ~nd_visible:(fun rel path line ->
+          let sc = scope_of rel in
+          let in_scope =
+            match path with "Random" :: _ -> sc.d2_random | _ -> sc.d2_time
+          in
+          in_scope && not (covered rel "D2" line))
+        ~be_visible:(fun rel line -> (scope_of rel).b1 && not (covered rel "B1" line))
+        ~ds_root
+        ~ds_allowed:(fun rel line -> covered rel "DS1" line)
+    in
+    List.map
+      (fun (p : Propagate.pfinding) ->
+        {
+          file = p.Propagate.p_file;
+          line = p.Propagate.p_line;
+          col = p.Propagate.p_col;
+          rule = p.Propagate.p_rule;
+          message = p.Propagate.p_message;
+          hint = p.Propagate.p_hint;
+          chain = p.Propagate.p_chain;
+        })
+      pf
+  in
+  let raw = List.concat_map (fun st -> List.rev st.raw) states @ p1 @ interproc in
+  (* Restrict to the active rule set *before* allow accounting: an
+     allow for a rule that is not being checked neither suppresses nor
+     rots — it is simply out of scope for this run. *)
+  let raw = List.filter (fun f -> active f.rule) raw in
   (* Apply allow comments: same line or the line above, rule must match,
      reason mandatory. *)
   let suppressed = ref 0 in
@@ -590,47 +663,54 @@ let run_files ~root ~files =
         | None -> true)
       raw
   in
-  (* Allow-comment hygiene: malformed or stale allows are findings too. *)
+  (* Allow-comment hygiene: malformed or stale allows are findings too —
+     but only judged against the active rule set. *)
   let allow_findings =
-    List.concat_map
-      (fun (rel, allows) ->
-        List.filter_map
-          (fun a ->
-            if a.a_rule = None then
-              Some
-                {
-                  file = rel;
-                  line = a.a_line;
-                  col = 0;
-                  rule = "allow";
-                  message = "malformed lint-allow comment: unknown rule id";
-                  hint =
-                    Printf.sprintf "use (* %s <%s> — reason *)" allow_marker
-                      (String.concat "|" rule_ids);
-                }
-            else if not a.a_reason then
-              Some
-                {
-                  file = rel;
-                  line = a.a_line;
-                  col = 0;
-                  rule = "allow";
-                  message = "lint-allow comment without a reason: suppression needs an audit trail";
-                  hint = "append '— why this site is safe' to the allow comment";
-                }
-            else if not a.a_used then
-              Some
-                {
-                  file = rel;
-                  line = a.a_line;
-                  col = 0;
-                  rule = "allow";
-                  message = "stale lint-allow comment: it no longer suppresses anything";
-                  hint = "delete the comment (the violation it excused is gone)";
-                }
-            else None)
-          allows)
-      !allows_by_file
+    if not (active "allow") then []
+    else
+      List.concat_map
+        (fun (rel, allows) ->
+          List.filter_map
+            (fun a ->
+              if a.a_rule = None then
+                Some
+                  {
+                    file = rel;
+                    line = a.a_line;
+                    col = 0;
+                    rule = "allow";
+                    message = "malformed lint-allow comment: unknown rule id";
+                    hint =
+                      Printf.sprintf "use (* %s <%s> — reason *)" allow_marker
+                        (String.concat "|" rule_ids);
+                    chain = [];
+                  }
+              else if not (active (Option.get a.a_rule)) then None
+              else if not a.a_reason then
+                Some
+                  {
+                    file = rel;
+                    line = a.a_line;
+                    col = 0;
+                    rule = "allow";
+                    message = "lint-allow comment without a reason: suppression needs an audit trail";
+                    hint = "append '— why this site is safe' to the allow comment";
+                    chain = [];
+                  }
+              else if not a.a_used then
+                Some
+                  {
+                    file = rel;
+                    line = a.a_line;
+                    col = 0;
+                    rule = "allow";
+                    message = "stale lint-allow comment: it no longer suppresses anything";
+                    hint = "delete the comment (the violation it excused is gone)";
+                    chain = [];
+                  }
+              else None)
+            allows)
+        !allows_by_file
   in
   {
     findings = List.sort compare_findings (visible @ allow_findings);
@@ -639,7 +719,7 @@ let run_files ~root ~files =
     errors = List.rev !errors;
   }
 
-let run ~root = run_files ~root ~files:(scan_root root)
+let run ?rules ~root () = run_files ?rules ~root ~files:(scan_root root) ()
 
 (* ------------------------------------------------------------------ *)
 (* Output                                                              *)
@@ -651,6 +731,8 @@ let pp_report ppf r =
   List.iter
     (fun f ->
       Format.fprintf ppf "%s:%d:%d: [%s] %s@." f.file f.line f.col f.rule f.message;
+      if f.chain <> [] then
+        Format.fprintf ppf "    chain: %s@." (String.concat " \xe2\x86\x92 " f.chain);
       Format.fprintf ppf "    hint: %s@." f.hint)
     r.findings;
   if r.findings = [] && r.errors = [] then
@@ -684,12 +766,19 @@ let to_json r =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char b ',';
+      let chain =
+        if f.chain = [] then ""
+        else
+          Printf.sprintf ", \"chain\": [%s]"
+            (String.concat ", "
+               (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) f.chain))
+      in
       Buffer.add_string b
         (Printf.sprintf
            "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
-            \"message\": \"%s\", \"hint\": \"%s\"}"
+            \"message\": \"%s\", \"hint\": \"%s\"%s}"
            (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
-           (json_escape f.hint)))
+           (json_escape f.hint) chain))
     r.findings;
   if r.findings <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "],\n";
@@ -704,5 +793,117 @@ let to_json r =
   if r.errors <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "]\n}\n";
   Buffer.contents b
+
+(* SARIF 2.1.0, minimal but schema-valid: one run, one driver, one
+   result per finding (internal errors become ruleId
+   "internal-error").  Stable field order for CI diffing. *)
+let to_sarif r =
+  let b = Buffer.create 2048 in
+  let e = json_escape in
+  Buffer.add_string b
+    "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+     \"tool\": {\n        \"driver\": {\n          \"name\": \"ics_lint\",\n          \
+     \"rules\": [";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n            {\"id\": \"%s\"}" (e id)))
+    all_rules;
+  Buffer.add_string b "\n          ]\n        }\n      },\n      \"results\": [";
+  let results =
+    List.map
+      (fun f ->
+        let text =
+          if f.chain = [] then Printf.sprintf "%s | hint: %s" f.message f.hint
+          else
+            Printf.sprintf "%s | chain: %s | hint: %s" f.message
+              (String.concat " -> " f.chain) f.hint
+        in
+        (f.rule, f.file, f.line, max 1 (f.col + 1), text))
+      r.findings
+    @ List.map (fun (file, msg) -> ("internal-error", file, 1, 1, msg)) r.errors
+  in
+  List.iteri
+    (fun i (rule, file, line, col, text) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \
+            \"%s\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+            {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d, \"startColumn\": %d}}}]}"
+           (e rule) (e text) (e file) line col))
+    results;
+  if results <> [] then Buffer.add_string b "\n      ";
+  Buffer.add_string b "]\n    }\n  ]\n}\n";
+  Buffer.contents b
+
+let explain rule =
+  let text =
+    match rule with
+    | "D1" ->
+        Some
+          "D1 — unordered iteration.  Hashtbl.iter/fold in a deterministic layer: bucket \
+           order is a function of hashing internals and insertion history, not of the event \
+           schedule.  Iterate key-sorted via Ics_prelude.Sorted_tbl."
+    | "D2" ->
+        Some
+          "D2 — ambient nondeterminism.  Random.* outside lib/prelude/rng, and \
+           Sys.time/Unix.gettimeofday/Hashtbl.randomize outside lib/runtime.  All \
+           simulation randomness flows from the seeded Rng; only the runtime reads wall \
+           clocks."
+    | "D3" ->
+        Some
+          "D3 — polymorphic comparison on protocol state.  Stdlib.compare / bare compare / \
+           structural =/<> on syntactically non-scalar values in deterministic layers; use \
+           the key module's own compare/equal."
+    | "D4" ->
+        Some
+          "D4 — transitive nondeterminism.  A deterministic-layer function whose call chain \
+           crosses out of the deterministic scope and bottoms out in an ambient source D2 \
+           cannot see from the caller's file (the source is out of D2's scope, or audited \
+           where it lives).  Reported at the boundary call site with the full chain."
+    | "B1" ->
+        Some
+          "B1 — backend neutrality.  Layers below the runtime boundary (lib/net, faults, \
+           consensus, broadcast, core, app) must not name Unix or Ics_runtime — value \
+           paths, module aliases and opens alike.  The only door to the world is the Env \
+           capability record (lib/net/env.mli)."
+    | "B2" ->
+        Some
+          "B2 — transitive backend reach.  A backend-neutral function reaching \
+           Unix/Ics_runtime through a call chain into modules B1 does not cover.  Same \
+           remedy as B1: route through Env, reported with the chain."
+    | "DS1" ->
+        Some
+          "DS1 — domain-shared mutable state.  Module-toplevel mutable state (ref, array, \
+           Hashtbl.t, Buffer.t, ...) in any module reachable from the chaos-sweep cell \
+           entry points (lib/workload/chaos.ml): a Domains-parallel sweep shares it across \
+           domains.  Make it Atomic.t, confine it, or audit the declaration."
+    | "DS2" ->
+        Some
+          "DS2 — concurrent read/write hazard.  DS1 state that sweep-reachable functions \
+           both write and read: a data race once cells run concurrently.  A DS1 audit on \
+           the declaration covers the derived DS2 findings."
+    | "P1" ->
+        Some
+          "P1 — codec completeness.  Every `type Message.payload += C` constructor must be \
+           covered by a Codec.register ~fits dispatcher somewhere in the tree, or it fails \
+           at encode time on a live wire."
+    | "P2" ->
+        Some
+          "P2 — timer hygiene.  A self-rearming timer loop must live in a module that \
+           consults a quiescence signal (Engine.horizon, a stop flag), or the event queue \
+           never drains."
+    | "allow" ->
+        Some
+          (Printf.sprintf
+             "allow — suppression hygiene.  (* %s <rule> — reason *) on the finding's line \
+              or the line above suppresses it.  The reason is mandatory, and stale allows \
+              (suppressing nothing) are findings themselves."
+             allow_marker)
+    | _ -> None
+  in
+  text
 
 let exit_code r = if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0

@@ -3,30 +3,73 @@
     Every guarantee the repo makes — bit-identical seeded chaos replay,
     pinned wire fingerprints, the §2.2 validity-violation reproduction —
     requires the protocol layers to be deterministic functions of the
-    event schedule.  This pass parses every [.ml] under [lib/] and [bin/]
-    with compiler-libs ([Parse.implementation], no type information) and
-    walks the parsetree with [Ast_iterator], enforcing a small rule
-    catalog with per-directory scopes (DESIGN.md section 9):
+    event schedule.  The pass parses every [.ml] under [lib/], [bin/]
+    and [examples/] with compiler-libs ([Parse.implementation], no type
+    information) and runs two phases over the parsetrees
+    (DESIGN.md section 9):
+
+    {b Phase 1 (per-file, syntactic)} walks each tree with
+    [Ast_iterator] and checks the local rules, while also extracting a
+    {!Summary.t} per compilation unit: the functions it defines, every
+    ident path each body references, its write sites, and its
+    module-toplevel globals.
+
+    {b Phase 2 (interprocedural)} resolves the summaries' ident paths
+    against the repo's module conventions into a cross-module call
+    graph ({!Callgraph}), condenses it with Tarjan's SCC algorithm, and
+    propagates effects transitively ({!Propagate}) — so a
+    deterministic-layer function that reaches a wall clock through two
+    helper modules is flagged even though no single file shows the
+    violation.
+
+    Rule catalog:
 
     - {b B1} — backend neutrality: modules under [lib/net], [lib/faults],
-      [lib/consensus], [lib/broadcast] and [lib/core] must not reference
-      [Unix] or [Ics_runtime] directly — as a value path, a module alias,
-      or an [open].  Those layers run the same object code on the
-      simulated and the live backend; the only sanctioned door to the
-      outside world is the {!Ics_net.Env} capability record.
+      [lib/consensus], [lib/broadcast], [lib/core] and [lib/app] must not
+      reference [Unix] or [Ics_runtime] directly — as a value path, a
+      module alias, or an [open].  Those layers run the same object code
+      on the simulated and the live backend; the only sanctioned door to
+      the outside world is the {!Ics_net.Env} capability record.
+    - {b B2} — transitive backend reach: a backend-neutral function
+      whose call chain crosses into modules B1 does not cover and
+      bottoms out in [Unix]/[Ics_runtime].  Reported once at the
+      boundary call site, with the full chain in the message and in
+      {!finding.chain} (e.g. [core.tick → prelude.sys_probe.pid →
+      Unix.getpid]).
     - {b D1} — no [Hashtbl.iter]/[Hashtbl.fold] (bucket-order, hence
       memory-layout-dependent) in the deterministic layers ([sim],
-      [consensus], [broadcast], [core], [fd], [checker], [faults]).
-      Key-sorted traversal via {!Ics_prelude.Sorted_tbl} is the
+      [consensus], [broadcast], [core], [fd], [checker], [faults],
+      [app]).  Key-sorted traversal via {!Ics_prelude.Sorted_tbl} is the
       sanctioned replacement.
     - {b D2} — no ambient nondeterminism: [Random.*] anywhere outside
       [lib/prelude/rng] (the seeded SplitMix64 home), and no
       [Sys.time]/[Unix.gettimeofday]/[Hashtbl.randomize] outside
       [lib/runtime] (the only layer allowed to read wall clocks).
+    - {b D4} — transitive nondeterminism: a deterministic-layer function
+      whose call chain leaves the deterministic scope and bottoms out in
+      an ambient source D2 cannot see from the caller's file — the
+      source sits where D2 is out of scope ([lib/runtime],
+      [lib/prelude/rng]) or is allow-audited where it lives.  Reported
+      at the boundary call site with the chain, like B2
+      ([ct.on_suspect → prelude.foo → Unix.gettimeofday]).  Chains that
+      stay inside the deterministic scope are not re-reported: the
+      callee's own D2/D4 finding already covers them.
     - {b D3} — no polymorphic [Stdlib.compare] / structural equality on
       syntactically non-scalar values (records, tuples, payload-carrying
       constructors, list cells) in the deterministic layers; use the key
       module's own [compare]/[equal].
+    - {b DS1} — domain-shared mutable state: module-toplevel mutable
+      state ([ref], array, [Hashtbl.t], [Buffer.t], [Queue.t], ...) in
+      any module reachable from the sweep-cell entry points (the
+      toplevel functions of [lib/workload/chaos.ml]).  The
+      Domains-parallel sweep shares such state across domains.
+      [Atomic.t]/[Mutex.t] globals are exempt; anything else needs a
+      reasoned [(* lint: allow DS1 — ... *)] on the declaration.  The
+      message carries a reachability witness chain.
+    - {b DS2} — concurrent read/write hazard: DS1 state that
+      sweep-reachable functions both write and read — a data race once
+      cells run concurrently.  Anchored at the first write site; a DS1
+      audit on the declaration covers the derived DS2 findings too.
     - {b P1} — codec completeness: every [type Message.payload += ...]
       constructor must be covered by a [Codec.register ~fits:(function
       C ... -> true | ...)] somewhere in the tree, so an unregistered
@@ -38,25 +81,42 @@
       otherwise the loop keeps the event queue non-empty forever and a
       horizon-less run never returns.
 
+    Scopes: [examples/] gets the relaxed scope — D2 and P2 apply (an
+    example must still be schedule-deterministic and quiesce), but
+    D1/D3/B1 and the transitive rules are off, because examples may
+    legitimately name the runtime and iterate unordered.
+
     Suppression: [(* lint: allow <rule> — reason *)] on the finding's
     line or the line above suppresses it; the reason is mandatory (a
     bare allow is itself reported, as is a stale allow that no longer
     suppresses anything), so every exception carries an audit trail.
+    An audited source still feeds the transitive rules — allowing a
+    [Unix.gettimeofday] where it lives does not license deterministic
+    layers to call it — while a DS1 audit on a declaration clears that
+    state's DS2 findings as well (same audit decision).
 
     Known limits (it is a linter, not a verifier): analysis is purely
     syntactic — no typing, so D3 only sees literal shapes; P1 matches
     constructors by name, so two layers' same-named constructors can
     mask each other (the codec round-trip test closes that gap
-    dynamically); P2's quiescence check is per-file.  [chaos
-    --replay-check] is the dynamic complement. *)
+    dynamically); call-graph resolution covers toplevel [let]s and the
+    repo's [Ics_<layer>.<Module>] / sibling-module conventions —
+    functor applications, first-class modules and closures passed as
+    values stay unresolved, which under-approximates (missed edges,
+    never false chains).  [chaos --replay-check] is the dynamic
+    complement. *)
 
 type finding = {
   file : string;  (** path relative to the scan root *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
-  rule : string;  (** "D1".."P2", or "allow" for allow-comment misuse *)
+  rule : string;  (** "B1".."P2", or "allow" for allow-comment misuse *)
   message : string;
   hint : string;  (** one-line fix hint *)
+  chain : string list;
+      (** for D4/B2/DS1/DS2: the call chain from the in-scope caller to
+          the offending site, ["ct.on_suspect"; "prelude.foo";
+          "Unix.gettimeofday"]; [[]] for the per-file rules *)
 }
 
 type report = {
@@ -69,35 +129,57 @@ type report = {
 }
 
 val deterministic_layers : string list
-(** ["sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults"] *)
+(** ["sim"; "consensus"; "broadcast"; "core"; "fd"; "checker"; "faults";
+    "app"] *)
 
 val backend_neutral_layers : string list
-(** ["net"; "faults"; "consensus"; "broadcast"; "core"] — the B1 scope:
-    layers below the runtime boundary, compiled once and run by both
-    backends. *)
+(** ["net"; "faults"; "consensus"; "broadcast"; "core"; "app"] — the
+    B1/B2 scope: layers below the runtime boundary, compiled once and
+    run by both backends. *)
 
 val rule_ids : string list
-(** ["B1"; "D1"; "D2"; "D3"; "P1"; "P2"] — the allow-comment vocabulary. *)
+(** ["B1"; "B2"; "D1"; "D2"; "D3"; "D4"; "DS1"; "DS2"; "P1"; "P2"] —
+    the allow-comment vocabulary. *)
 
 val scan_root : string -> string list
-(** The [.ml] files under [root/lib] and [root/bin], as root-relative
-    paths in deterministic (sorted) order. *)
+(** The [.ml] files under [root/lib], [root/bin] and [root/examples],
+    as root-relative paths in deterministic (sorted) order. *)
 
-val run_files : root:string -> files:string list -> report
+val run_files : ?rules:string list -> root:string -> files:string list -> unit -> report
 (** Lint exactly [files] (root-relative).  Cross-file state (the P1
-    registration pool) is built from this file set only, so fixture
-    tests see a closed world. *)
+    registration pool, the call graph) is built from this file set
+    only, so fixture tests see a closed world.
 
-val run : root:string -> report
+    [rules] (default: every rule plus ["allow"]) restricts the run to
+    the listed rule ids: findings are generated for those rules only,
+    and the suppression accounting follows — an allow comment for an
+    unselected rule neither suppresses, nor counts in [suppressed], nor
+    rots into a stale-allow finding.  Allow-hygiene findings appear
+    only when ["allow"] itself is selected. *)
+
+val run : ?rules:string list -> root:string -> unit -> report
 (** [run_files] over [scan_root]. *)
 
 val pp_report : Format.formatter -> report -> unit
-(** Human format: [file:line:col: \[rule\] message] plus an indented
-    hint line per finding, then a one-line summary. *)
+(** Human format: [file:line:col: \[rule\] message] plus indented
+    chain (when present) and hint lines per finding, then a one-line
+    summary. *)
 
 val to_json : report -> string
 (** Machine format ([--format=json]): stable field order, findings
-    sorted, no trailing whitespace. *)
+    sorted, no trailing whitespace.  The ["chain"] key is emitted only
+    when non-empty, so reports from the per-file rules are byte-stable
+    across the phase-2 introduction. *)
+
+val to_sarif : report -> string
+(** SARIF 2.1.0 ([--format=sarif]), minimal but schema-valid: one run,
+    one result per finding (chain folded into the message text),
+    internal errors as ruleId ["internal-error"].  For CI annotation;
+    written to [_build/lint.sarif] by [make lint-report]. *)
+
+val explain : string -> string option
+(** [explain rule] is a paragraph describing the rule and its remedy
+    ([--explain RULE]); [None] for an unknown id. *)
 
 val exit_code : report -> int
 (** 0 clean, 1 findings, 2 internal errors (errors win). *)

@@ -1,0 +1,377 @@
+(* Phase 2 of the interprocedural analysis: condense the call graph
+   into strongly connected components (Tarjan), propagate effect bits
+   over the condensation in reverse topological order, and turn the
+   results into findings:
+
+   - D4: a function in a deterministic layer whose call chain crosses
+     out of the deterministic scope and bottoms out in an ambient
+     nondeterminism source the per-file D2 rule cannot see (the source
+     sits where D2 is off — lib/runtime, lib/prelude/rng — or behind an
+     allow audit).  Reported at the boundary call site, with the full
+     chain in the message.
+   - B2: the same shape for backend reach — a backend-neutral layer
+     transitively naming Unix / Ics_runtime through modules B1 does not
+     cover.
+   - DS1: module-toplevel mutable state in any module reachable from
+     the Domains-sweep entry points (the cells must be shareable across
+     domains), unless it is Atomic.t/Mutex.t or DS1-audited.
+   - DS2: such state both written and read by sweep-reachable functions
+     — a read-after-write race once cells run on separate domains.
+
+   Findings are reported once per boundary call site (a deterministic
+   caller of a deterministic callee is not re-reported: the callee owns
+   its own boundary), so mutually recursive helpers neither loop nor
+   double-report. *)
+
+type pfinding = {
+  p_file : string;
+  p_line : int;
+  p_col : int;
+  p_rule : string;
+  p_message : string;
+  p_hint : string;
+  p_chain : string list;
+}
+
+let display (cg : Callgraph.t) (n : Callgraph.node) =
+  match Callgraph.summary cg n.Callgraph.nfile with
+  | Some s -> s.Summary.base ^ "." ^ n.Callgraph.nname
+  | None -> n.Callgraph.nname
+
+(* ------------------------------------------------------------------ *)
+(* Direct effect sites                                                 *)
+
+let nd_ident path =
+  match path with
+  | "Random" :: _ :: _ -> Some (String.concat "." path)
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Hashtbl"; "randomize" ] ->
+      Some (String.concat "." path)
+  | _ -> None
+
+let be_ident path =
+  match path with
+  | (("Unix" | "Ics_runtime") :: _ :: _ | [ ("Unix" | "Ics_runtime") ]) ->
+      Some (String.concat "." path)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC + reverse-topological effect propagation                 *)
+
+type eff = { mutable nd : bool; mutable be : bool }
+
+let condense nodes edges_of direct =
+  let n = Array.length nodes in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i nd -> Hashtbl.replace index nd i) nodes;
+  let idx = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let counter = ref 0 and ncomp = ref 0 in
+  let comp_eff = ref [] in
+  let rec strongconnect v =
+    idx.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if idx.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
+      (edges_of v);
+    if low.(v) = idx.(v) then begin
+      (* Pop the component; every out-edge leaves into an already
+         finished component, so its effects are final — reverse
+         topological order for free. *)
+      let members = ref [] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- !ncomp;
+            members := w :: !members;
+            if w = v then continue := false
+        | [] -> continue := false
+      done;
+      let e = { nd = false; be = false } in
+      List.iter
+        (fun w ->
+          let dnd, dbe = direct w in
+          if dnd then e.nd <- true;
+          if dbe then e.be <- true;
+          List.iter
+            (fun u ->
+              if comp.(u) <> -1 && comp.(u) <> !ncomp then begin
+                let eu = List.assoc comp.(u) !comp_eff in
+                if eu.nd then e.nd <- true;
+                if eu.be then e.be <- true
+              end)
+            (edges_of w))
+        !members;
+      comp_eff := (!ncomp, e) :: !comp_eff;
+      incr ncomp
+    end
+  in
+  for v = 0 to n - 1 do
+    if idx.(v) = -1 then strongconnect v
+  done;
+  (comp, fun c -> List.assoc c !comp_eff)
+
+(* ------------------------------------------------------------------ *)
+(* Chain reconstruction: BFS from a node to the nearest direct site.   *)
+
+let chain_to cg ~start ~site_of =
+  let q = Queue.create () in
+  let parent = Hashtbl.create 32 in
+  Queue.add start q;
+  Hashtbl.replace parent start None;
+  let rec walk () =
+    if Queue.is_empty q then None
+    else
+      let n = Queue.pop q in
+      match site_of n with
+      | Some ident ->
+          (* Rebuild the path start -> ... -> n, then append the ident. *)
+          let rec back acc n =
+            match Hashtbl.find parent n with
+            | None -> n :: acc
+            | Some p -> back (n :: acc) p
+          in
+          Some (List.map (display cg) (back [] n) @ [ ident ])
+      | None ->
+          List.iter
+            (fun (callee, _, _) ->
+              if not (Hashtbl.mem parent callee) then begin
+                Hashtbl.replace parent callee (Some n);
+                Queue.add callee q
+              end)
+            (Callgraph.calls cg n);
+          walk ()
+  in
+  walk ()
+
+let pretty_chain chain = String.concat " \xe2\x86\x92 " chain
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+
+let run ~(cg : Callgraph.t) ~det_scope ~neutral_scope ~nd_visible ~be_visible ~ds_root
+    ~ds_allowed =
+  let nodes = Array.of_list (Callgraph.nodes cg) in
+  let index = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) nodes;
+  (* Direct effect sites per node, filtered down to the ones the
+     per-file rules do NOT already report: a source D2/B1 flags (or
+     would flag, absent its allow) is that rule's finding, not fuel for
+     a second transitive one. *)
+  let fn_of n =
+    match Callgraph.summary cg n.Callgraph.nfile with
+    | None -> None
+    | Some s -> List.find_opt (fun (f : Summary.fn) -> f.Summary.fn_name = n.Callgraph.nname) s.Summary.fns
+  in
+  let nd_site n =
+    match fn_of n with
+    | None -> None
+    | Some f ->
+        List.find_map
+          (fun (r : Summary.ident_ref) ->
+            match nd_ident r.Summary.path with
+            | Some ident when not (nd_visible n.Callgraph.nfile r.Summary.path r.Summary.line) ->
+                Some ident
+            | _ -> None)
+          f.Summary.refs
+  in
+  let be_site n =
+    match fn_of n with
+    | None -> None
+    | Some f ->
+        List.find_map
+          (fun (r : Summary.ident_ref) ->
+            match be_ident r.Summary.path with
+            | Some ident when not (be_visible n.Callgraph.nfile r.Summary.line) -> Some ident
+            | _ -> None)
+          f.Summary.refs
+  in
+  let edges_of v =
+    List.filter_map (fun (c, _, _) -> Hashtbl.find_opt index c) (Callgraph.calls cg nodes.(v))
+  in
+  let direct v = (nd_site nodes.(v) <> None, be_site nodes.(v) <> None) in
+  let comp, eff_of = condense nodes edges_of direct in
+  let tainted_nd n =
+    match Hashtbl.find_opt index n with Some i -> (eff_of comp.(i)).nd | None -> false
+  in
+  let tainted_be n =
+    match Hashtbl.find_opt index n with Some i -> (eff_of comp.(i)).be | None -> false
+  in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  (* D4 / B2: boundary call sites. *)
+  Array.iter
+    (fun n ->
+      let file = n.Callgraph.nfile in
+      List.iter
+        (fun (callee, line, col) ->
+          let cfile = callee.Callgraph.nfile in
+          if det_scope file && (not (det_scope cfile)) && tainted_nd callee then begin
+            match chain_to cg ~start:callee ~site_of:nd_site with
+            | Some tail ->
+                let chain = display cg n :: tail in
+                emit
+                  {
+                    p_file = file;
+                    p_line = line;
+                    p_col = col;
+                    p_rule = "D4";
+                    p_message =
+                      Printf.sprintf
+                        "transitive nondeterminism: %s — the call chain leaves the \
+                         deterministic scope and bottoms out in an ambient source D2 cannot \
+                         see from here"
+                        (pretty_chain chain);
+                    p_hint =
+                      "sever the chain or draw from the seeded Env/Engine stream; auditing \
+                       the helper in its own file does not make its deterministic callers \
+                       replayable";
+                    p_chain = chain;
+                  }
+            | None -> ()
+          end;
+          if neutral_scope file && (not (neutral_scope cfile)) && tainted_be callee then begin
+            match chain_to cg ~start:callee ~site_of:be_site with
+            | Some tail ->
+                let chain = display cg n :: tail in
+                emit
+                  {
+                    p_file = file;
+                    p_line = line;
+                    p_col = col;
+                    p_rule = "B2";
+                    p_message =
+                      Printf.sprintf
+                        "transitive backend reach outside the Env seam: %s — this layer runs \
+                         the same object code simulated and live, but the chain names a \
+                         backend B1 cannot see from here"
+                        (pretty_chain chain);
+                    p_hint =
+                      "reach time/scheduling/randomness/liveness through the Env capability \
+                       record (lib/net/env.mli); hoist the backend call above the seam";
+                    p_chain = chain;
+                  }
+            | None -> ()
+          end)
+        (Callgraph.calls cg n))
+    nodes;
+  (* DS1 / DS2: domain-safety over the sweep-reachable region. *)
+  let reach = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let q = Queue.create () in
+  (match Callgraph.summary cg ds_root with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          let n = { Callgraph.nfile = ds_root; nname = f.Summary.fn_name } in
+          if not (Hashtbl.mem reach n) then begin
+            Hashtbl.replace reach n ();
+            Hashtbl.replace parent n None;
+            Queue.add n q
+          end)
+        s.Summary.fns);
+  let first_in_file = Hashtbl.create 16 in
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    if not (Hashtbl.mem first_in_file n.Callgraph.nfile) then
+      Hashtbl.replace first_in_file n.Callgraph.nfile n;
+    List.iter
+      (fun (callee, _, _) ->
+        if not (Hashtbl.mem reach callee) then begin
+          Hashtbl.replace reach callee ();
+          Hashtbl.replace parent callee (Some n);
+          Queue.add callee q
+        end)
+      (Callgraph.calls cg n)
+  done;
+  let witness file =
+    match Hashtbl.find_opt first_in_file file with
+    | None -> []
+    | Some n ->
+        let rec back acc n =
+          match Hashtbl.find parent n with
+          | None -> n :: acc
+          | Some p -> back (n :: acc) p
+        in
+        List.map (display cg) (back [] n)
+  in
+  List.iter
+    (fun (s : Summary.t) ->
+      let rel = s.Summary.rel in
+      if Hashtbl.mem first_in_file rel then
+        List.iter
+          (fun (g : Summary.global) ->
+            let gnode = { Callgraph.nfile = rel; nname = g.Summary.g_name } in
+            let writers =
+              List.filter (fun (w, _, _) -> Hashtbl.mem reach w) (Callgraph.global_writers cg gnode)
+            in
+            let readers =
+              List.filter (fun (r, _, _) -> Hashtbl.mem reach r) (Callgraph.global_readers cg gnode)
+            in
+            let mutable_ = g.Summary.g_alloc || Callgraph.global_writers cg gnode <> [] in
+            if mutable_ && not g.Summary.g_atomic then begin
+              let w = witness rel in
+              emit
+                {
+                  p_file = rel;
+                  p_line = g.Summary.g_line;
+                  p_col = g.Summary.g_col;
+                  p_rule = "DS1";
+                  p_message =
+                    Printf.sprintf
+                      "module-toplevel mutable state '%s' (%s) in a module the Domains sweep \
+                       reaches (%s): cells sharing this across domains race on it"
+                      g.Summary.g_name g.Summary.g_kind (pretty_chain w);
+                  p_hint =
+                    "make it Atomic.t, move it into per-cell state, or audit the declaration \
+                     with a reasoned DS1 allow";
+                  p_chain = w;
+                };
+              (* A DS1 audit on the declaration is one decision covering
+                 the derived hazard too: the DS1 finding above still goes
+                 out (the textual allow suppresses it and is thereby
+                 used, not stale), but no DS2 is derived from audited
+                 state. *)
+              if ds_allowed rel g.Summary.g_line then ()
+              else
+                match (writers, readers) with
+              | (wn, wl, wc) :: _, (rn, _, _) :: _ ->
+                  emit
+                    {
+                      p_file = rel;
+                      p_line = wl;
+                      p_col = wc;
+                      p_rule = "DS2";
+                      p_message =
+                        Printf.sprintf
+                          "concurrent read/write hazard on module-toplevel '%s': written by \
+                           %s (%d writer%s) and read by %s (%d reader%s), all reachable from \
+                           the sweep cells"
+                          g.Summary.g_name (display cg wn) (List.length writers)
+                          (if List.length writers = 1 then "" else "s")
+                          (display cg rn) (List.length readers)
+                          (if List.length readers = 1 then "" else "s")
+                      ;
+                      p_hint =
+                        "serialise through Atomic.t or confine the state to one domain; a \
+                         DS1 audit on the declaration also covers this";
+                      p_chain = [];
+                    }
+              | _ -> ()
+            end)
+          s.Summary.globals)
+    (Callgraph.summaries cg);
+  List.rev !findings

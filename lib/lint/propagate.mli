@@ -1,0 +1,57 @@
+(** Phase 2 of the interprocedural lint: SCC condensation and
+    transitive effect propagation over the {!Callgraph}.
+
+    The call graph is condensed with Tarjan's algorithm; because a
+    component is finished only after every component it points into,
+    popping order is reverse topological and each component's effect
+    bits (reaches ambient nondeterminism / reaches a backend) are final
+    when computed — mutually recursive helpers converge in one pass and
+    are reported at most once per boundary call site.
+
+    Rules produced here:
+
+    - {b D4} — a function in a deterministic layer whose call chain
+      crosses out of the deterministic scope and bottoms out in an
+      ambient nondeterminism source the per-file D2 rule cannot see
+      (out of D2's scope, or allow-audited at the source).  Anchored at
+      the boundary call site; the message carries the full chain
+      ([ct.on_suspect → prelude.foo → Unix.gettimeofday]).
+    - {b B2} — the same shape for backend reach: a backend-neutral
+      layer transitively naming [Unix]/[Ics_runtime] through modules B1
+      does not cover.
+    - {b DS1} — module-toplevel mutable state in a module reachable
+      from the sweep entry points (every toplevel function of
+      [ds_root]), unless [Atomic.t]/[Mutex.t] or DS1-audited at the
+      declaration.  The message carries a reachability witness chain.
+    - {b DS2} — such state both written and read by sweep-reachable
+      functions: a read-after-write race once cells run on separate
+      domains.  Anchored at the first write site; a DS1 audit on the
+      declaration suppresses it together with DS1. *)
+
+type pfinding = {
+  p_file : string;
+  p_line : int;
+  p_col : int;
+  p_rule : string;  (** "D4" | "B2" | "DS1" | "DS2" *)
+  p_message : string;
+  p_hint : string;
+  p_chain : string list;  (** call chain, [["ct.on_suspect"; ...; "Unix.gettimeofday"]] *)
+}
+
+val run :
+  cg:Callgraph.t ->
+  det_scope:(string -> bool) ->
+  neutral_scope:(string -> bool) ->
+  nd_visible:(string -> string list -> int -> bool) ->
+  be_visible:(string -> int -> bool) ->
+  ds_root:string ->
+  ds_allowed:(string -> int -> bool) ->
+  pfinding list
+(** [det_scope rel] / [neutral_scope rel]: is the file under the
+    deterministic (D4) / backend-neutral (B2) discipline.  [nd_visible
+    rel path line] / [be_visible rel line]: would the direct use at
+    that site already be reported by D2 / B1 (in scope and not
+    allow-suppressed) — such sites are that rule's findings, not fuel
+    for a transitive one.  [ds_root] is the sweep driver file whose
+    toplevel functions seed DS reachability; [ds_allowed rel line]
+    answers whether a reasoned DS1 allow covers the declaration. *)

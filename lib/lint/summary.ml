@@ -1,0 +1,207 @@
+(* Phase 1 of the interprocedural analysis: one pass over a parsed
+   compilation unit producing its effect summary — per-toplevel-function
+   facts (every value ident the body mentions, every mutation target it
+   writes) plus the module-toplevel bindings themselves, classified by
+   whether their right-hand side syntactically allocates mutable state.
+   Module aliases ([module E = Ics_sim.Engine]) are expanded here, so
+   everything downstream (callgraph, propagate) sees canonical paths.
+   Still purely syntactic: no types, no build artefacts. *)
+
+open Parsetree
+
+type ident_ref = { path : string list; line : int; col : int }
+
+type fn = {
+  fn_name : string;
+  fn_line : int;
+  fn_col : int;
+  refs : ident_ref list;  (* every value ident in the body, aliases expanded *)
+  writes : ident_ref list;  (* mutation targets: x := .., t.(i) <- .., Hashtbl.add t .. *)
+}
+
+type global = {
+  g_name : string;
+  g_line : int;
+  g_col : int;
+  g_kind : string;  (* "ref" | "array" | "Hashtbl.t" | ... | "value" *)
+  g_alloc : bool;  (* right-hand side allocates mutable state *)
+  g_atomic : bool;  (* Atomic.make / Mutex.create: built for sharing *)
+}
+
+type t = {
+  rel : string;
+  base : string;  (* file basename without .ml: "ct" *)
+  aliases : (string * string list) list;
+  globals : global list;
+  fns : fn list;
+}
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+let expand aliases path =
+  match path with
+  | head :: rest -> (
+      match List.assoc_opt head aliases with Some tgt -> tgt @ rest | None -> path)
+  | [] -> path
+
+(* Mutable-state allocators, by expanded head path.  [Atomic]/[Mutex]
+   are classified separately: they exist to be shared across domains. *)
+let alloc_kind = function
+  | [ "ref" ] -> Some ("ref", false)
+  | [ "Array"; ("make" | "create" | "init" | "make_matrix") ] -> Some ("array", false)
+  | [ "Hashtbl"; "create" ] -> Some ("Hashtbl.t", false)
+  | [ "Buffer"; "create" ] -> Some ("Buffer.t", false)
+  | [ "Queue"; "create" ] -> Some ("Queue.t", false)
+  | [ "Stack"; "create" ] -> Some ("Stack.t", false)
+  | [ "Bytes"; ("create" | "make") ] -> Some ("Bytes.t", false)
+  | [ "Atomic"; "make" ] -> Some ("Atomic.t", true)
+  | [ "Mutex"; "create" ] -> Some ("Mutex.t", true)
+  | _ -> None
+
+(* Mutation heads: an application of one of these with an ident as the
+   written operand is a write to that ident.  The operand is the first
+   unlabelled argument throughout. *)
+let is_write_head = function
+  | [ ":=" ] | [ "incr" ] | [ "decr" ] -> true
+  | [ "Array"; ("set" | "unsafe_set" | "fill") ] -> true
+  | [ "Bytes"; ("set" | "unsafe_set" | "fill") ] -> true
+  | [ "Hashtbl"; ("add" | "replace" | "remove" | "reset" | "clear" | "filter_map_inplace") ]
+    ->
+      true
+  | "Buffer"
+    :: [ ("add_string" | "add_char" | "add_bytes" | "add_buffer" | "add_subbytes"
+         | "add_substring" | "clear" | "reset" | "truncate") ] ->
+      true
+  | [ "Queue"; ("push" | "add" | "pop" | "take" | "clear" | "transfer") ] -> true
+  | [ "Atomic"; ("set" | "incr" | "decr" | "exchange" | "compare_and_set") ] -> true
+  | _ -> false
+
+let rec peel_fun e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> Some body
+  | Pexp_function _ -> Some e
+  | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> peel_fun body
+  | _ -> None
+
+let is_function e = peel_fun e <> None
+
+(* Collect refs and writes from one expression subtree. *)
+let facts_of_body aliases body =
+  let refs = ref [] and writes = ref [] in
+  let add_ref path loc =
+    let line, col = loc_pos loc in
+    refs := { path = expand aliases path; line; col } :: !refs
+  in
+  let add_write e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        let line, col = loc_pos loc in
+        writes := { path = expand aliases (flatten txt); line; col } :: !writes
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> add_ref (flatten txt) loc
+          | Pexp_setfield (tgt, _, _) -> add_write tgt
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+              if is_write_head (expand aliases (flatten txt)) then (
+                match List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args with
+                | Some (_, arg) -> add_write arg
+                | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it body;
+  (List.rev !refs, List.rev !writes)
+
+let classify_global aliases e =
+  let kind = ref "value" and alloc = ref false and atomic = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+              match alloc_kind (expand aliases (flatten txt)) with
+              | Some (_, true) -> atomic := true
+              | Some (k, false) ->
+                  if not !alloc then kind := k;
+                  alloc := true
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  (!kind, !alloc, !atomic)
+
+let base_of rel =
+  let b = Filename.basename rel in
+  Filename.remove_extension b
+
+let of_structure ~rel (str : structure) =
+  (* Aliases first: they are file-scoped names and the bodies below need
+     them regardless of declaration order. *)
+  let aliases = ref [] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          { pmb_name = { txt = Some name; _ }; pmb_expr = { pmod_desc = Pmod_ident lid; _ }; _ }
+        ->
+          aliases := (name, expand !aliases (flatten lid.txt)) :: !aliases
+      | _ -> ())
+    str;
+  let aliases = List.rev !aliases in
+  let globals = ref [] and fns = ref [] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = name; _ } | Ppat_constraint ({ ppat_desc = Ppat_var { txt = name; _ }; _ }, _) ->
+                  let line, col = loc_pos vb.pvb_pat.ppat_loc in
+                  if is_function vb.pvb_expr then begin
+                    let refs, writes = facts_of_body aliases vb.pvb_expr in
+                    fns := { fn_name = name; fn_line = line; fn_col = col; refs; writes } :: !fns
+                  end
+                  else begin
+                    let kind, alloc, atomic = classify_global aliases vb.pvb_expr in
+                    globals :=
+                      {
+                        g_name = name;
+                        g_line = line;
+                        g_col = col;
+                        g_kind = kind;
+                        g_alloc = alloc;
+                        g_atomic = atomic;
+                      }
+                      :: !globals
+                  end
+              | _ -> ())
+            vbs
+      | _ -> ())
+    str;
+  {
+    rel;
+    base = base_of rel;
+    aliases;
+    globals = List.rev !globals;
+    fns = List.rev !fns;
+  }
+
+let of_source ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf rel;
+  of_structure ~rel (Parse.implementation lexbuf)

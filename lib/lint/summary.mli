@@ -1,0 +1,53 @@
+(** Phase 1 of the interprocedural lint: per-compilation-unit effect
+    summaries.
+
+    [of_structure] walks one parsed [.ml] and records, for every
+    module-toplevel [let]-bound function, the value idents its body
+    mentions ([refs], module aliases expanded to canonical paths) and
+    the idents it mutates ([writes]: [x := ..], [t.(i) <- ..],
+    [r.field <- ..], [Hashtbl.add t ..], ...).  Non-function toplevel
+    bindings become [globals], classified by whether their right-hand
+    side syntactically allocates mutable state ([ref], [Array.make],
+    [Hashtbl.create], [Buffer.create], ...) and whether it is built for
+    cross-domain sharing ([Atomic.make], [Mutex.create]).
+
+    Known limits (shared by the whole phase-2 pipeline): only toplevel
+    [Ppat_var] bindings are summarised — initializer expressions of
+    non-function bindings and [let () = ...] effects are not walked, and
+    functions inside nested [module ... = struct ... end] blocks are
+    invisible.  Mutation is tracked only when the written operand is
+    itself an ident; state mutated through a function argument is the
+    callee's summary's problem, not alias analysis's. *)
+
+type ident_ref = { path : string list; line : int; col : int }
+
+type fn = {
+  fn_name : string;
+  fn_line : int;
+  fn_col : int;
+  refs : ident_ref list;  (** every value ident in the body, aliases expanded *)
+  writes : ident_ref list;  (** mutation targets *)
+}
+
+type global = {
+  g_name : string;
+  g_line : int;
+  g_col : int;
+  g_kind : string;  (** "ref" | "array" | "Hashtbl.t" | ... | "value" *)
+  g_alloc : bool;  (** right-hand side allocates mutable state *)
+  g_atomic : bool;  (** [Atomic.make] / [Mutex.create]: built for sharing *)
+}
+
+type t = {
+  rel : string;  (** scan-root-relative path of the unit *)
+  base : string;  (** file basename without [.ml]: ["ct"] *)
+  aliases : (string * string list) list;
+      (** file-scoped [module X = Path] aliases, in declaration order *)
+  globals : global list;
+  fns : fn list;
+}
+
+val of_structure : rel:string -> Parsetree.structure -> t
+val of_source : rel:string -> string -> t
+(** [of_structure] over [Parse.implementation]; raises on unparseable
+    input exactly like the syntactic pass. *)

@@ -1,0 +1,9 @@
+(* Fixture: examples get the relaxed scope — runtime aliases, unordered
+   iteration and polymorphic compare are all legal here; ambient
+   nondeterminism is not. *)
+
+module Clock = Ics_runtime.Clock
+
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+let ordered l = List.sort compare l
+let jitter () = Random.float 1.0

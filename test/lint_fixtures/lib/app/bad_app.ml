@@ -1,0 +1,6 @@
+(* Fixture: the app layer joined the deterministic scope in PR 8 — the
+   same violations the other det layers ban must fire here too. *)
+
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+let jitter () = Random.float 1.0
+let ordered l = List.sort compare l

@@ -1,0 +1,5 @@
+(* Fixture: no line in this file trips D2 — the nondeterminism sits two
+   hops away, behind the runtime boundary where D2 is out of scope.
+   Only the interprocedural pass can see the chain. *)
+
+let snapshot () = Ics_runtime.Offscope.epoch ()

@@ -1,0 +1,6 @@
+(* Fixture: a mutually recursive pair that both reach the runtime clock
+   — the SCC condensation must converge and report each boundary call
+   site exactly once, not loop or double-count through the cycle. *)
+
+let rec flip n = if n = 0 then Ics_runtime.Offscope.epoch () else flop (n - 1)
+and flop n = if n = 0 then Ics_runtime.Offscope.epoch () else flip (n - 1)

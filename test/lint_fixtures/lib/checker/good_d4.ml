@@ -1,0 +1,5 @@
+(* Fixture: the severed twin of bad_d4 — same two-hop shape into the
+   runtime layer, but the helper is schedule-deterministic, so no
+   transitive taint reaches this file. *)
+
+let snapshot tbl = Ics_runtime.Offscope.count tbl

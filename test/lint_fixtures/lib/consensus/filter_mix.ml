@@ -1,0 +1,8 @@
+(* Fixture: one open violation plus one audited one — the --rule filter
+   must keep the suppression accounting consistent with the active rule
+   set (an allow for an unselected rule neither suppresses nor rots). *)
+
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+
+(* lint: allow D2 — fixture: audited jitter *)
+let jitter () = Random.float 1.0

@@ -1,0 +1,4 @@
+(* Fixture: no line here names a backend — the Unix reach is one module
+   away, in a layer outside the B1 scope.  B2 must carry the chain. *)
+
+let tick () = Ics_prelude.Sys_probe.pid ()

@@ -1,0 +1,5 @@
+(* Fixture: a backend touch in a layer the B1 scope does not cover —
+   fuel for the transitive B2 rule, invisible to B1 from any caller's
+   file. *)
+
+let pid () = Unix.getpid ()

@@ -1,0 +1,11 @@
+(* Fixture: stands in for the repo's sweep driver — its toplevel
+   functions are the DS1/DS2 reachability roots, exactly as the real
+   lib/workload/chaos.ml's cells are. *)
+
+let run_cell () =
+  Registry.bump ();
+  Registry.current ()
+
+let run_audited () =
+  Registry_allowed.bump ();
+  Registry_allowed.current ()

@@ -1,0 +1,10 @@
+(* Fixture: module-toplevel mutable state shared by every sweep cell —
+   the ref must trip DS1 and its reachable read/write pair DS2; the
+   Atomic.t is the sanctioned form and must stay silent. *)
+
+let hits = ref 0
+let live = Atomic.make 0
+let bump () = incr hits
+let current () = !hits
+let bump_live () = Atomic.incr live
+let read_live () = Atomic.get live

@@ -1,0 +1,8 @@
+(* Fixture: the audited twin of registry.ml — one reasoned DS1 allow on
+   the declaration must silence both DS1 and the derived DS2, and the
+   allow must count as used, not stale. *)
+
+(* lint: allow DS1 — fixture: cells treat this as a write-once scratch counter *)
+let hits = ref 0
+let bump () = incr hits
+let current () = !hits

@@ -6,13 +6,15 @@
    lint`. *)
 
 module Lint = Ics_lint.Lint
+module Summary = Ics_lint.Summary
+module Callgraph = Ics_lint.Callgraph
 
 (* `dune runtest` runs from _build/default/test; `dune exec` from the
    project root — accept either. *)
 let fixtures =
   if Sys.file_exists "lint_fixtures" then "lint_fixtures" else "test/lint_fixtures"
 
-let lint files = Lint.run_files ~root:fixtures ~files
+let lint ?rules files = Lint.run_files ?rules ~root:fixtures ~files ()
 
 let rules r = List.map (fun f -> f.Lint.rule) r.Lint.findings
 
@@ -101,6 +103,190 @@ let test_golden_json () =
   let r = lint [ "lib/broadcast/bad_p1.ml" ] in
   Alcotest.(check string) "json report is byte-stable" golden_json (Lint.to_json r)
 
+(* --- the interprocedural pass ------------------------------------- *)
+
+let test_app_layer () =
+  check_rules "app layer is in the deterministic scope" "lib/app/bad_app.ml"
+    [ "D1"; "D2"; "D3" ]
+
+let test_examples_scope () =
+  (* Runtime alias, Hashtbl.fold and polymorphic compare are all legal
+     in examples/; the Random draw is not. *)
+  check_rules "examples get the relaxed scope" "examples/demo.ml" [ "D2" ]
+
+let d4_golden_message =
+  "transitive nondeterminism: bad_d4.snapshot → offscope.epoch → Unix.gettimeofday — the \
+   call chain leaves the deterministic scope and bottoms out in an ambient source D2 cannot \
+   see from here"
+
+let test_d4_two_hop () =
+  let r = lint [ "lib/checker/bad_d4.ml"; "lib/runtime/offscope.ml" ] in
+  Alcotest.(check (list string)) "D4 fires at the boundary call site" [ "D4" ] (rules r);
+  match r.Lint.findings with
+  | [ f ] ->
+      Alcotest.(check string) "pinned chain message" d4_golden_message f.Lint.message;
+      Alcotest.(check (list string)) "structured chain"
+        [ "bad_d4.snapshot"; "offscope.epoch"; "Unix.gettimeofday" ] f.Lint.chain;
+      Alcotest.(check string) "anchored in the caller's file" "lib/checker/bad_d4.ml"
+        f.Lint.file
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_d4_severed () =
+  (* Without the runtime helper in the file set the call is unresolved —
+     no edge, no finding; and the deterministic twin never taints. *)
+  let r = lint [ "lib/checker/bad_d4.ml" ] in
+  Alcotest.(check (list string)) "severed world: no finding" [] (rules r);
+  let r = lint [ "lib/checker/good_d4.ml"; "lib/runtime/offscope.ml" ] in
+  Alcotest.(check (list string)) "deterministic helper: no taint" [] (rules r)
+
+let test_d4_cycle () =
+  let r = lint [ "lib/checker/cycle_d4.ml"; "lib/runtime/offscope.ml" ] in
+  Alcotest.(check (list string))
+    "mutual recursion: one D4 per boundary site, no loop, no double-report" [ "D4"; "D4" ]
+    (rules r)
+
+let test_b2 () =
+  let r = lint [ "lib/core/bad_b2.ml"; "lib/prelude/sys_probe.ml" ] in
+  Alcotest.(check (list string)) "B2 fires once" [ "B2" ] (rules r);
+  (match r.Lint.findings with
+  | [ f ] ->
+      Alcotest.(check (list string)) "chain bottoms out in Unix"
+        [ "bad_b2.tick"; "sys_probe.pid"; "Unix.getpid" ] f.Lint.chain
+  | _ -> Alcotest.fail "expected exactly one finding");
+  let r = lint [ "lib/core/bad_b2.ml" ] in
+  Alcotest.(check (list string)) "severed world: no finding" [] (rules r)
+
+let ds_files =
+  [
+    "lib/workload/chaos.ml";
+    "lib/workload/registry.ml";
+    "lib/workload/registry_allowed.ml";
+  ]
+
+let test_ds () =
+  let r = lint ds_files in
+  Alcotest.(check (list string))
+    "DS1 on the ref, DS2 on its write; Atomic.t and the audited twin stay silent"
+    [ "DS1"; "DS2" ] (rules r);
+  Alcotest.(check int) "the audit counts as a suppression, not a stale allow" 1
+    r.Lint.suppressed;
+  match r.Lint.findings with
+  | [ ds1; ds2 ] ->
+      Alcotest.(check string) "DS1 anchored at the declaration" "lib/workload/registry.ml"
+        ds1.Lint.file;
+      Alcotest.(check bool) "DS1 witness names the sweep root" true
+        (contains ~sub:"chaos.run_cell" ds1.Lint.message);
+      Alcotest.(check bool) "DS2 names writer and reader" true
+        (contains ~sub:"registry.bump" ds2.Lint.message
+        && contains ~sub:"registry.current" ds2.Lint.message)
+  | _ -> Alcotest.fail "expected exactly two findings"
+
+let test_ds_unreachable () =
+  (* No sweep root in the file set: the same state is not domain-shared. *)
+  let r = lint [ "lib/workload/registry.ml" ] in
+  Alcotest.(check (list string)) "unreachable state is not flagged" [] (rules r)
+
+(* --- the --rule filter --------------------------------------------- *)
+
+let test_rule_filter () =
+  let file = [ "lib/consensus/filter_mix.ml" ] in
+  let r = lint file in
+  Alcotest.(check (list string)) "full run: D1 visible, D2 audited" [ "D1" ] (rules r);
+  Alcotest.(check int) "full run: one suppression" 1 r.Lint.suppressed;
+  let r = lint ~rules:[ "D1"; "allow" ] file in
+  Alcotest.(check (list string)) "D1 filter: finding kept, foreign allow not stale" [ "D1" ]
+    (rules r);
+  Alcotest.(check int) "D1 filter: nothing suppressed" 0 r.Lint.suppressed;
+  let r = lint ~rules:[ "D2"; "allow" ] file in
+  Alcotest.(check (list string)) "D2 filter: audited, so clean" [] (rules r);
+  Alcotest.(check int) "D2 filter: the suppression is counted" 1 r.Lint.suppressed
+
+(* --- analysis internals -------------------------------------------- *)
+
+let test_summary_extraction () =
+  let s =
+    Summary.of_source ~rel:"lib/fd/probe.ml"
+      "module E = Ics_net.Env\n\
+       let beat = ref 0\n\
+       let seen = Atomic.make 0\n\
+       let tick e = incr beat; E.rng e\n"
+  in
+  Alcotest.(check string) "base name" "probe" s.Summary.base;
+  Alcotest.(check (list (pair string (list string)))) "aliases expanded"
+    [ ("E", [ "Ics_net"; "Env" ]) ] s.Summary.aliases;
+  Alcotest.(check (list (pair string (pair string bool)))) "globals classified"
+    [ ("beat", ("ref", false)); ("seen", ("value", true)) ]
+    (List.map
+       (fun (g : Summary.global) -> (g.Summary.g_name, (g.Summary.g_kind, g.Summary.g_atomic)))
+       s.Summary.globals);
+  match s.Summary.fns with
+  | [ f ] ->
+      Alcotest.(check string) "fn name" "tick" f.Summary.fn_name;
+      Alcotest.(check (list (list string))) "write targets" [ [ "beat" ] ]
+        (List.map (fun (w : Summary.ident_ref) -> w.Summary.path) f.Summary.writes);
+      Alcotest.(check bool) "alias-expanded ref" true
+        (List.exists
+           (fun (r : Summary.ident_ref) -> r.Summary.path = [ "Ics_net"; "Env"; "rng" ])
+           f.Summary.refs)
+  | _ -> Alcotest.fail "expected exactly one function"
+
+let test_callgraph_resolution () =
+  let a =
+    Summary.of_source ~rel:"lib/fd/alpha.ml"
+      "let helper () = 1\nlet go () = helper () + Beta.other () + Ics_fd.Beta.gauge ()\n"
+  in
+  let b =
+    Summary.of_source ~rel:"lib/fd/beta.ml"
+      "let other () = 2\nlet gauge () = 3\nlet cell = ref 0\n"
+  in
+  let cg = Callgraph.build [ a; b ] in
+  let node nfile nname = { Callgraph.nfile; nname } in
+  let res = Callgraph.resolve cg ~from_rel:"lib/fd/alpha.ml" in
+  let check_res name path expected =
+    Alcotest.(check bool) name true (res path = expected)
+  in
+  check_res "bare name: own file" [ "helper" ] (`Fn (node "lib/fd/alpha.ml" "helper"));
+  check_res "sibling module" [ "Beta"; "other" ] (`Fn (node "lib/fd/beta.ml" "other"));
+  check_res "wrapped library path" [ "Ics_fd"; "Beta"; "gauge" ]
+    (`Fn (node "lib/fd/beta.ml" "gauge"));
+  check_res "toplevel global" [ "Beta"; "cell" ] (`Global (node "lib/fd/beta.ml" "cell"));
+  check_res "unknown module" [ "Gamma"; "nope" ] `Unresolved;
+  check_res "stdlib stays unresolved" [ "Hashtbl"; "create" ] `Unresolved;
+  let callees =
+    List.map (fun (n, _, _) -> n.Callgraph.nname) (Callgraph.calls cg (node "lib/fd/alpha.ml" "go"))
+  in
+  Alcotest.(check (list string)) "edges out of go" [ "helper"; "gauge"; "other" ] callees
+
+(* --- output formats ------------------------------------------------ *)
+
+let test_json_chain () =
+  let r = lint [ "lib/checker/bad_d4.ml"; "lib/runtime/offscope.ml" ] in
+  Alcotest.(check bool) "json carries the chain key" true
+    (contains
+       ~sub:"\"chain\": [\"bad_d4.snapshot\", \"offscope.epoch\", \"Unix.gettimeofday\"]"
+       (Lint.to_json r))
+
+let test_sarif () =
+  let r = lint [ "lib/broadcast/bad_p1.ml" ] in
+  let s = Lint.to_sarif r in
+  Alcotest.(check bool) "sarif version" true (contains ~sub:"\"version\": \"2.1.0\"" s);
+  Alcotest.(check bool) "sarif carries the finding" true (contains ~sub:"\"ruleId\": \"P1\"" s);
+  let r = lint [ "lib/checker/bad_d4.ml"; "lib/runtime/offscope.ml" ] in
+  Alcotest.(check bool) "sarif folds the chain into the message" true
+    (contains ~sub:"chain: bad_d4.snapshot -> offscope.epoch -> Unix.gettimeofday"
+       (Lint.to_sarif r))
+
+let test_explain () =
+  List.iter
+    (fun rule ->
+      match Lint.explain rule with
+      | Some text ->
+          Alcotest.(check bool) ("explain " ^ rule ^ " names the rule") true
+            (contains ~sub:rule text)
+      | None -> Alcotest.fail ("no explanation for " ^ rule))
+    ("allow" :: Lint.rule_ids);
+  Alcotest.(check bool) "unknown rule has no explanation" true (Lint.explain "Z9" = None)
+
 (* The gate itself: the repo's own lib/ and bin/ must lint clean.  The
    test runs from _build/default/test, so the parent directory holds the
    copied sources of everything the suite links against. *)
@@ -109,7 +295,7 @@ let test_repo_clean () =
     (* Sandboxed runner without the source tree alongside: nothing to scan. *)
     ()
   else begin
-    let r = Lint.run ~root:".." in
+    let r = Lint.run ~root:".." () in
     List.iter
       (fun (f : Lint.finding) ->
         Format.eprintf "repo finding: %s:%d:%d [%s] %s@." f.Lint.file f.Lint.line f.Lint.col
@@ -118,6 +304,24 @@ let test_repo_clean () =
     Alcotest.(check (list (pair string string))) "no internal errors" [] r.Lint.errors;
     Alcotest.(check int) "zero findings on the repo" 0 (List.length r.Lint.findings);
     Alcotest.(check bool) "scanned a real file set" true (r.Lint.files_scanned > 40)
+  end
+
+(* The transitive gate: the repo must also be clean under the
+   interprocedural rules alone, with every DS1 audit in active use —
+   exit-code-gated so `dune runtest` fails the moment a deterministic
+   layer grows a chain to a wall clock or the sweep region grows
+   unaudited shared state. *)
+let test_repo_clean_transitive () =
+  if not (Sys.file_exists "../lib") then ()
+  else begin
+    let r = Lint.run ~rules:[ "D4"; "B2"; "DS1"; "DS2"; "allow" ] ~root:".." () in
+    List.iter
+      (fun (f : Lint.finding) ->
+        Format.eprintf "repo finding: %s:%d:%d [%s] %s@." f.Lint.file f.Lint.line f.Lint.col
+          f.Lint.rule f.Lint.message)
+      r.Lint.findings;
+    Alcotest.(check int) "exit 0 under the transitive gate" 0 (Lint.exit_code r);
+    Alcotest.(check int) "the DS1 audits are in active use" 3 r.Lint.suppressed
   end
 
 let suites =
@@ -136,6 +340,21 @@ let suites =
         Alcotest.test_case "allow needs a reason" `Quick test_allow_needs_reason;
         Alcotest.test_case "unparseable input is an error" `Quick test_unparseable;
         Alcotest.test_case "golden JSON output" `Quick test_golden_json;
+        Alcotest.test_case "app layer scope" `Quick test_app_layer;
+        Alcotest.test_case "examples relaxed scope" `Quick test_examples_scope;
+        Alcotest.test_case "D4 two-hop chain" `Quick test_d4_two_hop;
+        Alcotest.test_case "D4 severed chain is clean" `Quick test_d4_severed;
+        Alcotest.test_case "D4 mutual recursion converges" `Quick test_d4_cycle;
+        Alcotest.test_case "B2 transitive backend reach" `Quick test_b2;
+        Alcotest.test_case "DS1/DS2 domain safety" `Quick test_ds;
+        Alcotest.test_case "DS needs reachability" `Quick test_ds_unreachable;
+        Alcotest.test_case "--rule filter accounting" `Quick test_rule_filter;
+        Alcotest.test_case "summary extraction" `Quick test_summary_extraction;
+        Alcotest.test_case "call-graph resolution" `Quick test_callgraph_resolution;
+        Alcotest.test_case "JSON chain key" `Quick test_json_chain;
+        Alcotest.test_case "SARIF output" `Quick test_sarif;
+        Alcotest.test_case "every rule has an explanation" `Quick test_explain;
         Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
+        Alcotest.test_case "repo clean under transitive gate" `Quick test_repo_clean_transitive;
       ] );
   ]
