@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the pre-merge gate.
 
-.PHONY: all build test bench perf chaos chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke lint lint-report verify clean
+.PHONY: all build test bench perf chaos chaos-smoke jobs-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke lint lint-report verify clean
 
 all: build
 
@@ -17,15 +17,23 @@ bench:
 perf:
 	dune exec bench/main.exe -- perf quick
 
-# Full chaos sweep: 100 seeds x every stack x every fault plan (~a minute).
+# Full chaos sweep: 100 seeds x every stack x every fault plan (~a minute
+# single-threaded; cells run jobs-wide on OCaml 5 domains, bit-identical
+# to --jobs 1 by construction).
 chaos:
-	dune exec bin/ics_cli.exe -- chaos --seeds 100
+	dune exec bin/ics_cli.exe -- chaos --seeds 100 --jobs $$(nproc)
 
 # Quick sweep for the pre-merge gate (a few seconds).  --replay-check reruns
 # one seed per cell and fails on any fingerprint divergence, so the replay
 # commands the sweep prints stay trustworthy.
 chaos-smoke:
 	dune exec bin/ics_cli.exe -- chaos --seeds 5 --replay-check
+
+# Parallel-sweep determinism fence: a tiny sweep run at --jobs 1 and
+# --jobs 2, every trace fingerprint compared — any divergence means
+# domain-shared state leaked into a cell and fails the gate.
+jobs-smoke:
+	dune exec bin/ics_cli.exe -- chaos --seeds 2 --plans drop,blackout --jobs 2 --jobs-check
 
 # Chaos cells as forked loopback-TCP clusters: the seeded plans compiled
 # onto real sockets through the same interposer.  Includes the blackout
@@ -80,7 +88,7 @@ lint-report:
 	dune exec bin/ics_lint.exe -- --root . --format sarif > _build/lint.sarif; \
 	rc=$$?; echo "lint-report: _build/lint.sarif"; exit $$rc
 
-verify: build test lint lint-report perf chaos-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke
+verify: build test lint lint-report perf chaos-smoke jobs-smoke chaos-live-smoke cluster-smoke saturation-smoke service-smoke
 
 clean:
 	dune clean

@@ -11,15 +11,18 @@
      dune exec bench/main.exe -- figures # one section only; sections are
                                          # figures, scenarios, ablations,
                                          # faults, faults-live, claims,
-                                         # micro, wire, saturation, perf
-                                         # (combinable)
+                                         # micro, wire, saturation, wire2,
+                                         # service, perf (combinable)
 
    The perf section measures real wall-clock time and allocation on a fixed
    deterministic workload and writes the numbers to BENCH_PR1.json; the
    faults-live section runs the same seeded drop plans on forked loopback
    clusters and writes BENCH_PR5.json; the saturation section sweeps
    offered load over the batched/pipelined/ring stack on both backends
-   and writes the knee curves to BENCH_PR6.json. *)
+   and writes the knee curves to BENCH_PR6.json; the wire2 section
+   measures the in-place frame encoder against the legacy stage-then-copy
+   path, re-runs the batched live knee over the poll(2) loop, times the
+   chaos sweep at --jobs 1/2/4 and writes BENCH_PR10.json. *)
 
 module Stack = Ics_core.Stack
 module Abcast = Ics_core.Abcast
@@ -718,7 +721,7 @@ let run_wire ~quick =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to iters do
       Buffer.clear w;
-      Codec.encode_payload w payload
+      Codec.encode_payload_legacy w payload
     done;
     let enc_s = Unix.gettimeofday () -. t0 in
     let bytes = Buffer.contents w in
@@ -991,6 +994,213 @@ let run_saturation ~quick =
   close_out oc;
   Format.printf "wrote BENCH_PR6.json@."
 
+(* --- Wire2: the encode-into/poll/jobs plane ------------------------------ *)
+
+module Bq = Ics_codec.Bq
+module Chaos = Ics_workload.Chaos
+
+(* The PR6 live headline the poll(2) rewrite is measured against:
+   batch=32/pipeline=4/ring at n=5 over the select(2) loop, from
+   BENCH_PR6.json's knee_msg_s.live_batched. *)
+let pr6_live_msg_s = 14_906.1
+
+(* Time one full sim sweep at a given [jobs] in a forked child: the child
+   may spawn domains freely, while this process must stay fork-capable
+   for the live sections (a process that ever spawned a domain can no
+   longer fork). *)
+let timed_sweep_in_child ~quick ~jobs =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      let seeds = if quick then 2 else 4 in
+      let t0 = Unix.gettimeofday () in
+      let cells =
+        Chaos.sweep ~seed_base:11L ~seeds
+          ~progress:(fun _ -> ())
+          ~jobs ~stacks:Chaos.all_stacks ~plans:Chaos.all_plans ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let ok = Chaos.indirect_clean cells && Chaos.blackout_reproduced cells in
+      let line = Printf.sprintf "%b %.6f\n" ok dt in
+      let b = Bytes.of_string line in
+      ignore (Unix.write w b 0 (Bytes.length b) : int);
+      Unix._exit 0
+  | pid -> (
+      Unix.close w;
+      let buf = Bytes.create 256 in
+      let n = Unix.read r buf 0 256 in
+      Unix.close r;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> failwith "sweep child died");
+      match Scanf.sscanf (Bytes.sub_string buf 0 n) " %B %f" (fun ok dt -> (ok, dt)) with
+      | ok, dt -> (ok, dt))
+
+let run_wire2 ~quick =
+  section "Wire2: in-place frame encoding, poll(2) loop, parallel sweep";
+  Codecs.ensure ();
+  (* Frame encode rate: the stage-then-copy legacy path against
+     encode-into — header reserved and backpatched around an in-place
+     body, straight into the (drained-per-frame) outbound queue, exactly
+     as the transport's emit path runs it. *)
+  let payload_of name =
+    let rng = Ics_prelude.Rng.create 7L in
+    match
+      List.find_opt (fun (e : Codec.entry) -> e.Codec.name = name) (Codec.entries ())
+    with
+    | Some e -> e.Codec.gen rng
+    | None -> Fmt.failwith "no codec named %s" name
+  in
+  let iters = if quick then 100_000 else 400_000 in
+  let frame_cell name =
+    let payload = payload_of name in
+    let b = Buffer.create 256 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Buffer.clear b;
+      ignore (Codec.encode_frame_legacy b ~src:1 ~dst:2 ~layer:"consensus" payload : int)
+    done;
+    let legacy_s = Unix.gettimeofday () -. t0 in
+    let frame_bytes = Buffer.length b in
+    let q = Bq.create 256 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Codec.encode_frame q ~src:1 ~dst:2 ~layer:"consensus" payload : int);
+      Bq.consume q (Bq.length q)
+    done;
+    let into_s = Unix.gettimeofday () -. t0 in
+    ( name,
+      frame_bytes,
+      float_of_int iters /. legacy_s,
+      float_of_int iters /. into_s,
+      legacy_s /. into_s )
+  in
+  let enc_rows = [ frame_cell "rb.data"; frame_cell "ct.est" ] in
+  let table =
+    Table.create ~title:"frame encode (header+crc+body, single core)"
+      ~columns:[ "payload"; "frame[B]"; "legacy[Mf/s]"; "into[Mf/s]"; "speedup" ]
+  in
+  List.iter
+    (fun (name, bytes, legacy_fs, into_fs, speedup) ->
+      Table.add_row table
+        [
+          name;
+          string_of_int bytes;
+          Printf.sprintf "%.2f" (legacy_fs /. 1e6);
+          Printf.sprintf "%.2f" (into_fs /. 1e6);
+          Printf.sprintf "%.2fx" speedup;
+        ])
+    enc_rows;
+  Table.print table;
+  (* Live saturation knee over the poll(2) loop, same shape as the PR6
+     headline (batch=32/pipeline=4/ring, n=5, best-of-3). *)
+  let batched = { Abcast.batch = 32; pipeline = 4; flush_ms = 1.0 } in
+  let live_knee =
+    if not (Saturation.live_supported ()) then begin
+      Format.printf "live sweep skipped: no loopback sockets here@.";
+      None
+    end
+    else begin
+      let c =
+        Saturation.live_curve ~duration_ms:1_000.0 ~attempts:3 ~n:5
+          ~batching:batched ~broadcast:Profile.Ring
+          [ 2_000.0; 5_000.0; 8_000.0; 11_000.0; 13_000.0; 15_000.0 ]
+      in
+      let table =
+        Table.create ~title:"live: batch=32 pipeline=4 flush=1ms, ring, poll loop"
+          ~columns:[ "offered"; "achieved"; "p99[ms]"; "status" ]
+      in
+      List.iter
+        (fun (p : Saturation.point) ->
+          Table.add_row table
+            [
+              Printf.sprintf "%.0f" p.Saturation.offered;
+              Printf.sprintf "%.0f" p.Saturation.achieved;
+              Printf.sprintf "%.2f" p.Saturation.latency.Stats.p99;
+              (if Saturation.healthy p then "ok"
+               else if p.Saturation.checker_ok then "overload (checker ok)"
+               else "CHECKER FAIL");
+            ])
+        c.Saturation.points;
+      Table.print table;
+      match Saturation.knee c with
+      | Some k ->
+          Format.printf "knee: %.0f msg/s; vs BENCH_PR6 select loop (%.0f): %.2fx@."
+            k.Saturation.achieved pr6_live_msg_s
+            (k.Saturation.achieved /. pr6_live_msg_s);
+          Some k.Saturation.achieved
+      | None ->
+          Format.printf "knee: no points@.";
+          None
+    end
+  in
+  (* Sweep wall clock at jobs = 1/2/4.  Each level runs in its own forked
+     child (domains forbid forking afterwards); speedup is bounded by the
+     host's core count, which the JSON records. *)
+  let cores = Domain.recommended_domain_count () in
+  let jobs_rows =
+    List.map
+      (fun jobs ->
+        let ok, dt = timed_sweep_in_child ~quick ~jobs in
+        (jobs, ok, dt))
+      [ 1; 2; 4 ]
+  in
+  let base = match jobs_rows with (_, _, dt) :: _ -> dt | [] -> Float.nan in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "chaos sweep wall clock (%d cores available)" cores)
+      ~columns:[ "jobs"; "gates"; "wall[s]"; "speedup" ]
+  in
+  List.iter
+    (fun (jobs, ok, dt) ->
+      Table.add_row table
+        [
+          string_of_int jobs;
+          (if ok then "ok" else "FAIL");
+          Printf.sprintf "%.2f" dt;
+          Printf.sprintf "%.2fx" (base /. dt);
+        ])
+    jobs_rows;
+  Table.print table;
+  let oc = open_out "BENCH_PR10.json" in
+  let enc_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, bytes, legacy_fs, into_fs, speedup) ->
+           Printf.sprintf
+             {|    {"payload": %S, "frame_bytes": %d, "legacy_frames_s": %.0f, "into_frames_s": %.0f, "speedup": %.3f}|}
+             name bytes legacy_fs into_fs speedup)
+         enc_rows)
+  in
+  let jobs_json =
+    String.concat ",\n"
+      (List.map
+         (fun (jobs, ok, dt) ->
+           Printf.sprintf
+             {|    {"jobs": %d, "gates_ok": %b, "wall_s": %.3f, "speedup": %.3f}|}
+             jobs ok dt (base /. dt))
+         jobs_rows)
+  in
+  Printf.fprintf oc
+    {|{
+  "encode_frame": [
+%s
+  ],
+  "live_knee_msg_s": %s,
+  "pr6_live_msg_s": %.1f,
+  "cores": %d,
+  "sweep_jobs": [
+%s
+  ]
+}
+|}
+    enc_json
+    (match live_knee with Some k -> Printf.sprintf "%.1f" k | None -> "null")
+    pr6_live_msg_s cores jobs_json;
+  close_out oc;
+  Format.printf "wrote BENCH_PR10.json@."
+
 (* --- Service: closed-loop client plane ----------------------------------- *)
 
 module Service = Ics_workload.Service
@@ -1202,6 +1412,7 @@ let () =
   if want "micro" then run_micro ();
   if want "wire" then run_wire ~quick;
   if want "saturation" then run_saturation ~quick;
+  if want "wire2" then run_wire2 ~quick;
   if want "service" then run_service ~quick;
   if want "perf" then run_perf ~quick;
   Format.printf "@.done.@."

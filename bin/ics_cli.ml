@@ -233,7 +233,7 @@ let trace_cmd =
 
 let chaos_cmd =
   let exec seeds seed_base n stacks plans batch pipeline flush no_retransmit
-      app live replay_check verbose =
+      app live replay_check jobs jobs_check verbose =
     let batching = { Abcast.batch; pipeline; flush_ms = flush } in
     if batch < 1 || pipeline < 1 || flush < 0.0 then begin
       Format.eprintf "chaos: --batch/--pipeline must be >= 1, --flush >= 0@.";
@@ -265,14 +265,51 @@ let chaos_cmd =
       Format.eprintf "chaos: skip: loopback sockets unavailable in this environment@.";
       exit 2
     end;
+    if jobs < 1 then begin
+      Format.eprintf "chaos: --jobs must be >= 1@.";
+      exit 2
+    end;
+    if live && jobs > 1 then
+      Format.eprintf
+        "chaos: note: --live forks node processes, so the sweep runs with \
+         --jobs 1@.";
     let progress =
       if verbose then fun s -> Format.eprintf "  %s@." s else fun _ -> ()
     in
     let cells =
       Chaos.sweep ~backend ~batching ~app ~retransmit:(not no_retransmit) ?n
-        ~seed_base ~seeds ~progress ~stacks ~plans ()
+        ~seed_base ~seeds ~progress ~jobs ~stacks ~plans ()
     in
     Chaos.report ~verbose Format.std_formatter cells;
+    if jobs_check then begin
+      if live then begin
+        Format.eprintf "chaos: --jobs-check needs the sim backend@.";
+        exit 2
+      end;
+      (* The jobs-determinism fence: the same sweep at --jobs 1 and at
+         the requested width must agree on every run's fingerprint, not
+         just on the failures the matrix shows. *)
+      let fingerprints j =
+        Chaos.sweep_results ~batching ~app ~retransmit:(not no_retransmit) ?n
+          ~seed_base ~seeds ~jobs:j ~stacks ~plans ()
+        |> List.concat_map (fun (_, results) ->
+               List.map (fun r -> r.Chaos.fingerprint) results)
+      in
+      let wide = max jobs 2 in
+      if fingerprints 1 = fingerprints wide then
+        Format.printf
+          "jobs check: %d run(s) fingerprint-identical at --jobs 1 and \
+           --jobs %d@."
+          (List.length stacks * List.length plans * seeds)
+          wide
+      else begin
+        Format.printf
+          "FAIL: jobs check — sweep fingerprints differ between --jobs 1 \
+           and --jobs %d@."
+          wide;
+        exit 1
+      end
+    end;
     if replay_check then begin
       if live then
         Format.printf
@@ -281,7 +318,7 @@ let chaos_cmd =
       else
         let mismatches =
           Chaos.replay_check ~batching ~app ~retransmit:(not no_retransmit) ?n
-            ~seed_base ~stacks ~plans ()
+            ~seed_base ~jobs ~stacks ~plans ()
         in
         match mismatches with
         | [] ->
@@ -391,6 +428,26 @@ let chaos_cmd =
              for the replay commands the sweep prints.  Simulation only; \
              skipped (with a note) under $(b,--live).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Run up to $(docv) (stack, plan) cells concurrently on OCaml \
+             domains.  Each cell's simulation stays single-domain and the \
+             merged matrix, fingerprints and exit criteria are bit-identical \
+             to --jobs 1; only progress-line interleaving varies.  Forced to \
+             1 under $(b,--live) (live cells fork processes).")
+  in
+  let jobs_check =
+    Arg.(
+      value & flag
+      & info [ "jobs-check" ]
+          ~doc:
+            "After the sweep, rerun it at --jobs 1 and at max(--jobs, 2) \
+             and fail unless every run's trace fingerprint is identical — \
+             the determinism fence on the parallel sweep.  Simulation only.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-cell progress and every failing seed.")
   in
@@ -399,7 +456,8 @@ let chaos_cmd =
        ~doc:"Seeded fault-injection sweep (stacks x fault plans x seeds), simulated or live")
     Term.(
       const exec $ seeds $ seed_base $ n $ stacks $ plans $ batch $ pipeline
-      $ flush $ no_retransmit $ app_flag $ live $ replay_check $ verbose)
+      $ flush $ no_retransmit $ app_flag $ live $ replay_check $ jobs
+      $ jobs_check $ verbose)
 
 (* Live runtime: `cluster` forks a real loopback-TCP cluster and checks
    the merged delivery logs; `node` runs a single process of one (for

@@ -19,7 +19,7 @@ let register_codec () =
   Codec.register ~tag:0x58 ~name:"app.submit"
     ~fits:(function Submit _ -> true | _ -> false)
     ~size:(fun _ -> submit_bytes)
-    ~enc:(fun w p ->
+    ~encode_into:(fun w p ->
       match p with
       | Submit { client; req } ->
           Prim.u32 w client;

@@ -16,7 +16,7 @@ let register_codec () =
   Codec.register ~tag:0x12 ~name:"rb-fd.data"
     ~fits:(function Data _ -> true | _ -> false)
     ~size:(function Data m -> App_msg.rb_body_bytes m | _ -> assert false)
-    ~enc:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
+    ~encode_into:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
     ~dec:(fun r -> Data (Codec.dec_app_msg r))
     ~gen:(fun rng -> Data (Codec.gen_app_msg rng))
 

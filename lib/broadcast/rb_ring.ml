@@ -35,7 +35,7 @@ let register_codec () =
   Codec.register ~tag:0x14 ~name:"rb.ring"
     ~fits:(function Pass _ -> true | _ -> false)
     ~size:(function Pass { msgs; _ } -> batch_bytes msgs | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Pass { hops; msgs } ->
           Prim.u16 w hops;
           Prim.u16 w (List.length msgs);

@@ -19,19 +19,19 @@ let register_codec () =
   Codec.register ~tag:0x18 ~name:"urb.data"
     ~fits:(function Data _ -> true | _ -> false)
     ~size:(function Data m -> App_msg.rb_body_bytes m | _ -> assert false)
-    ~enc:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
+    ~encode_into:(fun w -> function Data m -> Codec.enc_app_msg w m | _ -> assert false)
     ~dec:(fun r -> Data (Codec.dec_app_msg r))
     ~gen:(fun rng -> Data (Codec.gen_app_msg rng));
   Codec.register ~tag:0x19 ~name:"urb.ack"
     ~fits:(function Ack _ -> true | _ -> false)
     ~size:(fun _ -> Wire.id_only_bytes)
-    ~enc:(fun w -> function Ack id -> Codec.enc_msg_id w id | _ -> assert false)
+    ~encode_into:(fun w -> function Ack id -> Codec.enc_msg_id w id | _ -> assert false)
     ~dec:(fun r -> Ack (Codec.dec_msg_id r))
     ~gen:(fun rng -> Ack (Codec.gen_msg_id rng));
   Codec.register ~tag:0x1A ~name:"urb.pull"
     ~fits:(function Pull _ -> true | _ -> false)
     ~size:(fun _ -> Wire.id_only_bytes)
-    ~enc:(fun w -> function Pull id -> Codec.enc_msg_id w id | _ -> assert false)
+    ~encode_into:(fun w -> function Pull id -> Codec.enc_msg_id w id | _ -> assert false)
     ~dec:(fun r -> Pull (Codec.dec_msg_id r))
     ~gen:(fun rng -> Pull (Codec.gen_msg_id rng))
 

@@ -1,0 +1,127 @@
+(* Growable byte queue: append at the tail, consume from the head,
+   amortized O(1) both ways.  This is the buffer discipline the whole
+   wire plane shares — the codec encodes frames straight into a
+   connection's outbound queue (no intermediate Buffer/Bytes per frame)
+   and the transport reads from the socket straight into the inbound
+   queue's tail, decoding frames in place.
+
+   Positions handed to callers are *logical* (offset from the current
+   head), never physical: growth may reallocate and compaction may slide
+   the live region to offset 0, but neither moves a byte relative to the
+   head, so a logical offset taken before a growth boundary still names
+   the same byte after it.  That invariant is what makes the
+   reserve-then-patch framing protocol (write a zero length, encode the
+   body, backpatch the real length and CRC) safe. *)
+
+type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+let create cap = { buf = Bytes.create (max cap 16); start = 0; len = 0 }
+
+let length q = q.len
+let capacity q = Bytes.length q.buf
+let head q = q.start
+let tail q = q.start + q.len
+let unsafe_bytes q = q.buf
+
+(* Make room for [extra] more contiguous bytes at the tail: drop the
+   consumed prefix when that suffices with slack, else grow
+   geometrically. *)
+let ensure q extra =
+  let cap = Bytes.length q.buf in
+  if q.start + q.len + extra > cap then
+    if q.len + extra <= cap / 2 then begin
+      Bytes.blit q.buf q.start q.buf 0 q.len;
+      q.start <- 0
+    end
+    else begin
+      let rec fit c = if c >= q.len + extra then c else fit (2 * c) in
+      let nb = Bytes.create (fit (max cap 1024)) in
+      Bytes.blit q.buf q.start nb 0 q.len;
+      q.buf <- nb;
+      q.start <- 0
+    end
+
+let tail_room q = Bytes.length q.buf - q.start - q.len
+
+(* Commit [n] bytes written externally into the tail region (by a
+   [Unix.read], or into a span handed out by [reserve]). *)
+let advance q n =
+  if n < 0 || n > tail_room q then
+    invalid_arg (Printf.sprintf "Bq.advance: %d bytes, room %d" n (tail_room q));
+  q.len <- q.len + n
+
+(* Reserve an [n]-byte span at the tail and return its logical offset.
+   The span's content is unspecified until patched; it is committed
+   immediately, so subsequent appends land after it and growth across
+   the reservation boundary cannot move it relative to the head. *)
+let reserve q n =
+  ensure q n;
+  let at = q.len in
+  q.len <- q.len + n;
+  at
+
+let check_patch q at n =
+  if at < 0 || at + n > q.len then
+    invalid_arg (Printf.sprintf "Bq.patch: %d+%d outside %d queued" at n q.len)
+
+let patch_u32 q ~at v =
+  check_patch q at 4;
+  let p = q.start + at in
+  Bytes.unsafe_set q.buf p (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set q.buf (p + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set q.buf (p + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set q.buf (p + 3) (Char.unsafe_chr (v land 0xff))
+
+(* Drop the tail back to [len] queued bytes — the error path of a frame
+   encoder that failed halfway, so a partial frame never reaches the
+   wire. *)
+let truncate q ~len =
+  if len < 0 || len > q.len then
+    invalid_arg (Printf.sprintf "Bq.truncate: %d of %d queued" len q.len);
+  q.len <- len
+
+let add_u8 q v =
+  ensure q 1;
+  Bytes.unsafe_set q.buf (q.start + q.len) (Char.unsafe_chr (v land 0xff));
+  q.len <- q.len + 1
+
+let add_substring q s ~pos ~len =
+  ensure q len;
+  Bytes.blit_string s pos q.buf (q.start + q.len) len;
+  q.len <- q.len + len
+
+let add_string q s = add_substring q s ~pos:0 ~len:(String.length s)
+
+let add_buffer q b =
+  let blen = Buffer.length b in
+  ensure q blen;
+  Buffer.blit b 0 q.buf (q.start + q.len) blen;
+  q.len <- q.len + blen
+
+let get q i =
+  if i < 0 || i >= q.len then
+    invalid_arg (Printf.sprintf "Bq.get: %d of %d queued" i q.len);
+  Bytes.unsafe_get q.buf (q.start + i)
+
+let contents q = Bytes.sub_string q.buf q.start q.len
+
+(* A queue that ballooned during a burst must not pin the burst-sized
+   allocation forever: once drained, anything bigger than this falls
+   back to it, so the steady-state footprint reflects steady-state
+   backlog. *)
+let rest_cap = 64 * 1024
+
+let consume q k =
+  if k < 0 || k > q.len then
+    invalid_arg (Printf.sprintf "Bq.consume: %d of %d queued" k q.len);
+  q.start <- q.start + k;
+  q.len <- q.len - k;
+  if q.len = 0 then begin
+    q.start <- 0;
+    if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap
+  end
+
+let clear q =
+  q.start <- 0;
+  q.len <- 0;
+  if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap

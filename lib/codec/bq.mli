@@ -1,0 +1,92 @@
+(** Growable byte queue: append at the tail, consume from the head,
+    amortized O(1) both ways — the buffer discipline shared by the codec
+    (frames encode straight into a connection's outbound queue) and the
+    live transport (sockets read straight into the inbound queue's tail,
+    frames decode in place).
+
+    All positions handed to callers are {e logical} — offsets from the
+    current head.  Growth and compaction may move the physical storage,
+    but never a byte relative to the head, so a logical offset taken
+    before a growth boundary still names the same byte after it.  That
+    is the invariant behind {!reserve}/{!patch_u32}: reserve a span for
+    a length field, keep encoding (growing freely), then backpatch. *)
+
+type t
+
+val create : int -> t
+(** [create cap] — an empty queue with at least [cap] bytes of storage. *)
+
+val length : t -> int
+(** Unconsumed bytes queued. *)
+
+val capacity : t -> int
+(** Current backing-store size in bytes. *)
+
+val rest_cap : int
+(** The resting capacity a drained queue decays to (64 KiB). *)
+
+(** {1 Appending} *)
+
+val add_u8 : t -> int -> unit
+(** Append one byte (low 8 bits). *)
+
+val add_string : t -> string -> unit
+val add_substring : t -> string -> pos:int -> len:int -> unit
+val add_buffer : t -> Buffer.t -> unit
+
+(** {1 Reserve / advance — grow-then-backpatch} *)
+
+val reserve : t -> int -> int
+(** [reserve q n] commits an [n]-byte span at the tail (content
+    unspecified until patched) and returns its logical offset, which
+    stays valid across any later growth or compaction. *)
+
+val patch_u32 : t -> at:int -> int -> unit
+(** Overwrite 4 queued bytes at logical offset [at] with a big-endian
+    u32.  @raise Invalid_argument outside the queued region. *)
+
+val ensure : t -> int -> unit
+(** Make room for [n] more contiguous tail bytes without committing
+    them (compact or grow as needed). *)
+
+val advance : t -> int -> unit
+(** Commit [n] bytes written externally into the tail region — the
+    read(2) half of the pair: [ensure] room, write into
+    [unsafe_bytes] at [tail], then [advance] by the byte count.
+    @raise Invalid_argument beyond the ensured room. *)
+
+val truncate : t -> len:int -> unit
+(** Drop the tail back to [len] queued bytes — the error path of a
+    frame encoder that failed halfway. *)
+
+(** {1 Reading} *)
+
+val get : t -> int -> char
+(** Byte at a logical offset.  @raise Invalid_argument out of range. *)
+
+val contents : t -> string
+(** Copy of the queued bytes (test/shim helper — the hot paths read
+    {!unsafe_bytes} in place). *)
+
+val consume : t -> int -> unit
+(** Drop [k] bytes from the head; a drained queue decays its storage
+    back to {!rest_cap}. *)
+
+val clear : t -> unit
+
+(** {1 Physical access — the in-place fast paths} *)
+
+val unsafe_bytes : t -> Bytes.t
+(** The physical backing store.  Valid only until the next append,
+    [ensure] or [reserve]; callers must bound all access by [head] +
+    [length] (stale bytes live beyond the logical tail). *)
+
+val head : t -> int
+(** Physical offset of logical position 0. *)
+
+val tail : t -> int
+(** Physical offset one past the last queued byte — where externally
+    written bytes (committed by {!advance}) land. *)
+
+val tail_room : t -> int
+(** Contiguous free bytes at the physical tail. *)

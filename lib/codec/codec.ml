@@ -14,7 +14,7 @@ type entry = {
   name : string;
   fits : Message.payload -> bool;
   size : Message.payload -> int;
-  enc : Prim.writer -> Message.payload -> unit;
+  encode_into : Bq.t -> Message.payload -> unit;
   dec : Prim.reader -> Message.payload;
   gen : Rng.t -> Message.payload;
 }
@@ -25,7 +25,7 @@ let by_tag : entry option array = Array.make 256 None
 (* lint: allow DS1 — registration-order audit trail, written only inside the same pre-fork registration window as by_tag *)
 let order : int list ref = ref []  (* tags in registration order *)
 
-let register ~tag ~name ~fits ~size ~enc ~dec ~gen =
+let register ~tag ~name ~fits ~size ~encode_into ~dec ~gen =
   if tag < 0 || tag > 255 then invalid_arg "Codec.register: tag out of range";
   (match by_tag.(tag) with
   | Some e when not (String.equal e.name name) ->
@@ -34,7 +34,7 @@ let register ~tag ~name ~fits ~size ~enc ~dec ~gen =
            tag e.name name)
   | Some _ -> ()  (* idempotent re-registration of the same codec *)
   | None -> order := tag :: !order);
-  by_tag.(tag) <- Some { tag; name; fits; size; enc; dec; gen }
+  by_tag.(tag) <- Some { tag; name; fits; size; encode_into; dec; gen }
 
 let entries () =
   List.rev_map (fun tag -> Option.get by_tag.(tag)) !order
@@ -58,7 +58,7 @@ let encode_payload w payload =
       Prim.fail "encode: unregistered payload constructor %s" (constructor_name payload)
   | Some e ->
       Prim.u8 w e.tag;
-      e.enc w payload
+      e.encode_into w payload
 
 let decode_payload r =
   let tag = Prim.r_u8 r in
@@ -73,9 +73,9 @@ let body_bytes payload =
   | Some e -> e.size payload
 
 let measure enc =
-  let w = Buffer.create 256 in
+  let w = Bq.create 256 in
   enc w;
-  Buffer.length w
+  Bq.length w
 
 (* ------------------------------------------------------------------ *)
 (* Shared value codecs.  The arithmetic size of each value is defined *)
@@ -189,23 +189,74 @@ let layer_of_wire id =
 
 type header = { h_src : int; h_dst : int; h_layer : string; h_body_len : int; h_crc : int }
 
+(* One frame, written straight into the caller's queue — on the live
+   wire that is the connection's outbound buffer, so there is no
+   intermediate staging copy.  The body length is not known until the
+   body is encoded, so the header's body_len/crc32 words are reserved
+   and backpatched (logical offsets survive any growth the body encode
+   triggers — see Bq).  On any encoder failure the queue is truncated
+   back to the frame start: a partial frame must never reach a byte
+   stream that cannot be resynchronized. *)
 let encode_frame w ~src ~dst ~layer (payload : Message.payload) =
   let wire_layer =
     match layer_to_wire layer with
     | Some id -> id
     | None -> Prim.fail "encode: layer %s has no wire id" layer
   in
-  let body = Buffer.create 64 in
-  encode_payload body payload;
-  let body = Buffer.contents body in
-  Prim.u8 w magic;
-  Prim.u8 w version;
-  Prim.u16 w src;
-  Prim.u16 w dst;
-  Prim.u16 w wire_layer;
-  Prim.u32 w (String.length body);
-  Prim.u32 w (Prim.crc32 body);
-  Buffer.add_string w body;
+  let frame_start = Bq.length w in
+  match
+    Prim.u8 w magic;
+    Prim.u8 w version;
+    Prim.u16 w src;
+    Prim.u16 w dst;
+    Prim.u16 w wire_layer;
+    let patch_at = Bq.reserve w 8 in
+    let body_start = Bq.length w in
+    encode_payload w payload;
+    let body_len = Bq.length w - body_start in
+    Bq.patch_u32 w ~at:patch_at body_len;
+    Bq.patch_u32 w ~at:(patch_at + 4)
+      (Prim.crc32_bytes (Bq.unsafe_bytes w)
+         ~pos:(Bq.head w + body_start)
+         ~len:body_len);
+    body_len
+  with
+  | body_len -> body_len
+  | exception e ->
+      Bq.truncate w ~len:frame_start;
+      raise e
+
+(* Legacy encode-to-fresh-Buffer API, kept as a thin shim for tests and
+   benches.  The frame shim deliberately preserves the old
+   stage-then-copy arithmetic — body staged out of line, length taken
+   with String.length, CRC over the extracted string — so it stays an
+   independent reference the fuzzer can hold the backpatching in-place
+   encoder to, byte for byte. *)
+let encode_payload_legacy b payload =
+  let w = Bq.create 256 in
+  encode_payload w payload;
+  Buffer.add_string b (Bq.contents w)
+
+let encode_frame_legacy b ~src ~dst ~layer payload =
+  let wire_layer =
+    match layer_to_wire layer with
+    | Some id -> id
+    | None -> Prim.fail "encode: layer %s has no wire id" layer
+  in
+  let bodyq = Bq.create 256 in
+  encode_payload bodyq payload;
+  let body = Bq.contents bodyq in
+  let u8 v = Buffer.add_char b (Char.chr (v land 0xff)) in
+  let u16 v = u8 (v lsr 8); u8 v in
+  let u32 v = u16 ((v lsr 16) land 0xffff); u16 (v land 0xffff) in
+  u8 magic;
+  u8 version;
+  u16 src;
+  u16 dst;
+  u16 wire_layer;
+  u32 (String.length body);
+  u32 (Prim.crc32 body);
+  Buffer.add_string b body;
   String.length body
 
 let decode_header ?(pos = 0) buf =
@@ -251,13 +302,13 @@ let register_builtins () =
   register ~tag:tag_ping ~name:"ping"
     ~fits:(function Message.Ping -> true | _ -> false)
     ~size:(fun _ -> 1)
-    ~enc:(fun _ _ -> ())
+    ~encode_into:(fun _ _ -> ())
     ~dec:(fun _ -> Message.Ping)
     ~gen:(fun _ -> Message.Ping);
   register ~tag:tag_retx_ack ~name:"retx.ack"
     ~fits:(function Ics_net.Retransmit.Ack _ -> true | _ -> false)
     ~size:(fun _ -> 1 + 4)
-    ~enc:(fun w p ->
+    ~encode_into:(fun w p ->
       match p with
       | Ics_net.Retransmit.Ack { upto } -> Prim.u32 w upto
       | _ -> assert false)
@@ -272,7 +323,7 @@ let register_builtins () =
       | Ics_net.Retransmit.Seq { inner; _ } ->
           Ics_net.Retransmit.seq_overhead + body_bytes inner
       | _ -> assert false)
-    ~enc:(fun w p ->
+    ~encode_into:(fun w p ->
       match p with
       | Ics_net.Retransmit.Seq { seq; inner } ->
           Prim.u32 w seq;

@@ -25,14 +25,17 @@ val register :
   name:string ->
   fits:(Message.payload -> bool) ->
   size:(Message.payload -> int) ->
-  enc:(Prim.writer -> Message.payload -> unit) ->
+  encode_into:(Bq.t -> Message.payload -> unit) ->
   dec:(Prim.reader -> Message.payload) ->
   gen:(Rng.t -> Message.payload) ->
   unit
 (** Register the codec for one payload constructor under a globally
     unique wire [tag] (0..255).  [size] is the full encoded body length
-    {e including} the tag byte; [enc]/[dec] handle only the fields ([tag]
-    itself is written/consumed by the registry).  Re-registering the same
+    {e including} the tag byte; [encode_into]/[dec] handle only the
+    fields ([tag] itself is written/consumed by the registry).
+    [encode_into] appends straight into the caller's queue — on the live
+    wire that is the connection's outbound {!Bq.t}, so encoding never
+    stages through an intermediate [Buffer].  Re-registering the same
     [name] on the same [tag] is an idempotent no-op.
     @raise Invalid_argument on a tag collision with a different codec. *)
 
@@ -41,7 +44,7 @@ type entry = {
   name : string;
   fits : Message.payload -> bool;
   size : Message.payload -> int;
-  enc : Prim.writer -> Message.payload -> unit;
+  encode_into : Bq.t -> Message.payload -> unit;
   dec : Prim.reader -> Message.payload;
   gen : Rng.t -> Message.payload;
 }
@@ -99,8 +102,26 @@ type header = {
 
 val encode_frame :
   Prim.writer -> src:int -> dst:int -> layer:string -> Message.payload -> int
-(** Append one full frame (header + body); returns the body length.
+(** Append one full frame (header + body) into the caller's queue and
+    return the body length.  The header's [body_len] and [crc32] fields
+    are {!Bq.reserve}d before the body and backpatched after it, so the
+    whole frame lands in the queue with no intermediate staging buffer.
+    If the payload encoder raises, the queue is truncated back to its
+    pre-frame length — a partial frame never reaches the wire.
     @raise Error on unregistered payloads or unknown layer names. *)
+
+(** {1 Legacy encode-to-Buffer shims}
+
+    The pre-[encode_into] API, kept for tests and benches that want
+    frames as strings.  [encode_frame_legacy] preserves the old
+    stage-then-copy arithmetic (body staged out of line, length by
+    [String.length], CRC over the extracted string), making it an
+    independent reference the codec fuzzer holds the backpatching
+    in-place encoder to, byte for byte. *)
+
+val encode_payload_legacy : Buffer.t -> Message.payload -> unit
+val encode_frame_legacy :
+  Buffer.t -> src:int -> dst:int -> layer:string -> Message.payload -> int
 
 val decode_header : ?pos:int -> string -> (header, string) result
 (** Parse the fixed header at [pos]; never raises. *)

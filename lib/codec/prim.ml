@@ -2,13 +2,16 @@ exception Error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* Writer: a Buffer with fixed-width big-endian primitives. *)
+(* Writer: a byte queue (Bq.t) with fixed-width big-endian primitives.
+   Encoders append straight into the caller's queue — on the live wire
+   that is the connection's outbound buffer, so a frame costs zero
+   intermediate allocations. *)
 
-type writer = Buffer.t
+type writer = Bq.t
 
 let zeros = String.make 4096 '\x00'
 
-let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+let u8 w v = Bq.add_u8 w v
 
 let u16 w v =
   if v < 0 || v > 0xffff then fail "u16 out of range: %d" v;
@@ -35,7 +38,7 @@ let filler w n =
   let rec go n =
     if n > 0 then begin
       let k = Stdlib.min n (String.length zeros) in
-      Buffer.add_substring w zeros 0 k;
+      Bq.add_substring w zeros ~pos:0 ~len:k;
       go (n - k)
     end
   in
@@ -114,3 +117,9 @@ let crc32 ?(pos = 0) ?len s =
     c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
   done;
   !c lxor 0xFFFFFFFF
+
+(* The in-place variant the frame encoder uses to checksum a body it
+   just wrote into a queue's storage: reading Bytes.t through
+   [Bytes.unsafe_to_string] is sound because nothing mutates the region
+   during the scan. *)
+let crc32_bytes ?pos ?len b = crc32 ?pos ?len (Bytes.unsafe_to_string b)

@@ -1,6 +1,10 @@
 (** Binary encoding primitives: fixed-width big-endian writers over a
-    [Buffer.t], readers over a string slice, and the CRC-32 used by the
-    frame checksum.
+    byte queue ({!Bq.t}), readers over a string slice, and the CRC-32
+    used by the frame checksum.
+
+    Encoders append straight into the caller's queue — on the live wire
+    that is the connection's outbound buffer, so encoding a frame costs
+    no intermediate [Buffer]/[Bytes] allocation.
 
     Every decode failure — short input, out-of-range field, trailing
     bytes — raises {!Error} and nothing else, so callers can turn any
@@ -13,7 +17,7 @@ val fail : ('a, unit, string, 'b) format4 -> 'a
 
 (** {1 Writing} *)
 
-type writer = Buffer.t
+type writer = Bq.t
 
 val u8 : writer -> int -> unit
 val u16 : writer -> int -> unit
@@ -45,3 +49,7 @@ val expect_end : reader -> unit
 
 val crc32 : ?pos:int -> ?len:int -> string -> int
 (** CRC-32 (IEEE) of the slice, as a non-negative int below [2^32]. *)
+
+val crc32_bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+(** Same, over a [Bytes.t] region in place — the frame encoder's
+    checksum over the body it just wrote into a queue's storage. *)

@@ -29,7 +29,7 @@ let register_codec () =
   Codec.register ~tag:0x20 ~name:"ct.est"
     ~fits:(function Est _ -> true | _ -> false)
     ~size:(function Est { est; _ } -> est_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Est { k; r; est; ts } ->
           Prim.u32 w k;
           Prim.u32 w r;
@@ -46,7 +46,7 @@ let register_codec () =
   Codec.register ~tag:0x21 ~name:"ct.prop"
     ~fits:(function Prop _ -> true | _ -> false)
     ~size:(function Prop { est; _ } -> prop_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Prop { k; r; est } ->
           Prim.u32 w k;
           Prim.u32 w r;
@@ -60,7 +60,7 @@ let register_codec () =
   Codec.register ~tag:0x22 ~name:"ct.ack"
     ~fits:(function Ack _ -> true | _ -> false)
     ~size:(fun _ -> ack_bytes)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Ack { k; r; ok } ->
           Prim.u32 w k;
           Prim.u32 w r;
@@ -74,7 +74,7 @@ let register_codec () =
   Codec.register ~tag:0x23 ~name:"ct.decide"
     ~fits:(function Decide _ -> true | _ -> false)
     ~size:(function Decide { est; _ } -> decide_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Decide { k; est } ->
           Prim.u32 w k;
           Proposal.encode w est

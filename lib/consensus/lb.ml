@@ -39,13 +39,13 @@ let register_codec () =
   Codec.register ~tag:0x30 ~name:"lb.kick"
     ~fits:(function Kick _ -> true | _ -> false)
     ~size:(fun _ -> kick_bytes)
-    ~enc:(fun w -> function Kick { k } -> Prim.u32 w k | _ -> assert false)
+    ~encode_into:(fun w -> function Kick { k } -> Prim.u32 w k | _ -> assert false)
     ~dec:(fun rd -> Kick { k = Prim.r_u32 rd })
     ~gen:(fun rng -> Kick { k = gen_k rng });
   Codec.register ~tag:0x31 ~name:"lb.prepare"
     ~fits:(function Prepare _ -> true | _ -> false)
     ~size:(fun _ -> prepare_bytes)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Prepare { k; b } ->
           Prim.u32 w k;
           Prim.u32 w b
@@ -57,7 +57,7 @@ let register_codec () =
   Codec.register ~tag:0x32 ~name:"lb.promise"
     ~fits:(function Promise _ -> true | _ -> false)
     ~size:(function Promise { accepted; _ } -> promise_bytes accepted | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Promise { k; b; accepted } -> (
           Prim.u32 w k;
           Prim.u32 w b;
@@ -90,7 +90,7 @@ let register_codec () =
   Codec.register ~tag:0x33 ~name:"lb.accept"
     ~fits:(function Accept _ -> true | _ -> false)
     ~size:(function Accept { v; _ } -> accept_bytes v | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Accept { k; b; v } ->
           Prim.u32 w k;
           Prim.u32 w b;
@@ -104,7 +104,7 @@ let register_codec () =
   Codec.register ~tag:0x34 ~name:"lb.accepted"
     ~fits:(function Accepted _ -> true | _ -> false)
     ~size:(fun _ -> accepted_bytes)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Accepted { k; b } ->
           Prim.u32 w k;
           Prim.u32 w b
@@ -116,7 +116,7 @@ let register_codec () =
   Codec.register ~tag:0x35 ~name:"lb.nack"
     ~fits:(function Nack _ -> true | _ -> false)
     ~size:(fun _ -> nack_bytes)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Nack { k; b; promised } ->
           Prim.u32 w k;
           Prim.u32 w b;
@@ -130,7 +130,7 @@ let register_codec () =
   Codec.register ~tag:0x36 ~name:"lb.decide"
     ~fits:(function Decide _ -> true | _ -> false)
     ~size:(function Decide { v; _ } -> decide_bytes v | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Decide { k; v } ->
           Prim.u32 w k;
           Proposal.encode w v

@@ -57,7 +57,7 @@ let register_codec () =
   Codec.register ~tag:0x28 ~name:"mr.relay"
     ~fits:(function Relay _ -> true | _ -> false)
     ~size:(function Relay { est; _ } -> relay_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Relay { k; r; est } -> (
           Prim.u32 w k;
           Prim.u32 w r;
@@ -82,7 +82,7 @@ let register_codec () =
   Codec.register ~tag:0x29 ~name:"mr.decide"
     ~fits:(function Decide _ -> true | _ -> false)
     ~size:(function Decide { est; _ } -> decide_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Decide { k; est } ->
           Prim.u32 w k;
           Proposal.encode w est
@@ -94,7 +94,7 @@ let register_codec () =
   Codec.register ~tag:0x2A ~name:"mr.nudge"
     ~fits:(function Nudge _ -> true | _ -> false)
     ~size:(function Nudge { est; _ } -> nudge_bytes est | _ -> assert false)
-    ~enc:(fun w -> function
+    ~encode_into:(fun w -> function
       | Nudge { k; est } ->
           Prim.u32 w k;
           Proposal.encode w est

@@ -73,7 +73,7 @@ let register_codec () =
   Codec.register ~tag:0x40 ~name:"fd.heartbeat"
     ~fits:(function Heartbeat -> true | _ -> false)
     ~size:(fun _ -> hb_body_bytes)
-    ~enc:(fun _ _ -> ())
+    ~encode_into:(fun _ _ -> ())
     ~dec:(fun _ -> Heartbeat)
     ~gen:(fun _ -> Heartbeat)
 

@@ -33,10 +33,12 @@ let backend_neutral_layers = [ "net"; "faults"; "consensus"; "broadcast"; "core"
 let rule_ids = [ "B1"; "B2"; "D1"; "D2"; "D3"; "D4"; "DS1"; "DS2"; "P1"; "P2" ]
 let all_rules = "allow" :: rule_ids
 
-(* The file whose toplevel functions seed DS1/DS2 reachability: every
-   chaos-sweep cell body lives here, and the Domains-parallel sweep
-   will run them concurrently. *)
-let ds_root = "lib/workload/chaos.ml"
+(* The files whose toplevel functions seed DS1/DS2 reachability: every
+   chaos-sweep cell body lives in chaos.ml, and domain_pool.ml is the
+   Domains-spawning driver that actually runs the cell closures
+   concurrently — anything either can reach executes on a spawned
+   domain under --jobs. *)
+let ds_roots = [ "lib/workload/chaos.ml"; "lib/workload/domain_pool.ml" ]
 
 (* ------------------------------------------------------------------ *)
 (* File discovery                                                      *)
@@ -621,7 +623,7 @@ let run_files ?(rules = all_rules) ~root ~files () =
           in
           in_scope && not (covered rel "D2" line))
         ~be_visible:(fun rel line -> (scope_of rel).b1 && not (covered rel "B1" line))
-        ~ds_root
+        ~ds_roots
         ~ds_allowed:(fun rel line -> covered rel "DS1" line)
     in
     List.map
@@ -878,8 +880,9 @@ let explain rule =
         Some
           "DS1 — domain-shared mutable state.  Module-toplevel mutable state (ref, array, \
            Hashtbl.t, Buffer.t, ...) in any module reachable from the chaos-sweep cell \
-           entry points (lib/workload/chaos.ml): a Domains-parallel sweep shares it across \
-           domains.  Make it Atomic.t, confine it, or audit the declaration."
+           entry points (lib/workload/chaos.ml) or the domain pool that runs them \
+           (lib/workload/domain_pool.ml): the --jobs sweep shares it across domains.  \
+           Make it Atomic.t, confine it, or audit the declaration."
     | "DS2" ->
         Some
           "DS2 — concurrent read/write hazard.  DS1 state that sweep-reachable functions \

@@ -161,7 +161,7 @@ let pretty_chain chain = String.concat " \xe2\x86\x92 " chain
 (* ------------------------------------------------------------------ *)
 (* The pass                                                            *)
 
-let run ~(cg : Callgraph.t) ~det_scope ~neutral_scope ~nd_visible ~be_visible ~ds_root
+let run ~(cg : Callgraph.t) ~det_scope ~neutral_scope ~nd_visible ~be_visible ~ds_roots
     ~ds_allowed =
   let nodes = Array.of_list (Callgraph.nodes cg) in
   let index = Hashtbl.create (Array.length nodes) in
@@ -271,18 +271,21 @@ let run ~(cg : Callgraph.t) ~det_scope ~neutral_scope ~nd_visible ~be_visible ~d
   let reach = Hashtbl.create 64 in
   let parent = Hashtbl.create 64 in
   let q = Queue.create () in
-  (match Callgraph.summary cg ds_root with
-  | None -> ()
-  | Some s ->
-      List.iter
-        (fun (f : Summary.fn) ->
-          let n = { Callgraph.nfile = ds_root; nname = f.Summary.fn_name } in
-          if not (Hashtbl.mem reach n) then begin
-            Hashtbl.replace reach n ();
-            Hashtbl.replace parent n None;
-            Queue.add n q
-          end)
-        s.Summary.fns);
+  List.iter
+    (fun ds_root ->
+      match Callgraph.summary cg ds_root with
+      | None -> ()
+      | Some s ->
+          List.iter
+            (fun (f : Summary.fn) ->
+              let n = { Callgraph.nfile = ds_root; nname = f.Summary.fn_name } in
+              if not (Hashtbl.mem reach n) then begin
+                Hashtbl.replace reach n ();
+                Hashtbl.replace parent n None;
+                Queue.add n q
+              end)
+            s.Summary.fns)
+    ds_roots;
   let first_in_file = Hashtbl.create 16 in
   while not (Queue.is_empty q) do
     let n = Queue.pop q in

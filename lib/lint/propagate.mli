@@ -20,9 +20,10 @@
       layer transitively naming [Unix]/[Ics_runtime] through modules B1
       does not cover.
     - {b DS1} — module-toplevel mutable state in a module reachable
-      from the sweep entry points (every toplevel function of
-      [ds_root]), unless [Atomic.t]/[Mutex.t] or DS1-audited at the
-      declaration.  The message carries a reachability witness chain.
+      from the sweep entry points (every toplevel function of each
+      [ds_roots] file), unless [Atomic.t]/[Mutex.t] or DS1-audited at
+      the declaration.  The message carries a reachability witness
+      chain.
     - {b DS2} — such state both written and read by sweep-reachable
       functions: a read-after-write race once cells run on separate
       domains.  Anchored at the first write site; a DS1 audit on the
@@ -44,7 +45,7 @@ val run :
   neutral_scope:(string -> bool) ->
   nd_visible:(string -> string list -> int -> bool) ->
   be_visible:(string -> int -> bool) ->
-  ds_root:string ->
+  ds_roots:string list ->
   ds_allowed:(string -> int -> bool) ->
   pfinding list
 (** [det_scope rel] / [neutral_scope rel]: is the file under the
@@ -52,6 +53,8 @@ val run :
     rel path line] / [be_visible rel line]: would the direct use at
     that site already be reported by D2 / B1 (in scope and not
     allow-suppressed) — such sites are that rule's findings, not fuel
-    for a transitive one.  [ds_root] is the sweep driver file whose
-    toplevel functions seed DS reachability; [ds_allowed rel line]
-    answers whether a reasoned DS1 allow covers the declaration. *)
+    for a transitive one.  [ds_roots] are the files whose toplevel
+    functions seed DS reachability — the sweep driver plus the
+    domain-spawning pool it hands cell closures to; [ds_allowed rel
+    line] answers whether a reasoned DS1 allow covers the
+    declaration. *)

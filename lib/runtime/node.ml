@@ -26,7 +26,7 @@ let register_codec () =
   Codec.register ~tag:0x48 ~name:"ctl.done"
     ~fits:(function Done _ -> true | _ -> false)
     ~size:(fun _ -> 5)
-    ~enc:(fun w -> function Done d -> Prim.u32 w d | _ -> assert false)
+    ~encode_into:(fun w -> function Done d -> Prim.u32 w d | _ -> assert false)
     ~dec:(fun r -> Done (Prim.r_u32 r))
     ~gen:(fun rng -> Done (Rng.int rng 10_000))
 

@@ -1,0 +1,61 @@
+/* Minimal poll(2) binding for the live event loop.
+ *
+ * The caller keeps three parallel arrays (fds, events, revents) alive
+ * across iterations; this stub copies the first [nfds] entries into a
+ * C pollfd array, releases the OCaml runtime lock around the blocking
+ * poll, and writes revents back after reacquiring it.  The copy-in /
+ * copy-out is mandatory: the GC may move the OCaml arrays while the
+ * lock is released.
+ *
+ * Errors (including EINTR) are reported as a -1 return, not an OCaml
+ * exception — the loop treats a negative return as "zero descriptors
+ * ready" and re-evaluates its timers, which is exactly the EINTR
+ * behaviour the old select loop had.
+ */
+
+#include <poll.h>
+#include <stdlib.h>
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+
+#define ICS_POLL_STACK_FDS 64
+
+CAMLprim value ics_poll_stub(value v_fds, value v_events, value v_revents,
+                             value v_nfds, value v_timeout)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_nfds, v_timeout);
+  int nfds = Int_val(v_nfds);
+  int timeout = Int_val(v_timeout);
+  struct pollfd stack_pfds[ICS_POLL_STACK_FDS];
+  struct pollfd *pfds = stack_pfds;
+  int i, ret;
+
+  if (nfds < 0 || nfds > Wosize_val(v_fds) || nfds > Wosize_val(v_events) ||
+      nfds > Wosize_val(v_revents))
+    caml_invalid_argument("ics_poll: nfds exceeds array size");
+
+  if (nfds > ICS_POLL_STACK_FDS) {
+    pfds = malloc(nfds * sizeof(struct pollfd));
+    if (pfds == NULL) caml_raise_out_of_memory();
+  }
+
+  for (i = 0; i < nfds; i++) {
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short)Int_val(Field(v_events, i));
+    pfds[i].revents = 0;
+  }
+
+  caml_enter_blocking_section();
+  ret = poll(pfds, (nfds_t)nfds, timeout);
+  caml_leave_blocking_section();
+
+  if (ret >= 0)
+    for (i = 0; i < nfds; i++)
+      Field(v_revents, i) = Val_int(pfds[i].revents);
+
+  if (pfds != stack_pfds) free(pfds);
+  CAMLreturn(Val_int(ret < 0 ? -1 : ret));
+}

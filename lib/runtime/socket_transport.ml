@@ -11,67 +11,136 @@ module Prim = Ics_codec.Prim
    never has to agree with a peer about which of two crossing connections
    to keep. *)
 
-(* Growable byte queue: append at the tail, consume from the head,
-   amortized O(1) both ways.  The live loop's buffers must never copy
-   their whole contents per syscall — a descheduled node (five of them
-   timeshare one core) accumulates megabytes of backlog, and an
-   O(backlog) copy per 64 KB read turns the catch-up quadratic: the
-   node falls further behind the longer it is behind, which is exactly
-   the congestion collapse the saturation sweep exposes past the knee. *)
-module Bq = struct
-  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+(* The loop's buffers are the shared byte queue from the codec plane:
+   frames encode straight into a peer's outbound queue (backpatched
+   header, no per-frame staging buffer) and sockets read straight into a
+   connection's inbound queue, where frames decode in place.  The queue
+   must never copy its whole contents per syscall — a descheduled node
+   (five of them timeshare one core) accumulates megabytes of backlog,
+   and an O(backlog) copy per 64 KB read turns the catch-up quadratic:
+   the node falls further behind the longer it is behind, which is
+   exactly the congestion collapse the saturation sweep exposes past the
+   knee. *)
+module Bq = Ics_codec.Bq
 
-  let create cap = { buf = Bytes.create cap; start = 0; len = 0 }
+(* Persistent pollset over poll(2).  The fds/events/revents arrays live
+   across loop iterations — readiness interest is flipped in place when
+   a queue's occupancy changes, never rebuilt per iteration (the select
+   loop this replaces re-assembled its fd lists on every pass).  Slots
+   are compacted by swap-with-last; [reslot] tells the owner its new
+   index so owner records can keep an O(1) handle on their slot. *)
+module Poll = struct
+  (* poll(2) event bits (Linux/BSD values; poll.h has used these
+     everywhere that matters for two decades). *)
+  let pollin = 0x001
+  let pollout = 0x004
+  let pollerr = 0x008
+  let pollhup = 0x010
+  let pollnval = 0x020
 
-  (* Make room for [extra] more bytes at the tail: drop the consumed
-     prefix when that suffices with slack, else grow geometrically. *)
-  let reserve q extra =
-    let cap = Bytes.length q.buf in
-    if q.start + q.len + extra > cap then
-      if q.len + extra <= cap / 2 then begin
-        Bytes.blit q.buf q.start q.buf 0 q.len;
-        q.start <- 0
-      end
-      else begin
-        let rec fit c = if c >= q.len + extra then c else fit (2 * c) in
-        let nb = Bytes.create (fit (max cap 1024)) in
-        Bytes.blit q.buf q.start nb 0 q.len;
-        q.buf <- nb;
-        q.start <- 0
-      end
+  external poll_fds :
+    Unix.file_descr array -> int array -> int array -> int -> int -> int
+    = "ics_poll_stub"
 
-  (* A queue that ballooned during a burst must not pin the burst-sized
-     allocation forever: five nodes timeshare one machine, and the
-     steady-state footprint should reflect steady-state backlog.  Once
-     drained, anything bigger than this falls back to it. *)
-  let rest_cap = 64 * 1024
+  type 'a t = {
+    mutable fds : Unix.file_descr array;
+    mutable events : int array;
+    mutable revents : int array;
+    mutable owners : 'a array;
+    mutable n : int;
+    dummy : 'a;
+    reslot : 'a -> int -> unit;
+  }
 
-  let consume q k =
-    q.start <- q.start + k;
-    q.len <- q.len - k;
-    if q.len = 0 then begin
-      q.start <- 0;
-      if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap
+  let create ~dummy ~reslot =
+    {
+      fds = Array.make 8 Unix.stdin;
+      events = Array.make 8 0;
+      revents = Array.make 8 0;
+      owners = Array.make 8 dummy;
+      n = 0;
+      dummy;
+      reslot;
+    }
+
+  let grow t =
+    let cap = Array.length t.fds in
+    if t.n = cap then begin
+      let ncap = 2 * cap in
+      let nf = Array.make ncap Unix.stdin in
+      let ne = Array.make ncap 0 in
+      let nr = Array.make ncap 0 in
+      let no = Array.make ncap t.dummy in
+      Array.blit t.fds 0 nf 0 cap;
+      Array.blit t.events 0 ne 0 cap;
+      Array.blit t.revents 0 nr 0 cap;
+      Array.blit t.owners 0 no 0 cap;
+      t.fds <- nf;
+      t.events <- ne;
+      t.revents <- nr;
+      t.owners <- no
     end
 
-  let clear q =
-    q.start <- 0;
-    q.len <- 0;
-    if Bytes.length q.buf > rest_cap then q.buf <- Bytes.create rest_cap
+  let add t fd ~events owner =
+    grow t;
+    let slot = t.n in
+    t.fds.(slot) <- fd;
+    t.events.(slot) <- events;
+    t.revents.(slot) <- 0;
+    t.owners.(slot) <- owner;
+    t.n <- slot + 1;
+    t.reslot owner slot;
+    slot
 
-  let capacity q = Bytes.length q.buf
-  let length q = q.len
+  let remove t slot =
+    if slot < 0 || slot >= t.n then invalid_arg "Poll.remove: bad slot";
+    let last = t.n - 1 in
+    if slot <> last then begin
+      t.fds.(slot) <- t.fds.(last);
+      t.events.(slot) <- t.events.(last);
+      t.revents.(slot) <- t.revents.(last);
+      t.owners.(slot) <- t.owners.(last);
+      t.reslot t.owners.(slot) slot
+    end;
+    t.owners.(last) <- t.dummy;
+    t.n <- last
 
-  let add_buffer q b =
-    let blen = Buffer.length b in
-    reserve q blen;
-    Buffer.blit b 0 q.buf (q.start + q.len) blen;
-    q.len <- q.len + blen
+  let set_events t slot ev =
+    if slot < 0 || slot >= t.n then invalid_arg "Poll.set_events: bad slot";
+    t.events.(slot) <- ev
+
+  (* Negative return = transient failure (EINTR): report zero ready and
+     let the loop re-evaluate its timers, as the select loop did. *)
+  let wait t ~timeout_ms =
+    let r = poll_fds t.fds t.events t.revents t.n timeout_ms in
+    if r < 0 then 0 else r
+
+  (* Snapshot the ready owners before dispatching any of them: dispatch
+     may close a connection, and the swap-with-last removal would
+     otherwise make an index walk skip (or double-visit) slots.  Owners
+     invalidated mid-dispatch are skipped by the dispatcher via their
+     own liveness marker. *)
+  let ready t =
+    let acc = ref [] in
+    for i = t.n - 1 downto 0 do
+      if t.revents.(i) <> 0 then acc := (t.owners.(i), t.revents.(i)) :: !acc
+    done;
+    !acc
 end
 
-type peer = { mutable out_fd : Unix.file_descr option; out : Bq.t }
+type peer = {
+  mutable out_fd : Unix.file_descr option;
+  out : Bq.t;
+  mutable pslot : int;  (* pollset slot; -1 when out_fd = None *)
+}
 
-type conn = { fd : Unix.file_descr; in_q : Bq.t }
+type conn = {
+  fd : Unix.file_descr;
+  in_q : Bq.t;
+  mutable cslot : int;  (* pollset slot; -1 once closed *)
+}
+
+type owner = Nobody | Listen | Conn of conn | Peer of peer
 
 type t = {
   engine : Engine.t;
@@ -80,7 +149,7 @@ type t = {
   n : int;
   listen : Unix.file_descr;
   peers : peer array;
-  scratch : Buffer.t;  (* per-frame encode staging, reused across emits *)
+  pollset : owner Poll.t;
   mutable conns : conn list;
   mutable transport : Transport.t option;
   mutable frames_out : int;
@@ -93,54 +162,73 @@ type t = {
 
 let transport t = Option.get t.transport
 
-let close_peer peer =
+let close_peer t peer =
   match peer.out_fd with
   | None -> ()
   | Some fd ->
       peer.out_fd <- None;
+      if peer.pslot >= 0 then Poll.remove t.pollset peer.pslot;
+      peer.pslot <- -1;
+      Bq.clear peer.out;
       (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let close_conn t conn =
   t.conns <- List.filter (fun c -> c != conn) t.conns;
+  if conn.cslot >= 0 then Poll.remove t.pollset conn.cslot;
+  conn.cslot <- -1;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let pending peer = peer.out.Bq.len
+let pending peer = Bq.length peer.out
 
 let high_water = 256 * 1024
 
+(* Readiness-interest invariant: a peer's slot carries POLLOUT exactly
+   while its outbound queue is nonempty.  [emit] raises the flag on the
+   empty->nonempty edge; the drain below lowers it on nonempty->empty.
+   Everything else about the pollset is static per connection lifetime,
+   so the loop never rebuilds interest sets. *)
+let set_pollout t peer on =
+  if peer.pslot >= 0 then
+    Poll.set_events t.pollset peer.pslot (if on then Poll.pollout else 0)
+
 (* Non-blocking drain of one peer's outbound queue.  Frames accumulate
-   between select iterations ([emit] no longer flushes), so one write
-   here carries every frame queued since the last drain — straight from
-   the queue's storage, no copy. *)
+   between poll iterations ([emit] does not flush), so one write here
+   carries every frame queued since the last readiness burst — straight
+   from the queue's storage, no copy. *)
 let flush_peer t peer =
   match peer.out_fd with
   | None -> Bq.clear peer.out
   | Some fd -> (
       let q = peer.out in
-      if q.Bq.len > 0 then
-        match Unix.write fd q.Bq.buf q.Bq.start q.Bq.len with
+      if Bq.length q > 0 then
+        match Unix.write fd (Bq.unsafe_bytes q) (Bq.head q) (Bq.length q) with
         | written ->
             t.writes_out <- t.writes_out + 1;
-            Bq.consume q written
+            Bq.consume q written;
+            if Bq.length q = 0 then set_pollout t peer false
         | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
         | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
-            close_peer peer)
+            close_peer t peer)
 
 let emit t (msg : Message.t) =
   if msg.Message.dst >= 0 && msg.Message.dst < t.n && msg.Message.dst <> t.self then begin
     let peer = t.peers.(msg.Message.dst) in
     if peer.out_fd <> None then begin
-      Buffer.clear t.scratch;
+      let before = Bq.length peer.out in
+      (* Straight into the outbound queue: header reserved, body encoded,
+         length+CRC backpatched — no per-frame staging buffer.  On an
+         encoder exception the codec truncates the queue back, so a
+         partial frame never reaches the wire. *)
       ignore
-        (Codec.encode_frame t.scratch ~src:msg.Message.src ~dst:msg.Message.dst
+        (Codec.encode_frame peer.out ~src:msg.Message.src ~dst:msg.Message.dst
            ~layer:(Layer.name msg.Message.layer) msg.Message.payload
           : int);
       t.frames_out <- t.frames_out + 1;
-      t.bytes_out <- t.bytes_out + Buffer.length t.scratch;
-      Bq.add_buffer peer.out t.scratch;
-      (* Coalesce: leave the frame queued for the next loop-iteration
-         drain unless the queue has grown past the high-water mark
-         (bounds memory if a peer stalls mid-burst). *)
+      t.bytes_out <- t.bytes_out + (Bq.length peer.out - before);
+      if before = 0 then set_pollout t peer true;
+      (* Coalesce: leave the frame queued for the next readiness burst
+         unless the queue has grown past the high-water mark (bounds
+         memory if a peer stalls mid-burst). *)
       if pending peer > high_water then flush_peer t peer
     end
   end
@@ -154,9 +242,9 @@ let emit t (msg : Message.t) =
    which holds stale bytes beyond it. *)
 let drain_input t conn =
   let q = conn.in_q in
-  let buf = Bytes.unsafe_to_string q.Bq.buf in
-  let limit = q.Bq.start + q.Bq.len in
-  let pos = ref q.Bq.start in
+  let buf = Bytes.unsafe_to_string (Bq.unsafe_bytes q) in
+  let limit = Bq.tail q in
+  let pos = ref (Bq.head q) in
   let alive = ref true in
   while
     !alive
@@ -211,7 +299,7 @@ let drain_input t conn =
   do
     ()
   done;
-  if !alive then Bq.consume q (!pos - q.Bq.start)
+  if !alive then Bq.consume q (!pos - Bq.head q)
 
 let read_size = 65536
 
@@ -219,12 +307,11 @@ let read_size = 65536
    concatenation; whatever a burst leaves unparsed just stays queued. *)
 let handle_readable t conn =
   let q = conn.in_q in
-  Bq.reserve q read_size;
-  let tail = q.Bq.start + q.Bq.len in
-  match Unix.read conn.fd q.Bq.buf tail (Bytes.length q.Bq.buf - tail) with
+  Bq.ensure q read_size;
+  match Unix.read conn.fd (Bq.unsafe_bytes q) (Bq.tail q) (Bq.tail_room q) with
   | 0 -> close_conn t conn
   | nread ->
-      q.Bq.len <- q.Bq.len + nread;
+      Bq.advance q nread;
       drain_input t conn
   | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
   | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> close_conn t conn
@@ -235,7 +322,9 @@ let accept_ready t =
     | fd, _ ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        t.conns <- { fd; in_q = Bq.create read_size } :: t.conns;
+        let conn = { fd; in_q = Bq.create read_size; cslot = -1 } in
+        ignore (Poll.add t.pollset fd ~events:Poll.pollin (Conn conn) : int);
+        t.conns <- conn :: t.conns;
         go ()
     | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
   in
@@ -271,6 +360,13 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   Unix.set_nonblock listen;
+  let pollset =
+    Poll.create ~dummy:Nobody ~reslot:(fun owner slot ->
+        match owner with
+        | Nobody | Listen -> ()  (* listen is slot 0 and never removed *)
+        | Conn c -> c.cslot <- slot
+        | Peer p -> p.pslot <- slot)
+  in
   let t =
     {
       engine;
@@ -278,8 +374,8 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
       self;
       n;
       listen;
-      peers = Array.init n (fun _ -> { out_fd = None; out = Bq.create 4096 });
-      scratch = Buffer.create 512;
+      peers = Array.init n (fun _ -> { out_fd = None; out = Bq.create 4096; pslot = -1 });
+      pollset;
       conns = [];
       transport = None;
       frames_out = 0;
@@ -290,17 +386,27 @@ let create ~engine ~clock ~self ~listen ~peer_addrs () =
       decode_errors = 0;
     }
   in
+  ignore (Poll.add pollset listen ~events:Poll.pollin Listen : int);
   let transport = Transport.create_ext engine ~self ~emit:(fun msg -> emit t msg) () in
   (* Before any middleware exists: interposers capture the transport's env
      at install time, so the wall-clock variant must already be in place. *)
   Transport.set_env transport (Clock.env clock engine);
   t.transport <- Some transport;
   for p = 0 to n - 1 do
-    if p <> self then
+    if p <> self then begin
       (* The cluster parent pre-binds every listener before forking, so a
          dial normally succeeds on the first try; standalone nodes may
          start in any order and get the retry loop. *)
-      t.peers.(p).out_fd <- dial peer_addrs.(p) ~attempts:100 ~retry_delay:0.05
+      let peer = t.peers.(p) in
+      peer.out_fd <- dial peer_addrs.(p) ~attempts:100 ~retry_delay:0.05;
+      match peer.out_fd with
+      | Some fd ->
+          (* Registered with no interest bits: POLLOUT is raised by the
+             first queued byte, and poll still reports ERR/HUP on an idle
+             slot, which is how a vanished peer is noticed. *)
+          ignore (Poll.add pollset fd ~events:0 (Peer peer) : int)
+      | None -> ()
+    end
   done;
   t
 
@@ -309,7 +415,7 @@ let connected t =
   Array.iteri (fun p peer -> if p <> t.self && peer.out_fd <> None then incr up) t.peers;
   !up
 
-(* The live event loop: execute due engine events, then block in select
+(* The live event loop: execute due engine events, then block in poll(2)
    until the next timer, inbound traffic, or writability of a clogged
    peer.  The engine's horizon is pinned once to [deadline] so that
    self-rearming timer loops (heartbeats) retire by themselves. *)
@@ -332,10 +438,29 @@ let run t ~deadline ~stop =
         false
     | Some t0 -> t0 +. grace <= now
   in
+  let err_bits = Poll.pollerr lor Poll.pollhup lor Poll.pollnval in
+  let dispatch (o, re) =
+    match o with
+    | Nobody -> ()
+    | Listen -> accept_ready t
+    | Conn conn ->
+        (* cslot < 0: closed by an earlier dispatch in this same burst. *)
+        if conn.cslot >= 0 then handle_readable t conn
+    | Peer peer -> (
+        match peer.out_fd with
+        | None -> ()
+        | Some _ ->
+            if Bq.length peer.out > 0 then
+              (* Writable (or erroring — the write surfaces it): one
+                 coalesced write per readiness burst. *)
+              flush_peer t peer
+            else if re land err_bits <> 0 then
+              (* ERR/HUP on an idle slot (interest 0): the peer is gone. *)
+              close_peer t peer)
+  in
   let rec loop () =
     let now = Clock.now t.clock in
     Engine.run_due t.engine ~upto:now;
-    Array.iter (flush_peer t) t.peers;
     let now = Clock.now t.clock in
     if not (finished now) then begin
       let horizon = match !stopped_at with Some t0 -> Float.min deadline (t0 +. grace) | None -> deadline in
@@ -345,31 +470,15 @@ let run t ~deadline ~stop =
         | None -> 50.0
       in
       let timeout_ms = Float.min 50.0 (Float.min next_timer (Float.max 0.0 (horizon -. now))) in
-      let rfds = t.listen :: List.map (fun c -> c.fd) t.conns in
-      let wfds =
-        Array.to_list t.peers
-        |> List.filter_map (fun p -> if pending p > 0 then p.out_fd else None)
-      in
-      (match Unix.select rfds wfds [] (timeout_ms /. 1000.0) with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | readable, writable, _ ->
-          if List.memq t.listen readable then accept_ready t;
-          List.iter
-            (fun conn -> if List.memq conn.fd readable then handle_readable t conn)
-            t.conns;
-          Array.iter
-            (fun peer ->
-              match peer.out_fd with
-              | Some fd when List.memq fd writable -> flush_peer t peer
-              | _ -> ())
-            t.peers);
+      let nready = Poll.wait t.pollset ~timeout_ms:(int_of_float (Float.ceil timeout_ms)) in
+      if nready > 0 then List.iter dispatch (Poll.ready t.pollset);
       loop ()
     end
   in
   loop ()
 
 let close t =
-  Array.iter close_peer t.peers;
+  Array.iter (close_peer t) t.peers;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   t.conns <- [];
   try Unix.close t.listen with Unix.Unix_error _ -> ()

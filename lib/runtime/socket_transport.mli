@@ -1,42 +1,32 @@
-(** The live transport backend: localhost TCP mesh + select loop.
+(** The live transport backend: localhost TCP mesh + poll(2) readiness
+    loop.
 
     Wraps {!Ics_net.Transport.create_ext} with real sockets.  Node [i]
     dials every peer once and uses the dialed socket for outbound frames
     only; inbound frames arrive on sockets accepted from the peers'
-    dials.  Frames are the {!Ics_codec.Codec} wire format; a malformed
-    frame closes its connection (a corrupted TCP byte stream cannot be
-    resynchronized) and is counted in {!stats}.
+    dials.  Frames are the {!Ics_codec.Codec} wire format, encoded
+    straight into each peer's outbound {!Bq.t} (backpatched header, no
+    per-frame staging buffer) and decoded in place from each
+    connection's inbound queue; a malformed frame closes its connection
+    (a corrupted TCP byte stream cannot be resynchronized) and is
+    counted in {!stats}.
 
-    The event loop ({!run}) drives the engine's timer queue from the real
-    clock via {!Ics_sim.Engine.run_due}, pinning the engine horizon once
-    to the run deadline so self-rearming timers (heartbeats) retire on
-    their own. *)
+    The event loop ({!run}) keeps one persistent pollset for the whole
+    run: readiness interest is flipped in place when a queue's occupancy
+    changes — a peer's slot carries [POLLOUT] exactly while its outbound
+    queue is nonempty — never rebuilt per iteration.  It drives the
+    engine's timer queue from the real clock via
+    {!Ics_sim.Engine.run_due}, pinning the engine horizon once to the
+    run deadline so self-rearming timers (heartbeats) retire on their
+    own. *)
 
 module Engine = Ics_sim.Engine
 module Transport = Ics_net.Transport
 
-(** The loop's growable byte queue (append at tail, consume at head,
-    amortized O(1) both ways).  Grows geometrically under a burst and
-    — the part worth testing — shrinks back to its resting capacity
-    once drained, so one burst doesn't pin its peak allocation for the
-    rest of the run. *)
-module Bq : sig
-  type t
-
-  val create : int -> t
-  val add_buffer : t -> Buffer.t -> unit
-  val consume : t -> int -> unit
-  val clear : t -> unit
-
-  val capacity : t -> int
-  (** Current backing-store size in bytes. *)
-
-  val length : t -> int
-  (** Unconsumed bytes queued. *)
-
-  val rest_cap : int
-  (** The resting capacity a drained queue decays to (64 KiB). *)
-end
+(** The loop's byte queues are the codec plane's {!Ics_codec.Bq} — one
+    shared buffer discipline from encoder to socket and socket to
+    decoder. *)
+module Bq = Ics_codec.Bq
 
 type t
 

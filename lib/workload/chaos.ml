@@ -371,35 +371,74 @@ type cell = {
   failures : result list;  (** chronological; empty for a clean cell *)
 }
 
-let sweep ?(backend = `Sim) ?batching ?app ?(retransmit = true) ?n
-    ?(seed_base = 1L) ?(seeds = 100) ?(progress = fun _ -> ()) ~stacks ~plans
-    () =
-  List.concat_map
-    (fun stack ->
-      List.map
-        (fun plan_kind ->
-          let failures = ref [] in
-          for i = 0 to seeds - 1 do
-            let seed = Int64.add seed_base (Int64.of_int i) in
-            let r =
-              run_one ~backend ?batching ?app ?n ~retransmit stack plan_kind
-                ~seed
-            in
-            if not (passed r) then failures := r :: !failures
-          done;
-          progress
-            (Printf.sprintf "%s/%s: %d/%d pass" (stack_name stack)
-               (plan_name plan_kind)
-               (seeds - List.length !failures)
-               seeds);
-          {
-            c_stack = stack;
-            c_plan = plan_kind;
-            runs = seeds;
-            failures = List.rev !failures;
-          })
-        plans)
-    stacks
+(* Shared mutable state a sweep cell reads — the codec registry and the
+   CRC table — is write-once and must be fully populated before any
+   domain spawns: registration mutates, and OCaml's [Lazy.force] is not
+   domain-safe.  Forcing here turns every later access into a plain
+   read, which is what the DS1 audits on those sites promise. *)
+let force_shared_state () =
+  Ics_core.Codecs.ensure ();
+  ignore (Ics_codec.Prim.crc32 "" : int)
+
+let clamp_jobs ~backend ~jobs =
+  match backend with
+  (* The live backend forks node processes; fork from a non-main domain
+     is undefined enough to be off the table, so live sweeps stay
+     sequential. *)
+  | `Live -> 1
+  | `Sim -> max 1 jobs
+
+let sweep_results ?(backend = `Sim) ?batching ?app ?(retransmit = true) ?n
+    ?(seed_base = 1L) ?(seeds = 100) ?(progress = fun _ -> ()) ?(jobs = 1)
+    ~stacks ~plans () =
+  let jobs = clamp_jobs ~backend ~jobs in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun stack -> List.map (fun plan -> (stack, plan)) plans)
+         stacks)
+  in
+  (* Progress lines stream in completion order (cells race when jobs >
+     1); only their interleaving varies — each line's content, and
+     everything in the returned cells, is interleaving-free. *)
+  let progress =
+    if jobs <= 1 then progress
+    else begin
+      let m = Mutex.create () in
+      fun s ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> progress s)
+    end
+  in
+  let run_cell (stack, plan_kind) =
+    let results = ref [] in
+    for i = 0 to seeds - 1 do
+      let seed = Int64.add seed_base (Int64.of_int i) in
+      let r =
+        run_one ~backend ?batching ?app ?n ~retransmit stack plan_kind ~seed
+      in
+      results := r :: !results
+    done;
+    let results = List.rev !results in
+    let failures = List.filter (fun r -> not (passed r)) results in
+    progress
+      (Printf.sprintf "%s/%s: %d/%d pass" (stack_name stack)
+         (plan_name plan_kind)
+         (seeds - List.length failures)
+         seeds);
+    ({ c_stack = stack; c_plan = plan_kind; runs = seeds; failures }, results)
+  in
+  if jobs <= 1 then Array.to_list (Array.map run_cell cells)
+  else begin
+    force_shared_state ();
+    Array.to_list (Domain_pool.map ~jobs run_cell cells)
+  end
+
+let sweep ?backend ?batching ?app ?retransmit ?n ?seed_base ?seeds ?progress
+    ?jobs ~stacks ~plans () =
+  List.map fst
+    (sweep_results ?backend ?batching ?app ?retransmit ?n ?seed_base ?seeds
+       ?progress ?jobs ~stacks ~plans ())
 
 let matrix_table cells =
   let stacks =
@@ -485,30 +524,35 @@ type mismatch = {
    nondeterminism, and means the replay commands the sweep prints are
    lies.  One seed per cell keeps this cheap enough for the smoke gate. *)
 let replay_check ?batching ?app ?(retransmit = true) ?n ?(seed_base = 1L)
-    ~stacks ~plans () =
-  List.concat_map
-    (fun stack ->
-      List.filter_map
-        (fun plan_kind ->
-          let fp () =
-            (run_one ?batching ?app ?n ~retransmit stack plan_kind
-               ~seed:seed_base)
-              .fingerprint
-          in
-          let first = fp () in
-          let second = fp () in
-          if String.equal first second then None
-          else
-            Some
-              {
-                m_stack = stack;
-                m_plan = plan_kind;
-                m_seed = seed_base;
-                m_first = first;
-                m_second = second;
-              })
-        plans)
-    stacks
+    ?(jobs = 1) ~stacks ~plans () =
+  let jobs = clamp_jobs ~backend:`Sim ~jobs in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun stack -> List.map (fun plan -> (stack, plan)) plans)
+         stacks)
+  in
+  let check (stack, plan_kind) =
+    let fp () =
+      (run_one ?batching ?app ?n ~retransmit stack plan_kind ~seed:seed_base)
+        .fingerprint
+    in
+    let first = fp () in
+    let second = fp () in
+    if String.equal first second then None
+    else
+      Some
+        {
+          m_stack = stack;
+          m_plan = plan_kind;
+          m_seed = seed_base;
+          m_first = first;
+          m_second = second;
+        }
+  in
+  if jobs > 1 then force_shared_state ();
+  List.filter_map Fun.id
+    (Array.to_list (Domain_pool.map ~jobs check cells))
 
 let pp_mismatch ppf m =
   Format.fprintf ppf "%s x %s seed=%Ld: %s then %s" (stack_name m.m_stack)

@@ -129,12 +129,41 @@ val sweep :
   ?seed_base:int64 ->
   ?seeds:int ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   stacks:stack_kind list ->
   plans:plan_kind list ->
   unit ->
   cell list
 (** Run [seeds] seeds ([seed_base + i]) for every stack × plan pair on
-    the chosen backend (default [`Sim]). *)
+    the chosen backend (default [`Sim]).
+
+    [jobs] (default 1) runs that many cells concurrently on OCaml 5
+    domains ({!Domain_pool}).  Each cell's engine stays strictly
+    single-domain; cells are merged in stack × plan order after every
+    domain joins, so the returned cells — fingerprints, matrix, the
+    {!indirect_clean}/{!blackout_reproduced} gates — are bit-identical
+    to a [jobs = 1] sweep.  Only the interleaving of [progress] lines
+    varies.  On the [`Live] backend [jobs] is forced to 1 (live cells
+    fork processes; forking from a spawned domain is not safe). *)
+
+val sweep_results :
+  ?backend:backend ->
+  ?batching:Ics_core.Abcast.batching ->
+  ?app:bool ->
+  ?retransmit:bool ->
+  ?n:int ->
+  ?seed_base:int64 ->
+  ?seeds:int ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  stacks:stack_kind list ->
+  plans:plan_kind list ->
+  unit ->
+  (cell * result list) list
+(** {!sweep}, but each cell also carries {e every} run's result in seed
+    order (not just the failures) — the hook the jobs-determinism fence
+    uses to compare complete fingerprint sets between [jobs = 1] and
+    [jobs = n] sweeps. *)
 
 val matrix_table : cell list -> Ics_prelude.Table.t
 val report : ?verbose:bool -> Format.formatter -> cell list -> unit
@@ -166,6 +195,7 @@ val replay_check :
   ?retransmit:bool ->
   ?n:int ->
   ?seed_base:int64 ->
+  ?jobs:int ->
   stacks:stack_kind list ->
   plans:plan_kind list ->
   unit ->
@@ -175,6 +205,10 @@ val replay_check :
     fingerprints between the two runs.  Empty means every cell replayed
     bit-identically; any {!mismatch} is ambient nondeterminism (unordered
     iteration, real clock, un-threaded RNG) leaking into the simulation and
-    invalidates every replay command the sweep prints. *)
+    invalidates every replay command the sweep prints.
+
+    [jobs] (default 1) checks that many cells concurrently
+    ({!Domain_pool}); both runs of a given cell stay on one domain, and
+    mismatches are reported in stack × plan order regardless of [jobs]. *)
 
 val pp_mismatch : Format.formatter -> mismatch -> unit

@@ -1,0 +1,58 @@
+(* Chunked parallel map over OCaml 5 domains — deliberately
+   work-stealing-free: workers claim fixed chunks of the task index
+   space from one Atomic counter, so there are no deques, no stealing
+   order, and nothing about the claim protocol that can reorder
+   results.  Each task's result lands in its own slot of a pre-sized
+   array, and the merged output is read back in task order after every
+   domain has joined — so the output is bit-identical whatever the
+   interleaving, and identical to [jobs = 1].
+
+   The tasks themselves must be pure (or confine their mutation to
+   task-local state): the chaos sweep's cells are, by the same replay
+   contract the lint's DS pass guards — this module is a DS root, so
+   everything reachable from a task closure is checked for shared
+   non-Atomic toplevel state. *)
+
+type 'b outcome = Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+let run_task f tasks results i =
+  results.(i) <-
+    (match f tasks.(i) with
+    | r -> Done r
+    | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+
+let map ?(jobs = 1) ?(chunk = 1) f tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map f tasks
+  else begin
+    let jobs = min jobs n in
+    let chunk = max 1 chunk in
+    (* Pre-sized per-task slots: no worker ever writes outside its
+       claimed indices, so the array needs no lock — the Domain.join
+       below is the happens-before edge that publishes every slot to
+       the merging domain. *)
+    let results = Array.make n (Raised (Not_found, Printexc.get_raw_backtrace ())) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let base = Atomic.fetch_and_add next chunk in
+        if base < n then begin
+          for i = base to min (base + chunk) n - 1 do
+            run_task f tasks results i
+          done;
+          go ()
+        end
+      in
+      go ()
+    in
+    let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others;
+    (* Merge in task order; a raising task re-raises at its own index,
+       so which task failed (and with what) is also interleaving-free. *)
+    Array.map
+      (function
+        | Done r -> r
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results
+  end

@@ -1,0 +1,23 @@
+(** Chunked parallel map over OCaml 5 domains, work-stealing-free.
+
+    [map ~jobs f tasks] applies [f] to every element of [tasks] using
+    [jobs] domains (the calling domain included) and returns the results
+    in task order.  Workers claim [chunk]-sized index ranges from a
+    single [Atomic] counter and write each result into its own slot, so
+    the output — including which exception propagates when tasks raise
+    (the lowest-index one, with its original backtrace) — is independent
+    of scheduling and bit-identical to a [jobs = 1] run.
+
+    [jobs <= 1] (or fewer than two tasks) degenerates to [Array.map] on
+    the calling domain: no domain is spawned, which keeps single-job
+    runs usable from contexts where spawning is off-limits (e.g. a
+    caller that must [fork] afterwards).
+
+    Tasks run concurrently, so [f] must not touch shared non-[Atomic]
+    mutable state; this module is a root of the lint's DS (domain
+    safety) pass, which checks everything reachable from the closures
+    handed to it.  Lazies and write-once registries the tasks read must
+    be forced {e before} calling [map] — [Lazy.force] is not
+    domain-safe. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -23,7 +23,7 @@ let register_codec () =
   Codec.register ~tag:0x50 ~name:"parity.probe"
     ~fits:(function Probe _ -> true | _ -> false)
     ~size:(fun _ -> 5)
-    ~enc:(fun w -> function Probe k -> Prim.u32 w k | _ -> assert false)
+    ~encode_into:(fun w -> function Probe k -> Prim.u32 w k | _ -> assert false)
     ~dec:(fun r -> Probe (Prim.r_u32 r))
     ~gen:(fun rng -> Probe (Rng.int rng 10_000))
 

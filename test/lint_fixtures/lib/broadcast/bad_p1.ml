@@ -7,6 +7,6 @@ let register_codec () =
   Codec.register ~tag:0x7F ~name:"fixture.data"
     ~fits:(function Data _ -> true | _ -> false)
     ~size:(fun _ -> 5)
-    ~enc:(fun _ _ -> ())
+    ~encode_into:(fun _ _ -> ())
     ~dec:(fun _ -> Data 0)
     ~gen:(fun _ -> Data 0)

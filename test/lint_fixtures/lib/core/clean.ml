@@ -8,7 +8,7 @@ let register_codec () =
   Codec.register ~tag:0x7E ~name:"fixture.beacon"
     ~fits:(function Beacon _ -> true | _ -> false)
     ~size:(fun _ -> 5)
-    ~enc:(fun _ _ -> ())
+    ~encode_into:(fun _ _ -> ())
     ~dec:(fun _ -> Beacon 0)
     ~gen:(fun _ -> Beacon 0)
 

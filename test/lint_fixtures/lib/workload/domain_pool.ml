@@ -1,0 +1,19 @@
+(* Fixture: stands in for the repo's domain-spawning pool driver — a
+   DS root in its own right, because the closures handed to [map] run
+   on spawned domains.  The cell closure below captures a non-Atomic
+   module-toplevel ref: that must fail DS1 (and derive a DS2 from the
+   write/read pair), even with no chaos.ml in the scanned set.  The
+   Atomic counter is the sanctioned form and must stay silent. *)
+
+let tally = ref 0
+let claimed = Atomic.make 0
+
+let map f tasks = Array.map f tasks
+
+let run_cells () =
+  Atomic.incr claimed;
+  map
+    (fun t ->
+      tally := !tally + t;
+      !tally)
+    [| 1; 2; 3 |]

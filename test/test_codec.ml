@@ -3,6 +3,7 @@
    anchor for the body_bytes recalibration. *)
 
 module Rng = Ics_prelude.Rng
+module Bq = Ics_codec.Bq
 module Codec = Ics_codec.Codec
 module Prim = Ics_codec.Prim
 module Codecs = Ics_core.Codecs
@@ -13,7 +14,7 @@ let checki = Alcotest.(check int)
 
 let encode_bytes payload =
   let w = Buffer.create 256 in
-  Codec.encode_payload w payload;
+  Codec.encode_payload_legacy w payload;
   Buffer.contents w
 
 (* Every registered constructor: gen → encode → decode → re-encode must
@@ -67,7 +68,7 @@ let test_unregistered_payload () =
 let frame_for payload =
   Codecs.ensure ();
   let w = Buffer.create 256 in
-  let body_len = Codec.encode_frame w ~src:1 ~dst:2 ~layer:"consensus" payload in
+  let body_len = Codec.encode_frame_legacy w ~src:1 ~dst:2 ~layer:"consensus" payload in
   (Buffer.contents w, body_len)
 
 let test_frame_roundtrip () =
@@ -185,6 +186,197 @@ let test_fuzz_decode_never_crashes () =
     | exception Codec.Error _ -> ()
   done
 
+(* A reserved span's logical offset must survive storage growth and the
+   head-compaction a growth triggers: reserve over a small buffer with a
+   nonzero head, append enough to force both, then backpatch — the u32
+   must land exactly where the reservation was taken. *)
+let test_bq_reserve_across_growth () =
+  let q = Bq.create 16 in
+  Bq.add_string q "abcdefgh";
+  Bq.consume q 5;
+  (* head = 5, three live bytes "fgh" *)
+  let at = Bq.reserve q 4 in
+  checki "reservation offset is logical" 3 at;
+  let filler = String.init 8192 (fun i -> Char.chr (i land 0xff)) in
+  Bq.add_string q filler;
+  checkb "growth actually happened" true (Bq.capacity q > 16);
+  Bq.patch_u32 q ~at 0xDEADBEEF;
+  let s = Bq.contents q in
+  checki "length = live + span + filler" (3 + 4 + 8192) (String.length s);
+  Alcotest.(check string) "live prefix intact" "fgh" (String.sub s 0 3);
+  Alcotest.(check string) "backpatched u32 in place" "\xDE\xAD\xBE\xEF"
+    (String.sub s 3 4);
+  Alcotest.(check string) "filler intact after patch" filler (String.sub s 7 8192);
+  checkb "patch beyond the queued region rejected" true
+    (match Bq.patch_u32 q ~at:(Bq.length q - 3) 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* The ensure/write/advance triple — the read(2) half of the
+   discipline: bytes blitted into the physical tail become queued only
+   on [advance], and advancing past the ensured room is a bug. *)
+let test_bq_ensure_advance () =
+  let q = Bq.create 16 in
+  Bq.add_string q "xy";
+  Bq.ensure q 1000;
+  checkb "ensure makes contiguous room" true (Bq.tail_room q >= 1000);
+  let chunk = String.init 600 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  Bytes.blit_string chunk 0 (Bq.unsafe_bytes q) (Bq.tail q) 600;
+  checki "blit alone commits nothing" 2 (Bq.length q);
+  Bq.advance q 600;
+  Alcotest.(check string) "advance commits the blitted bytes" ("xy" ^ chunk)
+    (Bq.contents q);
+  checkb "advance beyond ensured room rejected" true
+    (match Bq.advance q (Bq.tail_room q + 1) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* Draining a grown queue decays its storage back to the resting size. *)
+  let big = Bq.create 16 in
+  Bq.add_string big (String.make 200_000 'z');
+  Bq.consume big 200_000;
+  checki "drained queue is empty" 0 (Bq.length big);
+  checki "storage decays to rest_cap" Bq.rest_cap (Bq.capacity big)
+
+(* The frame encoder's error path: an exception mid-encode must leave
+   the outbound queue exactly as it was, not with a partial frame that
+   would desynchronize the TCP stream. *)
+let test_encode_frame_error_truncates () =
+  Codecs.ensure ();
+  let module M = struct
+    type Ics_net.Message.payload += Unframeable
+  end in
+  let q = Bq.create 64 in
+  Bq.add_string q "queued";
+  checkb "encode of unregistered payload raises" true
+    (match Codec.encode_frame q ~src:0 ~dst:1 ~layer:"consensus" M.Unframeable with
+    | _ -> false
+    | exception Codec.Error _ -> true);
+  Alcotest.(check string) "queue untouched after the failed encode" "queued"
+    (Bq.contents q)
+
+(* Byte-equality fuzz: the in-place backpatching encoder against the
+   stage-then-copy legacy reference, per registered tag, with the queue's
+   head pushed off physical zero so logical-offset arithmetic is
+   actually exercised. *)
+let test_encode_into_matches_legacy () =
+  Codecs.ensure ();
+  let rng = Rng.create 0xB0A7L in
+  List.iter
+    (fun (e : Codec.entry) ->
+      for _ = 1 to 25 do
+        let p = e.Codec.gen rng in
+        let b = Buffer.create 256 in
+        let len_legacy =
+          Codec.encode_frame_legacy b ~src:3 ~dst:7 ~layer:"consensus" p
+        in
+        let q = Bq.create 16 in
+        Bq.add_string q "padpad";
+        Bq.consume q 4;
+        let len = Codec.encode_frame q ~src:3 ~dst:7 ~layer:"consensus" p in
+        checki (e.Codec.name ^ " body length agrees") len_legacy len;
+        Alcotest.(check string)
+          (e.Codec.name ^ " frame bytes identical")
+          ("ad" ^ Buffer.contents b) (Bq.contents q)
+      done)
+    (Codec.entries ());
+  (* Back-to-back frames share one queue: each backpatch must hit its
+     own frame's reserved span, never a neighbour's. *)
+  let rng = Rng.create 0xB0A7L in
+  let q = Bq.create 32 and b = Buffer.create 1024 in
+  List.iter
+    (fun (e : Codec.entry) ->
+      let p = e.Codec.gen rng in
+      let lq = Codec.encode_frame q ~src:1 ~dst:2 ~layer:"consensus" p in
+      let lb = Codec.encode_frame_legacy b ~src:1 ~dst:2 ~layer:"consensus" p in
+      checki (e.Codec.name ^ " burst body length agrees") lb lq)
+    (Codec.entries ());
+  Alcotest.(check string) "burst of frames identical" (Buffer.contents b)
+    (Bq.contents q)
+
+(* Frames arriving split at arbitrary byte boundaries: feed a multi-frame
+   stream into a queue through the transport's ensure/blit/advance read
+   path, draining after every chunk exactly as the event loop does.  No
+   chunk size may yield a decode error, a lost frame, or a leftover
+   byte. *)
+let test_partial_frame_chunked_decode () =
+  Codecs.ensure ();
+  let rng = Rng.create 0xC4A2L in
+  let entries = Codec.entries () in
+  let payloads = List.map (fun (e : Codec.entry) -> e.Codec.gen rng) entries in
+  let stream_buf = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      ignore
+        (Codec.encode_frame_legacy stream_buf ~src:4 ~dst:5 ~layer:"consensus" p
+          : int))
+    payloads;
+  let stream = Buffer.contents stream_buf in
+  let expected = List.map encode_bytes payloads in
+  let feed q pos len =
+    Bq.ensure q len;
+    Bytes.blit_string stream pos (Bq.unsafe_bytes q) (Bq.tail q) len;
+    Bq.advance q len
+  in
+  (* The event loop's drain, minus the socket: parse complete frames in
+     place, consume them, stop at the first partial one. *)
+  let drain q acc =
+    let continue = ref true in
+    while !continue do
+      let buf = Bytes.unsafe_to_string (Bq.unsafe_bytes q) in
+      let pos = Bq.head q and limit = Bq.tail q in
+      if limit - pos < Codec.header_bytes then continue := false
+      else
+        match Codec.decode_header ~pos buf with
+        | Error e -> Alcotest.failf "mid-stream header error: %s" e
+        | Ok h ->
+            if limit - pos - Codec.header_bytes < h.Codec.h_body_len then
+              continue := false
+            else (
+              (match Codec.decode_body ~pos:(pos + Codec.header_bytes) buf h with
+              | Error e -> Alcotest.failf "mid-stream body error: %s" e
+              | Ok p -> acc := encode_bytes p :: !acc);
+              Bq.consume q (Codec.header_bytes + h.Codec.h_body_len))
+    done
+  in
+  List.iter
+    (fun chunk ->
+      let q = Bq.create 16 in
+      let got = ref [] in
+      let pos = ref 0 in
+      let n = String.length stream in
+      while !pos < n do
+        let len = min chunk (n - !pos) in
+        feed q !pos len;
+        drain q got;
+        pos := !pos + len
+      done;
+      checki
+        (Printf.sprintf "chunk %d: every frame decoded" chunk)
+        (List.length expected) (List.length !got);
+      checkb
+        (Printf.sprintf "chunk %d: payloads identical in order" chunk)
+        true
+        (List.rev !got = expected);
+      checki (Printf.sprintf "chunk %d: no leftover bytes" chunk) 0 (Bq.length q))
+    [ 1; 2; 3; 5; 7; 13; Codec.header_bytes; Codec.header_bytes + 1; 64; 1021 ];
+  (* A strict prefix of a frame must sit queued, undecoded, until the
+     rest arrives. *)
+  let q = Bq.create 16 in
+  let got = ref [] in
+  let first =
+    match Codec.decode_header stream with
+    | Error e -> Alcotest.failf "stream head header: %s" e
+    | Ok h -> Codec.header_bytes + h.Codec.h_body_len - 1
+  in
+  feed q 0 first;
+  drain q got;
+  checki "partial frame yields nothing" 0 (List.length !got);
+  checki "partial frame stays queued" first (Bq.length q);
+  feed q first (String.length stream - first);
+  drain q got;
+  checki "completion decodes the whole stream" (List.length expected)
+    (List.length !got)
+
 (* The body_bytes recalibration anchor: these digests were captured
    before the codec existed (hand-estimated sizes) under Model.constant +
    Host.instant, where timing is size-independent — so they must survive
@@ -246,6 +438,11 @@ let suites =
         Alcotest.test_case "corrupt frames rejected" `Quick test_corrupt_frames;
         Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag_rejected;
         Alcotest.test_case "fuzzed decode never crashes" `Quick test_fuzz_decode_never_crashes;
+        Alcotest.test_case "bq reservation survives growth" `Quick test_bq_reserve_across_growth;
+        Alcotest.test_case "bq ensure/advance discipline" `Quick test_bq_ensure_advance;
+        Alcotest.test_case "failed encode leaves no partial frame" `Quick test_encode_frame_error_truncates;
+        Alcotest.test_case "in-place encoder matches legacy bytes" `Quick test_encode_into_matches_legacy;
+        Alcotest.test_case "chunked partial-frame decode" `Quick test_partial_frame_chunked_decode;
         Alcotest.test_case "sim fingerprints pinned" `Quick test_sim_fingerprints_pinned;
         Alcotest.test_case "parity fingerprint pinned" `Quick test_parity_fingerprint_pinned;
         Alcotest.test_case "replay check finds no divergence" `Quick test_replay_check_clean;

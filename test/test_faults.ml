@@ -370,6 +370,54 @@ let test_chaos_sweep_and_report () =
   checkb "hint names the cell" true
     (Test_util.contains hint "--stacks ct-on-ids --plans blackout")
 
+(* The nondeterminism fence on the parallel sweep: a domains-wide sweep
+   must agree with the sequential one on every run's fingerprint (not
+   just the failure lists), and both must agree with a fingerprint
+   pinned when the sweep was single-domain only — so neither the
+   parallel merge nor domain scheduling can move a single trace byte.
+
+   The domain-spawning half runs in a forked child: this OCaml runtime
+   forbids [Unix.fork] in any process that has {e ever} spawned a
+   domain, and later suites fork live clusters — the same reason
+   {!Chaos.sweep} itself forces [jobs = 1] on the live backend. *)
+let test_chaos_jobs_fingerprint_identical () =
+  let stacks = [ Chaos.Ct_indirect; Chaos.Ct_on_ids ] in
+  let plans = [ Chaos.Drop; Chaos.Blackout ] in
+  let fingerprints jobs =
+    Chaos.sweep_results ~seed_base:2L ~seeds:2 ~jobs ~stacks ~plans ()
+    |> List.concat_map (fun (_, results) ->
+           List.map (fun r -> r.Chaos.fingerprint) results)
+  in
+  let seq = fingerprints 1 in
+  checki "one fingerprint per run" 8 (List.length seq);
+  Alcotest.(check string) "first run matches the single-domain pin"
+    "4bc2be962988606fdb1a205603e94b6f" (List.hd seq);
+  match Unix.fork () with
+  | 0 ->
+      let status =
+        match fingerprints 4 = seq with
+        | true ->
+            if Chaos.replay_check ~jobs:4 ~seed_base:2L ~stacks ~plans () = []
+            then 0
+            else 3
+        | false -> 2
+        | exception e ->
+            Printf.eprintf "parallel sweep raised: %s\n%!" (Printexc.to_string e);
+            4
+      in
+      Unix._exit status
+  | pid -> (
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED 2 ->
+          Alcotest.fail "jobs=4 sweep fingerprints differ from jobs=1"
+      | _, Unix.WEXITED 3 ->
+          Alcotest.fail "replay check found mismatches at jobs=4"
+      | _, Unix.WEXITED c ->
+          Alcotest.fail (Printf.sprintf "parallel sweep child exited %d" c)
+      | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+          Alcotest.fail (Printf.sprintf "parallel sweep child killed by signal %d" s))
+
 let suites =
   [
     ( "nemesis",
@@ -409,5 +457,7 @@ let suites =
         Alcotest.test_case "replay is bit-identical" `Quick
           test_chaos_replay_bit_identical;
         Alcotest.test_case "sweep and report" `Quick test_chaos_sweep_and_report;
+        Alcotest.test_case "parallel sweep is bit-identical" `Quick
+          test_chaos_jobs_fingerprint_identical;
       ] );
   ]

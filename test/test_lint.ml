@@ -186,6 +186,24 @@ let test_ds_unreachable () =
   let r = lint [ "lib/workload/registry.ml" ] in
   Alcotest.(check (list string)) "unreachable state is not flagged" [] (rules r)
 
+(* The pool driver is a DS root by itself: a cell closure capturing a
+   non-Atomic toplevel ref must fail DS1 even with no chaos.ml in the
+   scanned set (the pool, not the sweep, is what spawns the domains). *)
+let test_ds_domain_pool_root () =
+  let r = lint [ "lib/workload/domain_pool.ml" ] in
+  Alcotest.(check (list string))
+    "cell closure capturing a toplevel ref: DS1 + derived DS2; Atomic stays silent"
+    [ "DS1"; "DS2" ] (rules r);
+  match r.Lint.findings with
+  | [ ds1; _ds2 ] ->
+      Alcotest.(check string) "DS1 anchored at the pool's declaration"
+        "lib/workload/domain_pool.ml" ds1.Lint.file;
+      Alcotest.(check bool) "finding names the captured ref" true
+        (contains ~sub:"tally" ds1.Lint.message);
+      Alcotest.(check bool) "witness chain roots at the pool driver" true
+        (contains ~sub:"domain_pool." ds1.Lint.message)
+  | _ -> Alcotest.fail "expected exactly two findings"
+
 (* --- the --rule filter --------------------------------------------- *)
 
 let test_rule_filter () =
@@ -348,6 +366,7 @@ let suites =
         Alcotest.test_case "B2 transitive backend reach" `Quick test_b2;
         Alcotest.test_case "DS1/DS2 domain safety" `Quick test_ds;
         Alcotest.test_case "DS needs reachability" `Quick test_ds_unreachable;
+        Alcotest.test_case "DS roots at the domain pool" `Quick test_ds_domain_pool_root;
         Alcotest.test_case "--rule filter accounting" `Quick test_rule_filter;
         Alcotest.test_case "summary extraction" `Quick test_summary_extraction;
         Alcotest.test_case "call-graph resolution" `Quick test_callgraph_resolution;
